@@ -1,0 +1,154 @@
+// Benchmarks: one per reconstructed table/figure (T-R1, F-R1..F-R9), each
+// executing the corresponding experiment harness end to end, plus
+// per-algorithm benchmarks on the two structural extremes (scale-free and
+// mesh). Benchmarks run the Small dataset scale so `go test -bench=.`
+// finishes quickly; `go run ./cmd/gcbench` regenerates the full-scale
+// tables recorded in EXPERIMENTS.md.
+package gcolor_test
+
+import (
+	"testing"
+
+	"gcolor"
+	"gcolor/internal/exp"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := exp.Run(id, exp.Config{Scale: exp.Small})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+// BenchmarkT1Datasets regenerates Table R1 (dataset statistics).
+func BenchmarkT1Datasets(b *testing.B) { benchExperiment(b, "T1") }
+
+// BenchmarkF1BaselineTime regenerates Figure R1 (baseline time per graph).
+func BenchmarkF1BaselineTime(b *testing.B) { benchExperiment(b, "F1") }
+
+// BenchmarkF2Convergence regenerates Figure R2 (active vertices/iteration).
+func BenchmarkF2Convergence(b *testing.B) { benchExperiment(b, "F2") }
+
+// BenchmarkF3Imbalance regenerates Figure R3 (intra-wavefront imbalance).
+func BenchmarkF3Imbalance(b *testing.B) { benchExperiment(b, "F3") }
+
+// BenchmarkF4Utilization regenerates Figure R4 (SIMD utilization).
+func BenchmarkF4Utilization(b *testing.B) { benchExperiment(b, "F4") }
+
+// BenchmarkF5Scheduling regenerates Figure R5 (scheduling policies).
+func BenchmarkF5Scheduling(b *testing.B) { benchExperiment(b, "F5") }
+
+// BenchmarkF6HybridThreshold regenerates Figure R6 (threshold sweep).
+func BenchmarkF6HybridThreshold(b *testing.B) { benchExperiment(b, "F6") }
+
+// BenchmarkF7Headline regenerates Figure R7 (the ~25% headline comparison).
+func BenchmarkF7Headline(b *testing.B) { benchExperiment(b, "F7") }
+
+// BenchmarkF8WorkgroupSize regenerates Figure R8 (workgroup-size sweep).
+func BenchmarkF8WorkgroupSize(b *testing.B) { benchExperiment(b, "F8") }
+
+// BenchmarkF9Algorithms regenerates Figure R9 (algorithm comparison).
+func BenchmarkF9Algorithms(b *testing.B) { benchExperiment(b, "F9") }
+
+// Ablations and extensions (see DESIGN.md).
+
+func BenchmarkA1Labeling(b *testing.B)   { benchExperiment(b, "A1") }
+func BenchmarkA2Seeds(b *testing.B)      { benchExperiment(b, "A2") }
+func BenchmarkA3StealCost(b *testing.B)  { benchExperiment(b, "A3") }
+func BenchmarkA4Coalescing(b *testing.B) { benchExperiment(b, "A4") }
+func BenchmarkA5Compaction(b *testing.B) { benchExperiment(b, "A5") }
+func BenchmarkA6ReadCache(b *testing.B)  { benchExperiment(b, "A6") }
+func BenchmarkX1Distance2(b *testing.B)  { benchExperiment(b, "X1") }
+func BenchmarkX2Workloads(b *testing.B)  { benchExperiment(b, "X2") }
+func BenchmarkX3CUScaling(b *testing.B)  { benchExperiment(b, "X3") }
+func BenchmarkX4HybridBFS(b *testing.B)  { benchExperiment(b, "X4") }
+
+// Per-algorithm benchmarks on the two structural extremes.
+
+func benchAlgorithm(b *testing.B, g *gcolor.Graph, alg gcolor.Algorithm, policy gcolor.Policy) {
+	b.Helper()
+	b.ReportMetric(float64(g.NumEdges()), "edges")
+	for i := 0; i < b.N; i++ {
+		dev := gcolor.NewDevice()
+		dev.Policy = policy
+		res, err := gcolor.ColorGPU(dev, g, alg, gcolor.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Cycles), "simcycles")
+	}
+}
+
+func BenchmarkGPUScaleFree(b *testing.B) {
+	g := gcolor.RMAT(11, 16, 1)
+	for _, alg := range []gcolor.Algorithm{
+		gcolor.AlgBaseline, gcolor.AlgMaxMin, gcolor.AlgSpeculative, gcolor.AlgHybrid,
+	} {
+		b.Run(alg.String(), func(b *testing.B) { benchAlgorithm(b, g, alg, gcolor.Static) })
+	}
+	b.Run("baseline-stealing", func(b *testing.B) { benchAlgorithm(b, g, gcolor.AlgBaseline, gcolor.Stealing) })
+}
+
+func BenchmarkGPUMesh(b *testing.B) {
+	g := gcolor.Grid2D(64, 64)
+	for _, alg := range []gcolor.Algorithm{
+		gcolor.AlgBaseline, gcolor.AlgMaxMin, gcolor.AlgSpeculative, gcolor.AlgHybrid,
+	} {
+		b.Run(alg.String(), func(b *testing.B) { benchAlgorithm(b, g, alg, gcolor.Static) })
+	}
+}
+
+// CPU reference benchmarks (real wall time, not simulated cycles).
+
+func BenchmarkCPUGreedy(b *testing.B) {
+	g := gcolor.RMAT(13, 16, 1)
+	for _, o := range []gcolor.Ordering{gcolor.Natural, gcolor.LargestFirst, gcolor.SmallestLast} {
+		b.Run(o.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				colors := gcolor.ColorGreedy(g, o, 0)
+				if err := gcolor.Verify(g, colors); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCPUJonesPlassmann(b *testing.B) {
+	g := gcolor.RMAT(13, 16, 1)
+	for i := 0; i < b.N; i++ {
+		colors := gcolor.ColorJonesPlassmann(g, 1, 0)
+		if err := gcolor.Verify(g, colors); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Companion workloads on the simulated device.
+
+func BenchmarkGPUApps(b *testing.B) {
+	g := gcolor.RMAT(11, 16, 1)
+	b.Run("bfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gcolor.BFSLevels(gcolor.NewDevice(), g, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pagerank", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gcolor.PageRankScores(gcolor.NewDevice(), g)
+		}
+	})
+	b.Run("components", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gcolor.ComponentLabels(gcolor.NewDevice(), g)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+// Command gcbench regenerates the paper's tables and figures (see DESIGN.md
+// for the experiment index and EXPERIMENTS.md for recorded output).
+//
+// Usage:
+//
+//	gcbench                 # run everything at full scale
+//	gcbench -exp F7         # just the headline comparison
+//	gcbench -scale small    # quick pass with small datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gcolor/internal/exp"
+)
+
+func main() {
+	var (
+		id     = flag.String("exp", "all", `experiment id: all, T1, F1..F9, A1..A6, X1`)
+		scale  = flag.String("scale", "full", "dataset scale: full or small")
+		format = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Scale: exp.Full}
+	switch *scale {
+	case "full":
+	case "small":
+		cfg.Scale = exp.Small
+	default:
+		fmt.Fprintf(os.Stderr, "gcbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	emit := func(t *exp.Table) error { return t.Fprint(os.Stdout) }
+	switch *format {
+	case "text":
+	case "csv":
+		emit = func(t *exp.Table) error { return t.WriteCSV(os.Stdout) }
+	default:
+		fmt.Fprintf(os.Stderr, "gcbench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	var err error
+	ids := []string{*id}
+	if *id == "all" {
+		ids = ids[:0]
+		for _, e := range exp.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, one := range ids {
+		if err != nil {
+			break
+		}
+		var tables []*exp.Table
+		tables, err = exp.Run(one, cfg)
+		for _, t := range tables {
+			if err == nil {
+				err = emit(t)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "gcbench: done in %v\n", time.Since(start))
+}

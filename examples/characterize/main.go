@@ -1,0 +1,60 @@
+// Characterize: reproduce the paper's program-behaviour study in miniature —
+// how graph structure (degree variance) turns into SIMT load imbalance and
+// lost SIMD utilization. Compare a regular mesh, a uniform random graph,
+// and a scale-free graph on identical hardware.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gcolor/internal/gen"
+	"gcolor/internal/gpucolor"
+	"gcolor/internal/graph"
+	"gcolor/internal/metrics"
+	"gcolor/internal/simt"
+)
+
+func main() {
+	workloads := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid2d (mesh)", gen.Grid2D(64, 64)},
+		{"gnm (uniform)", gen.GNM(4096, 4096*12, 3)},
+		{"rmat (scale-free)", gen.RMAT(12, 16, gen.Graph500, 1)},
+	}
+
+	fmt.Printf("%-20s %8s %9s %12s %10s %10s\n",
+		"graph", "deg-CV", "max/avg", "wf max/mean", "SIMD util", "cycles/edge")
+	for _, w := range workloads {
+		dev := simt.NewDevice()
+		res, err := gpucolor.Baseline(dev, w.g, gpucolor.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := w.g.Stats()
+		wf := metrics.SummarizeInt64(res.WavefrontWork)
+		fmt.Printf("%-20s %8.2f %9.1f %12.1f %10.3f %11.1f\n",
+			w.name, st.CV, st.MaxOverAvg, wf.MaxOverMean,
+			res.SIMDUtilization(), float64(res.Cycles)/float64(w.g.NumEdges()))
+	}
+
+	fmt.Println("\nReading: the degree distribution's tail (max/avg) is the direct")
+	fmt.Println("cause of wavefront imbalance (wf max/mean) and of low SIMD")
+	fmt.Println("utilization — the mesh keeps every lane busy, the scale-free")
+	fmt.Println("graph leaves wavefronts idling behind hub lanes.")
+
+	// Per-wavefront work histogram for the scale-free case.
+	dev := simt.NewDevice()
+	res, err := gpucolor.Baseline(dev, workloads[2].g, gpucolor.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var h metrics.Histogram
+	for _, wk := range res.WavefrontWork {
+		h.Add(wk)
+	}
+	fmt.Println("\nper-wavefront cycles, scale-free graph (log2 buckets):")
+	fmt.Print(h.String())
+}

@@ -1,0 +1,82 @@
+// Stealing: demonstrate the paper's two load-balance techniques on a
+// hub-heavy graph — work-stealing workgroup scheduling (inter-CU balance)
+// and the hybrid degree-split algorithm (intra-wavefront balance) — and show
+// the per-compute-unit load they fix.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"gcolor/internal/gen"
+	"gcolor/internal/gpucolor"
+	"gcolor/internal/metrics"
+	"gcolor/internal/simt"
+)
+
+func main() {
+	g := gen.RMAT(13, 16, gen.Graph500, 1)
+	fmt.Printf("graph: %d vertices, %d edges, max degree %d (hubs at low ids)\n\n",
+		g.NumVertices(), g.NumEdges(), g.MaxDegree())
+
+	type config struct {
+		name   string
+		policy simt.Policy
+		hybrid bool
+	}
+	configs := []config{
+		{"baseline/static", simt.Static, false},
+		{"baseline/stealing", simt.Stealing, false},
+		{"hybrid/static", simt.Static, true},
+		{"hybrid/stealing", simt.Stealing, true},
+	}
+
+	var baseCycles int64
+	for _, c := range configs {
+		dev := simt.NewDevice()
+		dev.WorkgroupSize = 64 // fine-grained tasks so stealing can act
+		dev.Policy = c.policy
+		var res *gpucolor.Result
+		var err error
+		if c.hybrid {
+			res, err = gpucolor.Hybrid(dev, g, gpucolor.Options{})
+		} else {
+			res, err = gpucolor.Baseline(dev, g, gpucolor.Options{})
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseCycles == 0 {
+			baseCycles = res.Cycles
+		}
+		cu := metrics.SummarizeInt64(res.CUBusy)
+		fmt.Printf("%-18s %14d cycles  %+6.1f%%  CU max/mean %.2f  steals %d\n",
+			c.name, res.Cycles,
+			metrics.PercentImprovement(float64(baseCycles), float64(res.Cycles)),
+			cu.MaxOverMean, res.Steals)
+
+		// Per-CU load bars for the two baseline schedules.
+		if !c.hybrid {
+			fmt.Println(loadBars(res.CUBusy))
+		}
+	}
+	fmt.Println("Reading: static scheduling piles the hub-dense workgroups onto the")
+	fmt.Println("first CUs (top bars); stealing levels the per-CU load; the hybrid")
+	fmt.Println("removes the hub serialization itself and stacks with stealing.")
+}
+
+// loadBars renders per-CU busy cycles as proportional bars.
+func loadBars(cuBusy []int64) string {
+	var max int64 = 1
+	for _, b := range cuBusy {
+		if b > max {
+			max = b
+		}
+	}
+	var sb strings.Builder
+	for i, b := range cuBusy {
+		fmt.Fprintf(&sb, "  CU%02d %s\n", i, strings.Repeat("#", int(40*b/max)))
+	}
+	return sb.String()
+}

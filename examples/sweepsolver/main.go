@@ -1,0 +1,117 @@
+// Sweepsolver: the motivating application class from the paper's
+// introduction — graph coloring as the first step of a parallel computation.
+// A Gauss–Seidel smoother updates each vertex from its neighbours' *latest*
+// values, which is inherently sequential; coloring the unknowns first makes
+// every color class an independent set whose vertices can be updated in
+// parallel without races (multi-color Gauss–Seidel).
+//
+// We solve (L + I) x = b on a 2-D grid Laplacian, comparing sequential
+// Gauss–Seidel with the colored parallel version, and verify both reach the
+// same fixed point.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sync"
+
+	"gcolor"
+)
+
+func main() {
+	const rows, cols = 96, 96
+	g := gcolor.Grid2D(rows, cols)
+	n := g.NumVertices()
+
+	// Color on the simulated GPU: the grid is 2-colorable (red-black
+	// ordering), and the hybrid algorithm finds a small coloring fast.
+	dev := gcolor.NewDevice()
+	res, err := gcolor.ColorGPU(dev, g, gcolor.AlgHybrid, gcolor.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grid %dx%d colored with %d colors in %d simulated cycles\n",
+		rows, cols, res.NumColors, res.Cycles)
+
+	// Group vertices by color: each class is an independent set.
+	classes := make([][]int32, res.NumColors)
+	for v := 0; v < n; v++ {
+		c := res.Colors[v]
+		classes[c] = append(classes[c], int32(v))
+	}
+
+	b := make([]float64, n)
+	for v := range b {
+		b[v] = 1
+	}
+	update := func(x []float64, v int32) {
+		sum := b[v]
+		for _, u := range g.Neighbors(v) {
+			sum += x[u]
+		}
+		x[v] = sum / float64(g.Degree(v)+1)
+	}
+
+	// Sequential Gauss–Seidel.
+	seq := make([]float64, n)
+	const sweeps = 60
+	for s := 0; s < sweeps; s++ {
+		for v := 0; v < n; v++ {
+			update(seq, int32(v))
+		}
+	}
+
+	// Multi-color Gauss–Seidel: classes in order, vertices within a class in
+	// parallel. No two vertices in a class are adjacent, so updates never
+	// read a value being written.
+	par := make([]float64, n)
+	workers := 4
+	for s := 0; s < sweeps; s++ {
+		for _, class := range classes {
+			var wg sync.WaitGroup
+			chunk := (len(class) + workers - 1) / workers
+			for lo := 0; lo < len(class); lo += chunk {
+				hi := min(lo+chunk, len(class))
+				wg.Add(1)
+				go func(part []int32) {
+					defer wg.Done()
+					for _, v := range part {
+						update(par, v)
+					}
+				}(class[lo:hi])
+			}
+			wg.Wait()
+		}
+	}
+
+	// Both iterations converge to the same fixed point of (L+I)x = b.
+	residual := func(x []float64) float64 {
+		worst := 0.0
+		for v := 0; v < n; v++ {
+			sum := b[v]
+			for _, u := range g.Neighbors(int32(v)) {
+				sum += x[u]
+			}
+			r := math.Abs(x[v] - sum/float64(g.Degree(int32(v))+1))
+			if r > worst {
+				worst = r
+			}
+		}
+		return worst
+	}
+	diff := 0.0
+	for v := range seq {
+		if d := math.Abs(seq[v] - par[v]); d > diff {
+			diff = d
+		}
+	}
+	fmt.Printf("after %d sweeps: sequential residual %.2e, colored-parallel residual %.2e\n",
+		sweeps, residual(seq), residual(par))
+	fmt.Printf("max difference between the two solutions: %.2e\n", diff)
+	if diff > 1e-6 {
+		log.Fatal("colored parallel Gauss-Seidel diverged from sequential result")
+	}
+	fmt.Println("colored parallel Gauss-Seidel matches the sequential solver: the")
+	fmt.Println("coloring made the sweep safely parallel.")
+}

@@ -1,0 +1,98 @@
+package gcolor_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gcolor"
+)
+
+// TestPublicAPIEndToEnd walks the documented quickstart path through the
+// facade: generate, color on the device, verify, inspect the evidence.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := gcolor.RMAT(9, 8, 1)
+	if g.NumVertices() != 512 {
+		t.Fatalf("RMAT(9) has %d vertices, want 512", g.NumVertices())
+	}
+	for _, alg := range []gcolor.Algorithm{
+		gcolor.AlgBaseline, gcolor.AlgMaxMin, gcolor.AlgJP, gcolor.AlgSpeculative, gcolor.AlgHybrid,
+	} {
+		dev := gcolor.NewDevice()
+		res, err := gcolor.ColorGPU(dev, g, alg, gcolor.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if err := gcolor.Verify(g, res.Colors); err != nil {
+			t.Errorf("%v: %v", alg, err)
+		}
+		if res.Cycles <= 0 || res.NumColors <= 0 {
+			t.Errorf("%v: empty evidence: cycles=%d colors=%d", alg, res.Cycles, res.NumColors)
+		}
+	}
+}
+
+func TestPublicAPISchedulingPolicies(t *testing.T) {
+	g := gcolor.RMAT(10, 8, 1)
+	for _, p := range []gcolor.Policy{gcolor.Static, gcolor.RoundRobin, gcolor.Stealing} {
+		dev := gcolor.NewDevice()
+		dev.Policy = p
+		if _, err := gcolor.ColorGPU(dev, g, gcolor.AlgBaseline, gcolor.Options{}); err != nil {
+			t.Errorf("policy %v: %v", p, err)
+		}
+	}
+}
+
+func TestPublicAPICPUAlgorithms(t *testing.T) {
+	g := gcolor.RandomGraph(300, 1200, 2)
+	for _, o := range []gcolor.Ordering{gcolor.Natural, gcolor.LargestFirst, gcolor.SmallestLast, gcolor.RandomOrder} {
+		colors := gcolor.ColorGreedy(g, o, 1)
+		if err := gcolor.Verify(g, colors); err != nil {
+			t.Errorf("greedy %v: %v", o, err)
+		}
+	}
+	jp := gcolor.ColorJonesPlassmann(g, 1, 0)
+	if err := gcolor.Verify(g, jp); err != nil {
+		t.Errorf("jones-plassmann: %v", err)
+	}
+}
+
+func TestPublicAPIGraphIO(t *testing.T) {
+	g := gcolor.Grid2D(6, 7)
+	var buf bytes.Buffer
+	if err := gcolor.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := gcolor.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+		t.Errorf("round trip changed the graph: %v vs %v", back, g)
+	}
+}
+
+func TestPublicAPIUncoloredSentinel(t *testing.T) {
+	if gcolor.Uncolored != -1 {
+		t.Errorf("Uncolored = %d, want -1", gcolor.Uncolored)
+	}
+	if gcolor.NumColors([]int32{0, 1, 1}) != 2 {
+		t.Error("NumColors wrong through facade")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment in -short mode")
+	}
+	var sb strings.Builder
+	if err := gcolor.RunExperiment("T1", &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "rmat") {
+		t.Errorf("T1 output missing datasets:\n%s", sb.String())
+	}
+	if err := gcolor.RunExperiment("nope", &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

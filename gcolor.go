@@ -1,0 +1,170 @@
+// Package gcolor is a Go reproduction of "Graph Coloring on the GPU and Some
+// Techniques to Improve Load Imbalance" (Che, Rodgers, Beckmann, Reinhardt;
+// IPDPSW 2015). It couples GPU graph-coloring algorithms — the iterative
+// independent-set baseline, colorMaxMin, speculative first-fit, a
+// work-stealing workgroup scheduler, and the degree-split hybrid — with a
+// deterministic SIMT GPU simulator that stands in for the paper's Radeon
+// HD 7950, plus CPU reference algorithms, synthetic graph generators, and
+// the experiment harness that regenerates every table and figure.
+//
+// This package is the stable facade over the implementation packages:
+//
+//	g := gcolor.RMAT(14, 16, 1)                  // a scale-free graph
+//	dev := gcolor.NewDevice()                    // an HD 7950-like device
+//	res, err := gcolor.ColorGPU(dev, g, gcolor.AlgHybrid, gcolor.Options{})
+//	// res.Colors, res.NumColors, res.Cycles, res.SIMDUtilization(), ...
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// recorded paper-versus-measured results.
+package gcolor
+
+import (
+	"io"
+
+	"gcolor/internal/color"
+	"gcolor/internal/exp"
+	"gcolor/internal/gen"
+	"gcolor/internal/gpuapps"
+	"gcolor/internal/gpucolor"
+	"gcolor/internal/graph"
+	"gcolor/internal/simt"
+)
+
+// Graph is an undirected graph in CSR form (see internal/graph).
+type Graph = graph.Graph
+
+// Device is a simulated SIMT GPU (see internal/simt).
+type Device = simt.Device
+
+// Policy selects the workgroup scheduling policy of a Device.
+type Policy = simt.Policy
+
+// Scheduling policies.
+const (
+	Static     = simt.Static
+	RoundRobin = simt.RoundRobin
+	Stealing   = simt.Stealing
+)
+
+// NewDevice returns a device with Radeon HD 7950-like defaults: 28 compute
+// units, 64-lane wavefronts, 256-item workgroups, static scheduling.
+func NewDevice() *Device { return simt.NewDevice() }
+
+// Algorithm names a GPU coloring algorithm.
+type Algorithm = gpucolor.Algorithm
+
+// GPU coloring algorithms.
+const (
+	AlgBaseline     = gpucolor.AlgBaseline
+	AlgMaxMin       = gpucolor.AlgMaxMin
+	AlgJP           = gpucolor.AlgJP
+	AlgSpeculative  = gpucolor.AlgSpeculative
+	AlgHybrid       = gpucolor.AlgHybrid
+	AlgHybridMaxMin = gpucolor.AlgHybridMaxMin
+	AlgHybridJP     = gpucolor.AlgHybridJP
+)
+
+// Options configures a GPU coloring run.
+type Options = gpucolor.Options
+
+// Result is the outcome of a GPU coloring run: the coloring plus the
+// simulated performance evidence.
+type Result = gpucolor.Result
+
+// ColorGPU colors g on the simulated device with the chosen algorithm.
+func ColorGPU(dev *Device, g *Graph, a Algorithm, opt Options) (*Result, error) {
+	return gpucolor.Color(dev, g, a, opt)
+}
+
+// Uncolored is the sentinel value of an unassigned vertex color.
+const Uncolored = color.Uncolored
+
+// Verify checks that colors is a proper coloring of g.
+func Verify(g *Graph, colors []int32) error { return color.Verify(g, colors) }
+
+// NumColors returns the number of colors used by a dense coloring.
+func NumColors(colors []int32) int { return color.NumColors(colors) }
+
+// Ordering selects the vertex order of the sequential greedy algorithm.
+type Ordering = color.Ordering
+
+// Greedy orderings.
+const (
+	Natural      = color.Natural
+	LargestFirst = color.LargestFirst
+	SmallestLast = color.SmallestLast
+	RandomOrder  = color.RandomOrder
+)
+
+// ColorGreedy colors g sequentially with first-fit under the given ordering
+// (the CPU baseline).
+func ColorGreedy(g *Graph, o Ordering, seed int64) []int32 {
+	return color.Greedy(g, o, seed)
+}
+
+// ColorJonesPlassmann colors g with the parallel Jones–Plassmann algorithm
+// on the host CPU; workers <= 0 uses GOMAXPROCS.
+func ColorJonesPlassmann(g *Graph, seed uint32, workers int) []int32 {
+	return color.JonesPlassmann(g, seed, workers).Colors
+}
+
+// Generators (deterministic; see internal/gen for the full set).
+
+// RMAT generates a scale-free R-MAT graph with 2^scale vertices and about
+// edgeFactor*2^scale edges using Graph500 parameters.
+func RMAT(scale, edgeFactor int, seed int64) *Graph {
+	return gen.RMAT(scale, edgeFactor, gen.Graph500, seed)
+}
+
+// RandomGraph generates a uniform Erdős–Rényi G(n,m) graph.
+func RandomGraph(n, m int, seed int64) *Graph { return gen.GNM(n, m, seed) }
+
+// Grid2D generates a rows x cols 4-point mesh.
+func Grid2D(rows, cols int) *Graph { return gen.Grid2D(rows, cols) }
+
+// ReadGraph parses a graph in edge-list format from r.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteGraph writes g in edge-list format to w.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// Companion irregular workloads (see internal/gpuapps): they share the
+// simulator and exhibit the same load-imbalance behaviour as coloring.
+
+// BFSLevels runs a breadth-first search from src on the simulated device
+// and returns hop distances (-1 for unreachable vertices).
+func BFSLevels(dev *Device, g *Graph, src int32) ([]int32, error) {
+	res, err := gpuapps.BFS(dev, g, src)
+	if err != nil {
+		return nil, err
+	}
+	return res.Levels, nil
+}
+
+// PageRankScores runs pull-style PageRank on the simulated device with
+// default damping/tolerance and returns the converged ranks.
+func PageRankScores(dev *Device, g *Graph) []float32 {
+	return gpuapps.PageRank(dev, g, gpuapps.PageRankOptions{}).Ranks
+}
+
+// ComponentLabels labels each vertex with the minimum vertex id of its
+// connected component, computed on the simulated device.
+func ComponentLabels(dev *Device, g *Graph) []int32 {
+	return gpuapps.ConnectedComponents(dev, g).Labels
+}
+
+// RunExperiment executes one of the paper's reconstructed experiments
+// ("T1", "F1".."F9", ablations "A1".."A6", extensions "X1".."X3") at full
+// scale and writes its tables to w.
+func RunExperiment(id string, w io.Writer) error {
+	tables, err := exp.Run(id, exp.Config{Scale: exp.Full})
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if err := t.Fprint(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

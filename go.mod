@@ -1,0 +1,3 @@
+module gcolor
+
+go 1.22

@@ -1,0 +1,78 @@
+package color
+
+import (
+	"testing"
+
+	"gcolor/internal/gen"
+	"gcolor/internal/graph"
+)
+
+func benchGraph() *graph.Graph { return gen.RMAT(13, 16, gen.Graph500, 1) }
+
+func BenchmarkGreedyNatural(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(g, Natural, 0)
+	}
+}
+
+func BenchmarkGreedySmallestLast(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(g, SmallestLast, 0)
+	}
+}
+
+func BenchmarkDSATUR(b *testing.B) {
+	g := gen.RMAT(11, 8, gen.Graph500, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DSATUR(g)
+	}
+}
+
+func BenchmarkJonesPlassmann(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		JonesPlassmann(g, 1, 0)
+	}
+}
+
+func BenchmarkGebremedhinManne(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GebremedhinManne(g, 0)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	g := benchGraph()
+	colors := Greedy(g, Natural, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(g, colors); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyD2(b *testing.B) {
+	g := gen.Grid2D(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GreedyD2(g)
+	}
+}
+
+func BenchmarkKempeReduce(b *testing.B) {
+	g := gen.GNM(2000, 8000, 3)
+	colors := Luby(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KempeReduce(g, colors, 2)
+	}
+}

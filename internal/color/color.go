@@ -1,0 +1,102 @@
+// Package color implements CPU graph-coloring algorithms: the sequential
+// greedy baselines with classic vertex orderings, and the parallel
+// Jones–Plassmann and Gebremedhin–Manne algorithms the GPU variants are
+// measured against. It also provides the shared vertex-priority hash and the
+// coloring verifier used by every implementation in the repository.
+package color
+
+import (
+	"fmt"
+
+	"gcolor/internal/graph"
+)
+
+// Uncolored is the sentinel color of a vertex that has not been assigned.
+const Uncolored int32 = -1
+
+// Priority returns the deterministic pseudo-random priority of vertex v
+// under the given seed. Independent-set algorithms (Jones–Plassmann, the
+// GPU colorMax/MaxMin kernels, Luby) all share this hash so CPU and GPU
+// results are comparable. Comparisons are on the returned uint32; ties are
+// broken by vertex id.
+func Priority(v int32, seed uint32) uint32 {
+	x := uint32(v) ^ 0x9e3779b9
+	x += seed * 0x85ebca6b
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return x
+}
+
+// PriorityGreater reports whether vertex u (with priority pu) outranks
+// vertex v (with priority pv), breaking ties by id.
+func PriorityGreater(pu uint32, u int32, pv uint32, v int32) bool {
+	if pu != pv {
+		return pu > pv
+	}
+	return u > v
+}
+
+// Priorities returns the priority of every vertex of g under seed, stored
+// as int32 bit patterns so the slice can be bound directly as a GPU buffer.
+func Priorities(g *graph.Graph, seed uint32) []int32 {
+	p := make([]int32, g.NumVertices())
+	for v := range p {
+		p[v] = int32(Priority(int32(v), seed))
+	}
+	return p
+}
+
+// Verify checks that colors is a proper coloring of g: every vertex is
+// colored (>= 0) and no edge is monochromatic. It returns nil on success
+// and a descriptive error naming the first violation otherwise.
+func Verify(g *graph.Graph, colors []int32) error {
+	n := g.NumVertices()
+	if len(colors) != n {
+		return fmt.Errorf("color: %d colors for %d vertices", len(colors), n)
+	}
+	for v := 0; v < n; v++ {
+		if colors[v] < 0 {
+			return fmt.Errorf("color: vertex %d uncolored", v)
+		}
+		for _, u := range g.Neighbors(int32(v)) {
+			if colors[u] == colors[int32(v)] {
+				return fmt.Errorf("color: edge %d-%d monochromatic (color %d)", v, u, colors[v])
+			}
+		}
+	}
+	return nil
+}
+
+// NumColors returns the number of distinct colors used, assuming colors form
+// the dense range 0..max (which every algorithm here produces).
+func NumColors(colors []int32) int {
+	max := int32(-1)
+	for _, c := range colors {
+		if c > max {
+			max = c
+		}
+	}
+	return int(max) + 1
+}
+
+// firstFit returns the smallest color not present among v's already-colored
+// neighbours, using scratch as a mark array of length >= deg(v)+1.
+func firstFit(g *graph.Graph, v int32, colors []int32, scratch []int32, epoch int32) int32 {
+	nbr := g.Neighbors(v)
+	limit := int32(len(nbr)) + 1 // some color in [0, deg] is always free
+	for _, u := range nbr {
+		if c := colors[u]; c >= 0 && c < limit {
+			scratch[c] = epoch
+		}
+	}
+	for c := int32(0); c < limit; c++ {
+		if scratch[c] != epoch {
+			return c
+		}
+	}
+	// Unreachable: deg(v) neighbours cannot occupy deg(v)+1 colors.
+	panic("color: first-fit found no free color")
+}

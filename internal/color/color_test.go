@@ -1,0 +1,197 @@
+package color
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gcolor/internal/gen"
+	"gcolor/internal/graph"
+)
+
+func TestVerifyAcceptsProper(t *testing.T) {
+	g := gen.Path(4)
+	if err := Verify(g, []int32{0, 1, 0, 1}); err != nil {
+		t.Errorf("Verify rejected proper coloring: %v", err)
+	}
+}
+
+func TestVerifyRejectsBad(t *testing.T) {
+	g := gen.Path(3)
+	cases := [][]int32{
+		{0, 0, 1},  // monochromatic edge
+		{0, -1, 0}, // uncolored vertex
+		{0, 1},     // wrong length
+	}
+	for _, c := range cases {
+		if err := Verify(g, c); err == nil {
+			t.Errorf("Verify accepted bad coloring %v", c)
+		}
+	}
+}
+
+func TestNumColors(t *testing.T) {
+	if got := NumColors([]int32{0, 2, 1, 2}); got != 3 {
+		t.Errorf("NumColors = %d, want 3", got)
+	}
+	if got := NumColors(nil); got != 0 {
+		t.Errorf("NumColors(nil) = %d, want 0", got)
+	}
+}
+
+func TestPriorityDeterministicAndSpread(t *testing.T) {
+	if Priority(5, 1) != Priority(5, 1) {
+		t.Error("Priority not deterministic")
+	}
+	if Priority(5, 1) == Priority(5, 2) {
+		t.Error("Priority ignores seed")
+	}
+	// Priorities should be reasonably spread: no more than a few collisions
+	// among 10k vertices.
+	seen := make(map[uint32]int)
+	for v := int32(0); v < 10000; v++ {
+		seen[Priority(v, 7)]++
+	}
+	if len(seen) < 9990 {
+		t.Errorf("only %d distinct priorities among 10000", len(seen))
+	}
+}
+
+func TestPriorityGreaterTieBreak(t *testing.T) {
+	if !PriorityGreater(5, 2, 5, 1) {
+		t.Error("equal priorities: higher id must win")
+	}
+	if PriorityGreater(5, 1, 5, 2) {
+		t.Error("equal priorities: lower id must lose")
+	}
+	if !PriorityGreater(9, 1, 5, 2) {
+		t.Error("higher priority must win regardless of id")
+	}
+}
+
+func TestPrioritiesMatchesPriority(t *testing.T) {
+	g := gen.Path(10)
+	p := Priorities(g, 3)
+	for v := int32(0); v < 10; v++ {
+		if uint32(p[v]) != Priority(v, 3) {
+			t.Fatalf("Priorities[%d] mismatch", v)
+		}
+	}
+}
+
+// suite returns the family of test graphs every algorithm must color.
+func suite() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"empty":     graph.FromEdges(0, nil),
+		"isolated":  graph.FromEdges(5, nil),
+		"path":      gen.Path(17),
+		"evencycle": gen.Cycle(10),
+		"oddcycle":  gen.Cycle(11),
+		"star":      gen.Star(50),
+		"complete":  gen.Complete(9),
+		"grid":      gen.Grid2D(8, 9),
+		"rmat":      gen.RMAT(8, 8, gen.Graph500, 3),
+		"gnm":       gen.GNM(200, 800, 4),
+		"ba":        gen.BarabasiAlbert(150, 3, 5),
+	}
+}
+
+func TestGreedyAllOrderingsProper(t *testing.T) {
+	for name, g := range suite() {
+		for _, o := range []Ordering{Natural, LargestFirst, SmallestLast, RandomOrder} {
+			colors := Greedy(g, o, 42)
+			if err := Verify(g, colors); err != nil {
+				t.Errorf("%s/%v: %v", name, o, err)
+				continue
+			}
+			if nc := NumColors(colors); nc > g.MaxDegree()+1 {
+				t.Errorf("%s/%v: %d colors > maxdeg+1 = %d", name, o, nc, g.MaxDegree()+1)
+			}
+		}
+	}
+}
+
+func TestGreedyKnownChromatic(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"path", gen.Path(10), 2},
+		{"evencycle", gen.Cycle(8), 2},
+		{"star", gen.Star(20), 2},
+		{"complete", gen.Complete(7), 7},
+	}
+	for _, c := range cases {
+		colors := Greedy(c.g, Natural, 0)
+		if got := NumColors(colors); got != c.want {
+			t.Errorf("%s: greedy used %d colors, want %d", c.name, got, c.want)
+		}
+	}
+	// Odd cycle needs 3.
+	colors := Greedy(gen.Cycle(9), Natural, 0)
+	if got := NumColors(colors); got != 3 {
+		t.Errorf("odd cycle: %d colors, want 3", got)
+	}
+}
+
+func TestSmallestLastDegeneracyBound(t *testing.T) {
+	// A star has degeneracy 1: smallest-last must 2-color it even though
+	// largest-first would too; the stronger case is a BA graph with
+	// degeneracy m: at most m+1 colors.
+	g := gen.BarabasiAlbert(300, 3, 11)
+	colors := Greedy(g, SmallestLast, 0)
+	if err := Verify(g, colors); err != nil {
+		t.Fatal(err)
+	}
+	if nc := NumColors(colors); nc > 3+1 {
+		t.Errorf("smallest-last used %d colors on degeneracy-3 graph, want <= 4", nc)
+	}
+}
+
+func TestDSATUR(t *testing.T) {
+	for name, g := range suite() {
+		colors := DSATUR(g)
+		if err := Verify(g, colors); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// DSATUR is exact on bipartite graphs.
+	for _, g := range []*graph.Graph{gen.Path(30), gen.Cycle(12), gen.Star(40), gen.Grid2D(6, 7)} {
+		if nc := NumColors(DSATUR(g)); nc != 2 {
+			t.Errorf("DSATUR used %d colors on a bipartite graph, want 2", nc)
+		}
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	for o, want := range map[Ordering]string{
+		Natural: "natural", LargestFirst: "largest-first",
+		SmallestLast: "smallest-last", RandomOrder: "random", Ordering(9): "ordering(?)",
+	} {
+		if o.String() != want {
+			t.Errorf("Ordering(%d).String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}
+
+// Property: greedy is proper and within the maxdeg+1 bound on arbitrary
+// random graphs, all orderings.
+func TestGreedyProperProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN)%50 + 1
+		g := gen.GNM(n, 4*n, seed)
+		for _, o := range []Ordering{Natural, LargestFirst, SmallestLast, RandomOrder} {
+			colors := Greedy(g, o, seed)
+			if Verify(g, colors) != nil {
+				return false
+			}
+			if NumColors(colors) > g.MaxDegree()+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+package color
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gcolor/internal/graph"
+)
+
+// loadCol reads a DIMACS instance from testdata.
+func loadCol(t *testing.T, name string) *graph.Graph {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.ReadDIMACS(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// Classic instances with known chromatic numbers. Heuristics may exceed
+// chi, but every algorithm must stay proper, never beat chi, and the best
+// ones should reach it on these small instances.
+func TestDIMACSInstances(t *testing.T) {
+	cases := []struct {
+		file string
+		n, m int
+		chi  int
+	}{
+		{"myciel3.col", 11, 20, 4},
+		{"petersen.col", 10, 15, 3},
+	}
+	for _, c := range cases {
+		g := loadCol(t, c.file)
+		if g.NumVertices() != c.n || g.NumEdges() != c.m {
+			t.Fatalf("%s: got n=%d m=%d, want %d/%d", c.file, g.NumVertices(), g.NumEdges(), c.n, c.m)
+		}
+		algorithms := map[string][]int32{
+			"greedy-natural":  Greedy(g, Natural, 0),
+			"greedy-sl":       Greedy(g, SmallestLast, 0),
+			"dsatur":          DSATUR(g),
+			"jones-plassmann": JonesPlassmann(g, 1, 2).Colors,
+			"gm":              GebremedhinManne(g, 2).Colors,
+			"luby":            Luby(g, 1),
+		}
+		for name, colors := range algorithms {
+			if err := Verify(g, colors); err != nil {
+				t.Errorf("%s/%s: %v", c.file, name, err)
+				continue
+			}
+			if nc := NumColors(colors); nc < c.chi {
+				t.Errorf("%s/%s: %d colors beats chromatic number %d — verifier or instance broken",
+					c.file, name, nc, c.chi)
+			}
+		}
+		// DSATUR achieves chi on these instances.
+		if nc := NumColors(DSATUR(g)); nc != c.chi {
+			t.Errorf("%s: DSATUR used %d colors, want chi = %d", c.file, nc, c.chi)
+		}
+		// Kempe reduction from a wasteful start also reaches chi here.
+		reduced, _ := KempeReduce(g, Luby(g, 7), 0)
+		if err := Verify(g, reduced); err != nil {
+			t.Errorf("%s: kempe: %v", c.file, err)
+		}
+		if nc := NumColors(reduced); nc < c.chi {
+			t.Errorf("%s: kempe reached %d < chi %d", c.file, nc, c.chi)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package color
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gcolor/internal/gen"
+	"gcolor/internal/graph"
+)
+
+func TestVerifyD2(t *testing.T) {
+	p := gen.Path(4) // 0-1-2-3
+	// Distance-2 proper: 0,1,2,0 (vertices 0 and 3 are 3 apart).
+	if err := VerifyD2(p, []int32{0, 1, 2, 0}); err != nil {
+		t.Errorf("VerifyD2 rejected proper d2 coloring: %v", err)
+	}
+	// 0 and 2 share a color at distance 2.
+	if err := VerifyD2(p, []int32{0, 1, 0, 1}); err == nil {
+		t.Error("VerifyD2 accepted a distance-2 conflict")
+	}
+	// Distance-1 conflict.
+	if err := VerifyD2(p, []int32{0, 0, 1, 2}); err == nil {
+		t.Error("VerifyD2 accepted a distance-1 conflict")
+	}
+	// Uncolored and wrong length.
+	if err := VerifyD2(p, []int32{0, 1, 2, -1}); err == nil {
+		t.Error("VerifyD2 accepted uncolored vertex")
+	}
+	if err := VerifyD2(p, []int32{0, 1}); err == nil {
+		t.Error("VerifyD2 accepted wrong length")
+	}
+}
+
+func TestGreedyD2Star(t *testing.T) {
+	// In a star every leaf is at distance 2 from every other leaf: all n
+	// vertices need distinct colors.
+	n := 30
+	g := gen.Star(n)
+	colors := GreedyD2(g)
+	if err := VerifyD2(g, colors); err != nil {
+		t.Fatal(err)
+	}
+	if NumColors(colors) != n {
+		t.Errorf("star d2 colors = %d, want %d", NumColors(colors), n)
+	}
+}
+
+func TestGreedyD2Grid(t *testing.T) {
+	g := gen.Grid2D(12, 15)
+	colors := GreedyD2(g)
+	if err := VerifyD2(g, colors); err != nil {
+		t.Fatal(err)
+	}
+	// A 4-point grid's two-hop neighbourhood has at most 12 vertices, so
+	// greedy needs at most 13 colors; the distance-2 chromatic number of the
+	// infinite grid is well below that but >= 5.
+	nc := NumColors(colors)
+	if nc < 5 || nc > 13 {
+		t.Errorf("grid d2 colors = %d, want within [5, 13]", nc)
+	}
+}
+
+func TestGreedyD2Path(t *testing.T) {
+	g := gen.Path(20)
+	colors := GreedyD2(g)
+	if err := VerifyD2(g, colors); err != nil {
+		t.Fatal(err)
+	}
+	if nc := NumColors(colors); nc != 3 {
+		t.Errorf("path d2 colors = %d, want 3", nc)
+	}
+}
+
+func TestD2Bound(t *testing.T) {
+	// Star: hub sees all n-1 leaves; leaf sees hub + n-2 other leaves.
+	g := gen.Star(10)
+	if got := D2Bound(g); got != 10 {
+		t.Errorf("star D2Bound = %d, want 10", got)
+	}
+	if got := D2Bound(graph.FromEdges(3, nil)); got != 1 {
+		t.Errorf("empty D2Bound = %d, want 1", got)
+	}
+}
+
+func TestGreedyD2EmptyAndIsolated(t *testing.T) {
+	if len(GreedyD2(graph.FromEdges(0, nil))) != 0 {
+		t.Error("empty graph d2 coloring not empty")
+	}
+	colors := GreedyD2(graph.FromEdges(4, nil))
+	for _, c := range colors {
+		if c != 0 {
+			t.Error("isolated vertices should all take color 0")
+		}
+	}
+}
+
+// Property: GreedyD2 is always a proper distance-2 coloring within the
+// two-hop bound.
+func TestGreedyD2Property(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN)%40 + 1
+		g := gen.GNM(n, 3*n, seed)
+		colors := GreedyD2(g)
+		if VerifyD2(g, colors) != nil {
+			return false
+		}
+		return NumColors(colors) <= D2Bound(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

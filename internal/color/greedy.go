@@ -1,0 +1,226 @@
+package color
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+
+	"gcolor/internal/graph"
+)
+
+// Ordering selects the vertex visitation order of the sequential greedy
+// algorithm.
+type Ordering int
+
+const (
+	// Natural visits vertices in id order.
+	Natural Ordering = iota
+	// LargestFirst visits vertices by descending degree (Welsh–Powell).
+	LargestFirst
+	// SmallestLast uses the degeneracy ordering: repeatedly remove a
+	// minimum-degree vertex and color in reverse removal order, which
+	// guarantees at most degeneracy+1 colors.
+	SmallestLast
+	// RandomOrder visits vertices in a seeded random permutation.
+	RandomOrder
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	switch o {
+	case Natural:
+		return "natural"
+	case LargestFirst:
+		return "largest-first"
+	case SmallestLast:
+		return "smallest-last"
+	case RandomOrder:
+		return "random"
+	default:
+		return "ordering(?)"
+	}
+}
+
+// Greedy colors g sequentially with first-fit under the given ordering and
+// returns the color array. Seed only affects RandomOrder. Greedy uses at
+// most MaxDegree+1 colors for any ordering.
+func Greedy(g *graph.Graph, o Ordering, seed int64) []int32 {
+	n := g.NumVertices()
+	order := greedyOrder(g, o, seed)
+	colors := make([]int32, n)
+	for i := range colors {
+		colors[i] = Uncolored
+	}
+	scratch := make([]int32, g.MaxDegree()+2)
+	for i := range scratch {
+		scratch[i] = -1
+	}
+	for epoch, v := range order {
+		colors[v] = firstFit(g, v, colors, scratch, int32(epoch))
+	}
+	return colors
+}
+
+func greedyOrder(g *graph.Graph, o Ordering, seed int64) []int32 {
+	n := g.NumVertices()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	switch o {
+	case Natural:
+	case LargestFirst:
+		sort.SliceStable(order, func(i, j int) bool {
+			return g.Degree(order[i]) > g.Degree(order[j])
+		})
+	case SmallestLast:
+		return smallestLastOrder(g)
+	case RandomOrder:
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	return order
+}
+
+// smallestLastOrder computes the degeneracy (smallest-last) ordering with a
+// bucket queue in O(n + m).
+func smallestLastOrder(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(int32(v))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// buckets[d] holds vertices of current degree d; pos/where support O(1)
+	// removal by swap.
+	buckets := make([][]int32, maxDeg+1)
+	where := make([]int, n) // index of v within its bucket
+	for v := 0; v < n; v++ {
+		where[v] = len(buckets[deg[v]])
+		buckets[deg[v]] = append(buckets[deg[v]], int32(v))
+	}
+	removed := make([]bool, n)
+	removal := make([]int32, 0, n)
+	cur := 0
+	for len(removal) < n {
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
+		}
+		if cur > maxDeg {
+			break
+		}
+		b := buckets[cur]
+		v := b[len(b)-1]
+		buckets[cur] = b[:len(b)-1]
+		if removed[v] {
+			continue
+		}
+		removed[v] = true
+		removal = append(removal, v)
+		for _, u := range g.Neighbors(v) {
+			if removed[u] {
+				continue
+			}
+			// Move u down one bucket.
+			d := deg[u]
+			bu := buckets[d]
+			i := where[u]
+			last := bu[len(bu)-1]
+			bu[i] = last
+			where[last] = i
+			buckets[d] = bu[:len(bu)-1]
+			deg[u] = d - 1
+			where[u] = len(buckets[d-1])
+			buckets[d-1] = append(buckets[d-1], u)
+			if d-1 < cur {
+				cur = d - 1
+			}
+		}
+	}
+	// Color in reverse removal order.
+	for i, j := 0, len(removal)-1; i < j; i, j = i+1, j-1 {
+		removal[i], removal[j] = removal[j], removal[i]
+	}
+	return removal
+}
+
+// DSATUR colors g with the saturation-degree heuristic: always color next
+// the vertex adjacent to the most distinct colors (ties by degree, then id).
+// It typically uses fewer colors than first-fit orderings at higher cost.
+func DSATUR(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	colors := make([]int32, n)
+	for i := range colors {
+		colors[i] = Uncolored
+	}
+	if n == 0 {
+		return colors
+	}
+	sat := make([]map[int32]struct{}, n)
+	h := &satHeap{}
+	heap.Init(h)
+	stale := make([]int, n) // version counter for lazy heap entries
+	for v := 0; v < n; v++ {
+		heap.Push(h, satEntry{v: int32(v), sat: 0, deg: g.Degree(int32(v)), ver: 0})
+	}
+	scratch := make([]int32, g.MaxDegree()+2)
+	for i := range scratch {
+		scratch[i] = -1
+	}
+	epoch := int32(0)
+	for h.Len() > 0 {
+		e := heap.Pop(h).(satEntry)
+		if colors[e.v] != Uncolored || e.ver != stale[e.v] {
+			continue // already colored or outdated entry
+		}
+		c := firstFit(g, e.v, colors, scratch, epoch)
+		epoch++
+		colors[e.v] = c
+		for _, u := range g.Neighbors(e.v) {
+			if colors[u] != Uncolored {
+				continue
+			}
+			if sat[u] == nil {
+				sat[u] = make(map[int32]struct{})
+			}
+			if _, ok := sat[u][c]; !ok {
+				sat[u][c] = struct{}{}
+				stale[u]++
+				heap.Push(h, satEntry{v: u, sat: len(sat[u]), deg: g.Degree(u), ver: stale[u]})
+			}
+		}
+	}
+	return colors
+}
+
+type satEntry struct {
+	v   int32
+	sat int
+	deg int
+	ver int
+}
+
+type satHeap []satEntry
+
+func (h satHeap) Len() int { return len(h) }
+func (h satHeap) Less(i, j int) bool {
+	if h[i].sat != h[j].sat {
+		return h[i].sat > h[j].sat
+	}
+	if h[i].deg != h[j].deg {
+		return h[i].deg > h[j].deg
+	}
+	return h[i].v < h[j].v
+}
+func (h satHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *satHeap) Push(x any)   { *h = append(*h, x.(satEntry)) }
+func (h *satHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

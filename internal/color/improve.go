@@ -1,0 +1,162 @@
+package color
+
+import (
+	"sort"
+
+	"gcolor/internal/graph"
+)
+
+// Post-optimization of proper colorings: color-class elimination via Kempe
+// chains, and color normalization for algorithms (colorMaxMin) that can
+// leave gaps in the color range.
+
+// NormalizeColors remaps a proper coloring onto the dense range 0..k-1,
+// preserving the relative order of color values, and returns k. It mutates
+// colors in place. Uncolored entries are left untouched.
+func NormalizeColors(colors []int32) int {
+	present := map[int32]bool{}
+	for _, c := range colors {
+		if c >= 0 {
+			present[c] = true
+		}
+	}
+	used := make([]int32, 0, len(present))
+	for c := range present {
+		used = append(used, c)
+	}
+	sort.Slice(used, func(i, j int) bool { return used[i] < used[j] })
+	remap := make(map[int32]int32, len(used))
+	for i, c := range used {
+		remap[c] = int32(i)
+	}
+	for i, c := range colors {
+		if c >= 0 {
+			colors[i] = remap[c]
+		}
+	}
+	return len(used)
+}
+
+// KempeReduce tries to reduce the number of colors of a proper coloring by
+// emptying the highest color class with Kempe-chain interchanges: a vertex
+// of the top class moves to a lower color a, flipping the connected
+// (a,b)-bicolored components that block it when necessary. It repeats while
+// classes keep emptying (at most maxPasses times; maxPasses <= 0 means no
+// limit) and returns the improved coloring (a fresh slice) and the number
+// of color classes removed. The result is always proper and never uses more
+// colors than the input.
+func KempeReduce(g *graph.Graph, colors []int32, maxPasses int) ([]int32, int) {
+	out := make([]int32, len(colors))
+	copy(out, colors)
+	NormalizeColors(out)
+	removed := 0
+	for pass := 0; maxPasses <= 0 || pass < maxPasses; pass++ {
+		k := NumColors(out)
+		if k <= 1 {
+			break
+		}
+		top := int32(k - 1)
+		if !emptyClass(g, out, top) {
+			break
+		}
+		removed++
+	}
+	return out, removed
+}
+
+// emptyClass attempts to recolor every vertex of color class c to a lower
+// color; it reports whether the class was completely emptied (on failure
+// the coloring remains proper but may be partially recolored).
+func emptyClass(g *graph.Graph, colors []int32, c int32) bool {
+	ok := true
+	for v := 0; v < g.NumVertices(); v++ {
+		if colors[v] != c {
+			continue
+		}
+		if !recolorBelow(g, colors, int32(v), c) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// recolorBelow tries to give v a color below limit, directly or through one
+// Kempe-chain interchange, and reports success.
+func recolorBelow(g *graph.Graph, colors []int32, v, limit int32) bool {
+	// Direct move: a color < limit absent from the neighbourhood.
+	used := map[int32]bool{}
+	for _, u := range g.Neighbors(v) {
+		used[colors[u]] = true
+	}
+	for a := int32(0); a < limit; a++ {
+		if !used[a] {
+			colors[v] = a
+			return true
+		}
+	}
+	// Kempe interchange: for a pair (a, b), flip the (a,b)-components
+	// containing v's a-colored neighbours; if none of those components
+	// reaches a b-colored neighbour of v, color a becomes free for v.
+	for a := int32(0); a < limit; a++ {
+		for b := int32(0); b < limit; b++ {
+			if a == b {
+				continue
+			}
+			if tryKempe(g, colors, v, a, b) {
+				colors[v] = a
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tryKempe flips the (a,b)-bicolored components adjacent to v through its
+// a-colored neighbours, unless one of them contains a b-colored neighbour
+// of v (which would re-block color a). Returns whether the flip happened.
+func tryKempe(g *graph.Graph, colors []int32, v, a, b int32) bool {
+	// Gather the component (over colors {a, b}) reachable from v's
+	// a-colored neighbours.
+	var stack []int32
+	inComp := map[int32]bool{}
+	for _, u := range g.Neighbors(v) {
+		if colors[u] == a && !inComp[u] {
+			inComp[u] = true
+			stack = append(stack, u)
+		}
+	}
+	if len(stack) == 0 {
+		return false // direct move would have handled this
+	}
+	bNbr := map[int32]bool{}
+	for _, u := range g.Neighbors(v) {
+		if colors[u] == b {
+			bNbr[u] = true
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if bNbr[u] {
+			return false // chain loops back to v: interchange cannot free a
+		}
+		for _, w := range g.Neighbors(u) {
+			if w == v {
+				continue
+			}
+			if (colors[w] == a || colors[w] == b) && !inComp[w] {
+				inComp[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	// Flip the component: a <-> b.
+	for u := range inComp {
+		if colors[u] == a {
+			colors[u] = b
+		} else {
+			colors[u] = a
+		}
+	}
+	return true
+}

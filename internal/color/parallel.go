@@ -1,0 +1,323 @@
+package color
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gcolor/internal/graph"
+)
+
+// parallelFor splits [0, n) into contiguous ranges and runs body on each
+// from its own goroutine. workers <= 0 means GOMAXPROCS.
+func parallelFor(workers, n int, body func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			body(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// JPResult reports a parallel coloring together with its convergence
+// profile.
+type JPResult struct {
+	Colors []int32
+	Rounds int
+	// ActivePerRound[i] is the number of still-uncolored vertices entering
+	// round i — the paper's convergence characterization.
+	ActivePerRound []int
+}
+
+// JonesPlassmann colors g with the parallel Jones–Plassmann algorithm:
+// each round, every uncolored vertex whose priority is the maximum among its
+// uncolored neighbours joins the independent set and takes its smallest
+// available color. Rounds are two-phase (select, then color), so goroutines
+// never race. workers <= 0 means GOMAXPROCS.
+func JonesPlassmann(g *graph.Graph, seed uint32, workers int) JPResult {
+	n := g.NumVertices()
+	colors := make([]int32, n)
+	for i := range colors {
+		colors[i] = Uncolored
+	}
+	prio := make([]uint32, n)
+	for v := range prio {
+		prio[v] = Priority(int32(v), seed)
+	}
+	active := make([]int32, n)
+	for i := range active {
+		active[i] = int32(i)
+	}
+	selected := make([]bool, n)
+	res := JPResult{Colors: colors}
+	for len(active) > 0 {
+		res.ActivePerRound = append(res.ActivePerRound, len(active))
+		res.Rounds++
+		// Phase 1: select local priority maxima among uncolored vertices.
+		parallelFor(workers, len(active), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := active[i]
+				isMax := true
+				for _, u := range g.Neighbors(v) {
+					if colors[u] == Uncolored && PriorityGreater(prio[u], u, prio[v], v) {
+						isMax = false
+						break
+					}
+				}
+				selected[v] = isMax
+			}
+		})
+		// Phase 2: color the independent set. A selected vertex's neighbours
+		// are all unselected, so reads of neighbour colors are race-free.
+		parallelFor(workers, len(active), func(lo, hi int) {
+			scratch := map[int32]bool{}
+			for i := lo; i < hi; i++ {
+				v := active[i]
+				if !selected[v] {
+					continue
+				}
+				clear(scratch)
+				for _, u := range g.Neighbors(v) {
+					if c := colors[u]; c >= 0 {
+						scratch[c] = true
+					}
+				}
+				c := int32(0)
+				for scratch[c] {
+					c++
+				}
+				colors[v] = c
+			}
+		})
+		// Compact the active list.
+		next := active[:0]
+		for _, v := range active {
+			if colors[v] == Uncolored {
+				next = append(next, v)
+			}
+		}
+		active = next
+	}
+	return res
+}
+
+// GMResult reports a speculative coloring with its convergence profile.
+type GMResult struct {
+	Colors []int32
+	Rounds int
+	// ConflictsPerRound[i] is the number of vertices that had to be
+	// recolored after round i.
+	ConflictsPerRound []int
+}
+
+// GebremedhinManne colors g with the speculative first-fit algorithm: every
+// uncolored vertex speculatively takes its smallest available color in
+// parallel (tolerating stale reads), then conflicts (monochromatic edges)
+// are detected and the higher-id endpoint is sent back for recoloring.
+// Communication goes through atomic loads/stores, so the algorithm is
+// race-free in the Go memory-model sense while still exhibiting the
+// speculation the paper's comparison point relies on. workers <= 0 means
+// GOMAXPROCS.
+func GebremedhinManne(g *graph.Graph, workers int) GMResult {
+	n := g.NumVertices()
+	colors := make([]int32, n)
+	for i := range colors {
+		colors[i] = Uncolored
+	}
+	work := make([]int32, n)
+	for i := range work {
+		work[i] = int32(i)
+	}
+	res := GMResult{Colors: colors}
+	conflicted := make([]int32, 0, n)
+	var mu sync.Mutex
+	for len(work) > 0 {
+		res.Rounds++
+		// Phase 1: speculative coloring.
+		parallelFor(workers, len(work), func(lo, hi int) {
+			var seen []bool
+			for i := lo; i < hi; i++ {
+				v := work[i]
+				nbr := g.Neighbors(v)
+				limit := len(nbr) + 1
+				if cap(seen) < limit {
+					seen = make([]bool, limit)
+				}
+				seen = seen[:limit]
+				for j := range seen {
+					seen[j] = false
+				}
+				for _, u := range nbr {
+					if c := atomic.LoadInt32(&colors[u]); c >= 0 && int(c) < limit {
+						seen[c] = true
+					}
+				}
+				c := int32(0)
+				for seen[c] {
+					c++
+				}
+				atomic.StoreInt32(&colors[v], c)
+			}
+		})
+		// Phase 2: conflict detection; the higher id loses.
+		conflicted = conflicted[:0]
+		parallelFor(workers, len(work), func(lo, hi int) {
+			var local []int32
+			for i := lo; i < hi; i++ {
+				v := work[i]
+				cv := atomic.LoadInt32(&colors[v])
+				for _, u := range g.Neighbors(v) {
+					if atomic.LoadInt32(&colors[u]) == cv && u < v {
+						local = append(local, v)
+						break
+					}
+				}
+			}
+			if len(local) > 0 {
+				mu.Lock()
+				conflicted = append(conflicted, local...)
+				mu.Unlock()
+			}
+		})
+		// Phase 3: reset losers for the next round.
+		for _, v := range conflicted {
+			colors[v] = Uncolored
+		}
+		res.ConflictsPerRound = append(res.ConflictsPerRound, len(conflicted))
+		work = append(work[:0], conflicted...)
+	}
+	return res
+}
+
+// IterativeMax is the sequential reference implementation of the GPU
+// baseline's exact semantics (Pannotia colorMax): per iteration, every
+// uncolored vertex whose priority outranks all its uncolored neighbours
+// takes the iteration number as its color. The GPU baseline must produce a
+// bit-identical coloring — this function exists to cross-validate it.
+func IterativeMax(g *graph.Graph, seed uint32) []int32 {
+	n := g.NumVertices()
+	colors := make([]int32, n)
+	for i := range colors {
+		colors[i] = Uncolored
+	}
+	prio := make([]uint32, n)
+	for v := range prio {
+		prio[v] = Priority(int32(v), seed)
+	}
+	remaining := n
+	for iter := int32(0); remaining > 0; iter++ {
+		var winners []int32
+		for v := 0; v < n; v++ {
+			if colors[v] != Uncolored {
+				continue
+			}
+			isMax := true
+			for _, u := range g.Neighbors(int32(v)) {
+				if colors[u] == Uncolored && PriorityGreater(prio[u], u, prio[int32(v)], int32(v)) {
+					isMax = false
+					break
+				}
+			}
+			if isMax {
+				winners = append(winners, int32(v))
+			}
+		}
+		for _, v := range winners {
+			colors[v] = iter
+		}
+		remaining -= len(winners)
+	}
+	return colors
+}
+
+// Luby colors g by repeatedly extracting a maximal independent set with
+// Luby's algorithm (fresh random priorities per attempt round) and assigning
+// it the next color. It is the sequential reference for MIS-based coloring.
+func Luby(g *graph.Graph, seed uint32) []int32 {
+	n := g.NumVertices()
+	colors := make([]int32, n)
+	for i := range colors {
+		colors[i] = Uncolored
+	}
+	remaining := n
+	var class int32
+	round := uint32(0)
+	inMIS := make([]bool, n)
+	candidate := make([]bool, n)
+	for remaining > 0 {
+		// Build a maximal independent set over uncolored vertices.
+		for v := 0; v < n; v++ {
+			candidate[v] = colors[v] == Uncolored
+			inMIS[v] = false
+		}
+		anyCandidate := true
+		for anyCandidate {
+			round++
+			// Select local maxima among candidates.
+			winners := winnersOf(g, candidate, seed+round)
+			for _, v := range winners {
+				inMIS[v] = true
+				candidate[v] = false
+				for _, u := range g.Neighbors(v) {
+					candidate[u] = false
+				}
+			}
+			anyCandidate = false
+			for v := 0; v < n; v++ {
+				if candidate[v] {
+					anyCandidate = true
+					break
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if inMIS[v] {
+				colors[v] = class
+				remaining--
+			}
+		}
+		class++
+	}
+	return colors
+}
+
+func winnersOf(g *graph.Graph, candidate []bool, seed uint32) []int32 {
+	var winners []int32
+	for v := 0; v < g.NumVertices(); v++ {
+		if !candidate[v] {
+			continue
+		}
+		pv := Priority(int32(v), seed)
+		isMax := true
+		for _, u := range g.Neighbors(int32(v)) {
+			if candidate[u] && PriorityGreater(Priority(u, seed), u, pv, int32(v)) {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			winners = append(winners, int32(v))
+		}
+	}
+	return winners
+}

@@ -1,0 +1,195 @@
+package color
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gcolor/internal/gen"
+)
+
+func TestJonesPlassmannProper(t *testing.T) {
+	for name, g := range suite() {
+		res := JonesPlassmann(g, 1, 4)
+		if err := Verify(g, res.Colors); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if g.NumVertices() > 0 && res.Rounds == 0 {
+			t.Errorf("%s: zero rounds for non-empty graph", name)
+		}
+		if nc := NumColors(res.Colors); nc > g.MaxDegree()+1 {
+			t.Errorf("%s: JP used %d colors > maxdeg+1", name, nc)
+		}
+	}
+}
+
+func TestJonesPlassmannDeterministic(t *testing.T) {
+	g := gen.RMAT(9, 8, gen.Graph500, 2)
+	a := JonesPlassmann(g, 7, 1)
+	b := JonesPlassmann(g, 7, 8)
+	for v := range a.Colors {
+		if a.Colors[v] != b.Colors[v] {
+			t.Fatalf("JP result depends on worker count at vertex %d", v)
+		}
+	}
+	c := JonesPlassmann(g, 8, 4)
+	same := true
+	for v := range a.Colors {
+		if a.Colors[v] != c.Colors[v] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical JP colorings (suspicious)")
+	}
+}
+
+func TestJonesPlassmannConvergenceProfile(t *testing.T) {
+	g := gen.GNM(500, 3000, 3)
+	res := JonesPlassmann(g, 1, 0)
+	if len(res.ActivePerRound) != res.Rounds {
+		t.Fatalf("profile length %d != rounds %d", len(res.ActivePerRound), res.Rounds)
+	}
+	if res.ActivePerRound[0] != 500 {
+		t.Errorf("round 0 active = %d, want 500", res.ActivePerRound[0])
+	}
+	for i := 1; i < len(res.ActivePerRound); i++ {
+		if res.ActivePerRound[i] >= res.ActivePerRound[i-1] {
+			t.Errorf("active count not strictly decreasing at round %d: %v", i, res.ActivePerRound)
+			break
+		}
+	}
+}
+
+func TestGebremedhinManneProper(t *testing.T) {
+	for name, g := range suite() {
+		res := GebremedhinManne(g, 4)
+		if err := Verify(g, res.Colors); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if nc := NumColors(res.Colors); nc > g.MaxDegree()+1 {
+			t.Errorf("%s: GM used %d colors > maxdeg+1", name, nc)
+		}
+		if len(res.ConflictsPerRound) != res.Rounds {
+			t.Errorf("%s: conflict profile length mismatch", name)
+		}
+	}
+}
+
+func TestGebremedhinManneSequentialMatchesFirstFit(t *testing.T) {
+	// With one worker there are no stale reads, so round one succeeds with
+	// zero conflicts and the result equals sequential first-fit.
+	g := gen.GNM(300, 1500, 9)
+	res := GebremedhinManne(g, 1)
+	if res.Rounds != 1 || res.ConflictsPerRound[0] != 0 {
+		t.Errorf("single-worker GM: rounds=%d conflicts=%v, want 1 round, 0 conflicts",
+			res.Rounds, res.ConflictsPerRound)
+	}
+	want := Greedy(g, Natural, 0)
+	for v := range want {
+		if res.Colors[v] != want[v] {
+			t.Fatalf("single-worker GM differs from greedy at vertex %d", v)
+		}
+	}
+}
+
+func TestIterativeMaxProper(t *testing.T) {
+	for name, g := range suite() {
+		colors := IterativeMax(g, 1)
+		if err := Verify(g, colors); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestIterativeMaxMatchesJPSelection(t *testing.T) {
+	// IterativeMax and JonesPlassmann select identical independent sets per
+	// round (same priorities, same rule); they differ only in the color
+	// assigned. So for every vertex, the round in which it is colored must
+	// match: JP's color value has no such guarantee, but IterativeMax's
+	// color IS the round, and JP colors a vertex in the round it wins.
+	g := gen.GNM(200, 900, 4)
+	im := IterativeMax(g, 9)
+	jp := JonesPlassmann(g, 9, 1)
+	if NumColors(im) != jp.Rounds {
+		t.Errorf("IterativeMax used %d colors, JP took %d rounds; selection rules diverged",
+			NumColors(im), jp.Rounds)
+	}
+}
+
+func TestLubyProper(t *testing.T) {
+	for name, g := range suite() {
+		colors := Luby(g, 5)
+		if err := Verify(g, colors); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLubyColorClassesAreMaximalIS(t *testing.T) {
+	// Every color class of Luby must be a *maximal* independent set of the
+	// graph induced by vertices not colored earlier: no vertex of a later
+	// class could join an earlier class.
+	g := gen.GNM(120, 500, 2)
+	colors := Luby(g, 5)
+	nc := NumColors(colors)
+	for c := int32(0); c < int32(nc); c++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			if colors[v] <= c {
+				continue // colored at or before class c
+			}
+			// v was available when class c formed; maximality requires a
+			// neighbour in class c or earlier... precisely: a neighbour in
+			// class exactly c.
+			hasNeighborInC := false
+			for _, u := range g.Neighbors(int32(v)) {
+				if colors[u] == c {
+					hasNeighborInC = true
+					break
+				}
+			}
+			if !hasNeighborInC {
+				t.Fatalf("vertex %d (class %d) has no neighbour in class %d: class %d not maximal",
+					v, colors[v], c, c)
+			}
+		}
+	}
+}
+
+func TestParallelForCoverage(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		hits := make([]int, 100)
+		parallelFor(workers, 100, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hits[i]++ // ranges are disjoint, no race
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+	parallelFor(4, 0, func(lo, hi int) { t.Error("body ran for n=0") })
+}
+
+// Property: JP and GM agree with the verifier on arbitrary graphs and any
+// worker count.
+func TestParallelAlgorithmsProperProperty(t *testing.T) {
+	f := func(seed int64, rawN, rawW uint8) bool {
+		n := int(rawN)%60 + 1
+		workers := int(rawW)%8 + 1
+		g := gen.GNM(n, 5*n, seed)
+		jp := JonesPlassmann(g, uint32(seed), workers)
+		if Verify(g, jp.Colors) != nil {
+			return false
+		}
+		gm := GebremedhinManne(g, workers)
+		return Verify(g, gm.Colors) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package exp is the experiment harness: it defines the dataset registry
+// (Table R1) and one runner per reconstructed figure (F-R1..F-R9), each
+// producing the table/series the paper's evaluation reports. See DESIGN.md
+// for the per-experiment index and EXPERIMENTS.md for recorded results.
+package exp
+
+import (
+	"math"
+
+	"gcolor/internal/gen"
+	"gcolor/internal/graph"
+)
+
+// Scale selects dataset sizes: Small keeps unit tests fast; Full is the
+// benchmark scale used for the recorded experiments.
+type Scale int
+
+const (
+	// Small datasets run the whole suite in seconds (for go test).
+	Small Scale = iota
+	// Full datasets are the experiment scale reported in EXPERIMENTS.md.
+	Full
+)
+
+// Dataset is a named synthetic workload standing in for one of the paper's
+// input graphs (see the substitution table in DESIGN.md).
+type Dataset struct {
+	Name  string
+	Kind  string // structural class: scale-free, power-law, uniform, mesh, road, small-world
+	Build func(s Scale) *graph.Graph
+}
+
+// Datasets returns the registry in presentation order. Builds are
+// deterministic (fixed seeds).
+func Datasets() []Dataset {
+	return []Dataset{
+		{
+			Name: "rmat",
+			Kind: "scale-free",
+			Build: func(s Scale) *graph.Graph {
+				if s == Small {
+					return gen.RMAT(10, 16, gen.Graph500, 1)
+				}
+				return gen.RMAT(14, 16, gen.Graph500, 1)
+			},
+		},
+		{
+			Name: "powerlaw",
+			Kind: "power-law",
+			Build: func(s Scale) *graph.Graph {
+				if s == Small {
+					return gen.BarabasiAlbert(1024, 8, 2)
+				}
+				return gen.BarabasiAlbert(16384, 8, 2)
+			},
+		},
+		{
+			Name: "random",
+			Kind: "uniform",
+			Build: func(s Scale) *graph.Graph {
+				if s == Small {
+					return gen.GNM(1024, 12*1024, 3)
+				}
+				return gen.GNM(16384, 12*16384, 3)
+			},
+		},
+		{
+			Name: "grid2d",
+			Kind: "mesh",
+			Build: func(s Scale) *graph.Graph {
+				if s == Small {
+					return gen.Grid2D(32, 32)
+				}
+				return gen.Grid2D(128, 128)
+			},
+		},
+		{
+			Name: "grid3d",
+			Kind: "mesh",
+			Build: func(s Scale) *graph.Graph {
+				if s == Small {
+					return gen.Grid3D(10, 10, 10)
+				}
+				return gen.Grid3D(25, 25, 25)
+			},
+		},
+		{
+			Name: "road",
+			Kind: "road",
+			Build: func(s Scale) *graph.Graph {
+				n := 16384
+				if s == Small {
+					n = 1024
+				}
+				// Radius for an expected average degree of ~10.
+				r := math.Sqrt(10 / (math.Pi * float64(n)))
+				return gen.RandomGeometric(n, r, 4)
+			},
+		},
+		{
+			Name: "smallworld",
+			Kind: "small-world",
+			Build: func(s Scale) *graph.Graph {
+				if s == Small {
+					return gen.WattsStrogatz(1024, 12, 0.05, 5)
+				}
+				return gen.WattsStrogatz(16384, 12, 0.05, 5)
+			},
+		},
+	}
+}
+
+// DatasetByName looks a dataset up; ok is false if the name is unknown.
+func DatasetByName(name string) (Dataset, bool) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}

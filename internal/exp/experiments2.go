@@ -1,0 +1,202 @@
+package exp
+
+import (
+	"fmt"
+
+	"gcolor/internal/color"
+	"gcolor/internal/gpucolor"
+	"gcolor/internal/metrics"
+	"gcolor/internal/simt"
+)
+
+// FigScheduling produces F-R5: static vs round-robin vs work-stealing
+// workgroup scheduling on the baseline algorithm. Workgroups of 64 items
+// keep tasks migratable (see F-R8 for the granularity sweep). It also
+// reports the inter-CU imbalance of the static schedule, which predicts how
+// much the dynamic policies can recover.
+func FigScheduling(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:     "F5",
+		Title:  "Workgroup scheduling policies (baseline, workgroup size 64)",
+		Note:   "improvement is relative to static; CU-imb = max/mean of per-CU busy cycles under static",
+		Header: []string{"graph", "CU-imb", "static", "round-robin", "rr-gain%", "stealing", "ws-gain%", "steals"},
+	}
+	for _, d := range Datasets() {
+		g := d.Build(cfg.Scale)
+		opt := gpucolor.Options{Seed: cfg.Seed}
+		static, err := gpucolor.Baseline(device(fineWG, simt.Static), g, opt)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := gpucolor.Baseline(device(fineWG, simt.RoundRobin), g, opt)
+		if err != nil {
+			return nil, err
+		}
+		ws, err := gpucolor.Baseline(device(fineWG, simt.Stealing), g, opt)
+		if err != nil {
+			return nil, err
+		}
+		cu := metrics.SummarizeInt64(static.CUBusy)
+		t.Add(d.Name,
+			fmt.Sprintf("%.2f", cu.MaxOverMean),
+			fmt.Sprintf("%d", static.Cycles),
+			fmt.Sprintf("%d", rr.Cycles),
+			fmt.Sprintf("%.1f", metrics.PercentImprovement(float64(static.Cycles), float64(rr.Cycles))),
+			fmt.Sprintf("%d", ws.Cycles),
+			fmt.Sprintf("%.1f", metrics.PercentImprovement(float64(static.Cycles), float64(ws.Cycles))),
+			fmt.Sprintf("%d", ws.Steals),
+		)
+	}
+	return []*Table{t}, nil
+}
+
+// FigHybridThreshold produces F-R6: the hybrid's degree-threshold sweep on a
+// scale-free input and a mesh, showing the U-shaped sensitivity curve and
+// that meshes are indifferent (no vertex crosses any threshold).
+func FigHybridThreshold(cfg Config) ([]*Table, error) {
+	thresholds := []int{4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	var tables []*Table
+	for _, name := range []string{"rmat", "grid2d"} {
+		d, _ := DatasetByName(name)
+		g := d.Build(cfg.Scale)
+		opt := gpucolor.Options{Seed: cfg.Seed}
+		base, err := gpucolor.Baseline(device(coarseWG, simt.Static), g, opt)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			ID:     "F6",
+			Title:  fmt.Sprintf("Hybrid degree-threshold sensitivity (%s)", name),
+			Note:   fmt.Sprintf("baseline: %d cycles; vertices with degree >= threshold run workgroup-per-vertex", base.Cycles),
+			Header: []string{"threshold", "coop vertices", "cycles", "gain%"},
+		}
+		for _, th := range thresholds {
+			coop := 0
+			for v := 0; v < g.NumVertices(); v++ {
+				if g.Degree(int32(v)) >= th {
+					coop++
+				}
+			}
+			hyb, err := gpucolor.Hybrid(device(coarseWG, simt.Static), g,
+				gpucolor.Options{Seed: cfg.Seed, HybridThreshold: th})
+			if err != nil {
+				return nil, err
+			}
+			t.Add(fmt.Sprintf("%d", th),
+				fmt.Sprintf("%d", coop),
+				fmt.Sprintf("%d", hyb.Cycles),
+				fmt.Sprintf("%.1f", metrics.PercentImprovement(float64(base.Cycles), float64(hyb.Cycles))),
+			)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// FigHeadline produces F-R7: the paper's summary comparison — baseline,
+// baseline+stealing, hybrid, and hybrid+stealing on every graph.
+func FigHeadline(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:     "F7",
+		Title:  "Headline: work stealing and hybrid vs baseline (workgroup size 64)",
+		Note:   "gain% relative to the static baseline; the paper reports ~25% from these techniques",
+		Header: []string{"graph", "baseline", "+stealing", "gain%", "hybrid", "gain%", "hybrid+steal", "gain%"},
+	}
+	for _, d := range Datasets() {
+		g := d.Build(cfg.Scale)
+		opt := gpucolor.Options{Seed: cfg.Seed}
+		base, err := gpucolor.Baseline(device(fineWG, simt.Static), g, opt)
+		if err != nil {
+			return nil, err
+		}
+		ws, err := gpucolor.Baseline(device(fineWG, simt.Stealing), g, opt)
+		if err != nil {
+			return nil, err
+		}
+		hyb, err := gpucolor.Hybrid(device(fineWG, simt.Static), g, opt)
+		if err != nil {
+			return nil, err
+		}
+		both, err := gpucolor.Hybrid(device(fineWG, simt.Stealing), g, opt)
+		if err != nil {
+			return nil, err
+		}
+		gain := func(r *gpucolor.Result) string {
+			return fmt.Sprintf("%.1f", metrics.PercentImprovement(float64(base.Cycles), float64(r.Cycles)))
+		}
+		t.Add(d.Name,
+			fmt.Sprintf("%d", base.Cycles),
+			fmt.Sprintf("%d", ws.Cycles), gain(ws),
+			fmt.Sprintf("%d", hyb.Cycles), gain(hyb),
+			fmt.Sprintf("%d", both.Cycles), gain(both),
+		)
+	}
+	return []*Table{t}, nil
+}
+
+// FigWorkgroupSize produces F-R8: sensitivity of the static and stealing
+// schedules to workgroup size on the scale-free input. Small workgroups
+// create migratable tasks (stealing helps); large workgroups fuse hubs into
+// monolithic groups nothing can split.
+func FigWorkgroupSize(cfg Config) ([]*Table, error) {
+	d, _ := DatasetByName("rmat")
+	g := d.Build(cfg.Scale)
+	opt := gpucolor.Options{Seed: cfg.Seed}
+	t := &Table{
+		ID:     "F8",
+		Title:  "Workgroup-size sensitivity (baseline on rmat)",
+		Note:   "stealing needs fine-grained tasks: its edge over static shrinks as workgroups grow",
+		Header: []string{"workgroup", "static", "stealing", "ws-gain%", "steals"},
+	}
+	for _, wg := range []int{64, 128, 256, 512} {
+		static, err := gpucolor.Baseline(device(wg, simt.Static), g, opt)
+		if err != nil {
+			return nil, err
+		}
+		ws, err := gpucolor.Baseline(device(wg, simt.Stealing), g, opt)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("%d", wg),
+			fmt.Sprintf("%d", static.Cycles),
+			fmt.Sprintf("%d", ws.Cycles),
+			fmt.Sprintf("%.1f", metrics.PercentImprovement(float64(static.Cycles), float64(ws.Cycles))),
+			fmt.Sprintf("%d", ws.Steals),
+		)
+	}
+	return []*Table{t}, nil
+}
+
+// FigAlgorithms produces F-R9: every GPU algorithm (cycles, iterations,
+// colors) plus CPU references (colors only — the CPU path is not simulated)
+// on every graph.
+func FigAlgorithms(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:     "F9",
+		Title:  "Algorithm comparison",
+		Note:   "GPU rows report simulated cycles; CPU references report coloring quality only",
+		Header: []string{"graph", "algorithm", "cycles", "iterations", "colors"},
+	}
+	for _, d := range Datasets() {
+		g := d.Build(cfg.Scale)
+		for _, alg := range gpucolor.Algorithms() {
+			res, err := gpucolor.Color(device(coarseWG, simt.Static), g, alg, gpucolor.Options{Seed: cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			t.Add(d.Name, "gpu-"+alg.String(),
+				fmt.Sprintf("%d", res.Cycles),
+				fmt.Sprintf("%d", res.Iterations),
+				fmt.Sprintf("%d", res.NumColors),
+			)
+		}
+		ff := color.Greedy(g, color.Natural, 0)
+		t.Add(d.Name, "cpu-firstfit", "-", "1", fmt.Sprintf("%d", color.NumColors(ff)))
+		sl := color.Greedy(g, color.SmallestLast, 0)
+		t.Add(d.Name, "cpu-smallest-last", "-", "1", fmt.Sprintf("%d", color.NumColors(sl)))
+		jp := color.JonesPlassmann(g, cfg.Seed+1, 0)
+		t.Add(d.Name, "cpu-jones-plassmann", "-",
+			fmt.Sprintf("%d", jp.Rounds), fmt.Sprintf("%d", color.NumColors(jp.Colors)))
+	}
+	return []*Table{t}, nil
+}

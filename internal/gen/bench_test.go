@@ -1,0 +1,27 @@
+package gen
+
+import "testing"
+
+func BenchmarkRMAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RMAT(13, 16, Graph500, 1)
+	}
+}
+
+func BenchmarkGNM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GNM(1<<13, 12<<13, 1)
+	}
+}
+
+func BenchmarkBarabasiAlbert(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BarabasiAlbert(1<<13, 8, 1)
+	}
+}
+
+func BenchmarkRandomGeometric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RandomGeometric(1<<13, 0.02, 1)
+	}
+}

@@ -1,0 +1,40 @@
+package gpuapps
+
+import (
+	"testing"
+
+	"gcolor/internal/gen"
+	"gcolor/internal/simt"
+)
+
+func BenchmarkBFS(b *testing.B) {
+	g := gen.RMAT(12, 16, gen.Graph500, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := BFS(simt.NewDevice(), g, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBFSHybrid(b *testing.B) {
+	g := gen.RMAT(12, 16, gen.Graph500, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := BFSHybrid(simt.NewDevice(), g, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageRank(b *testing.B) {
+	g := gen.RMAT(11, 16, gen.Graph500, 1)
+	for i := 0; i < b.N; i++ {
+		PageRank(simt.NewDevice(), g, PageRankOptions{MaxIters: 20})
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g := gen.RMAT(12, 16, gen.Graph500, 1)
+	for i := 0; i < b.N; i++ {
+		ConnectedComponents(simt.NewDevice(), g)
+	}
+}

@@ -1,0 +1,80 @@
+// Package gpuapps implements the companion irregular graph workloads the
+// paper's framing motivates — BFS, PageRank, and connected components — on
+// the same SIMT simulator as the coloring kernels. They share the
+// thread-per-vertex CSR-scan structure, so the load-imbalance behaviour
+// characterized for coloring (hub lanes serializing wavefronts, hub-dense
+// id ranges overloading compute units) reappears here; experiment X2
+// measures it across all of them.
+package gpuapps
+
+import (
+	"slices"
+
+	"gcolor/internal/graph"
+	"gcolor/internal/metrics"
+	"gcolor/internal/simt"
+)
+
+// Stats aggregates the simulated evidence of one app run.
+type Stats struct {
+	Cycles        int64
+	Iterations    int
+	KernelCycles  map[string]int64
+	WavefrontWork []int64
+	Steals        int64
+
+	busySum, busyMaxSum int64
+	width               int
+}
+
+// SIMDUtilization returns the aggregate lane occupancy of the run.
+func (s *Stats) SIMDUtilization() float64 {
+	if s.busyMaxSum == 0 {
+		return 0
+	}
+	return float64(s.busySum) / float64(int64(s.width)*s.busyMaxSum)
+}
+
+// WavefrontImbalance returns max/mean over the recorded per-wavefront work.
+func (s *Stats) WavefrontImbalance() float64 {
+	return metrics.SummarizeInt64(s.WavefrontWork).MaxOverMean
+}
+
+func newStats(dev *simt.Device) *Stats {
+	return &Stats{
+		KernelCycles: make(map[string]int64),
+		width:        dev.WavefrontWidth,
+	}
+}
+
+func (s *Stats) charge(rr *simt.RunResult, keepWavefronts bool) {
+	s.Cycles += rr.Cycles()
+	s.KernelCycles[rr.Stats.Name] += rr.Cycles()
+	s.Steals += rr.Sched.Steals
+	busy, busyMax := rr.Stats.BusyParts()
+	s.busySum += busy
+	s.busyMaxSum += busyMax
+	if keepWavefronts {
+		s.WavefrontWork = append(s.WavefrontWork, rr.Stats.WavefrontCost...)
+	}
+}
+
+// csrBufs binds a graph's CSR arrays as device buffers.
+type csrBufs struct {
+	off, adj *simt.BufInt32
+	n        int32
+}
+
+func bindCSR(dev *simt.Device, g *graph.Graph) csrBufs {
+	return csrBufs{
+		off: dev.BindInt32(g.Offsets()),
+		adj: dev.BindInt32(g.Adj()),
+		n:   int32(g.NumVertices()),
+	}
+}
+
+// sortWorklist models order-preserving compaction for the atomic-append
+// worklists used here (see gpucolor for the rationale).
+func sortWorklist(wl *simt.BufInt32, count int) {
+	slices.Sort(wl.Data()[:count])
+}

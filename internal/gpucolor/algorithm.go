@@ -1,0 +1,94 @@
+package gpucolor
+
+import (
+	"fmt"
+
+	"gcolor/internal/graph"
+	"gcolor/internal/simt"
+)
+
+// Algorithm names one of the GPU coloring algorithms.
+type Algorithm int
+
+const (
+	// AlgBaseline is the thread-per-vertex colorMax kernel pair.
+	AlgBaseline Algorithm = iota
+	// AlgMaxMin is colorMaxMin: two colors per iteration.
+	AlgMaxMin
+	// AlgSpeculative is speculative first-fit with conflict resolution.
+	AlgSpeculative
+	// AlgHybrid splits work by degree between thread-per-vertex and
+	// workgroup-per-vertex kernels.
+	AlgHybrid
+	// AlgJP selects independent sets like the baseline but assigns winners
+	// their smallest available color (Jones–Plassmann assignment).
+	AlgJP
+	// AlgHybridMaxMin combines the hybrid degree split with colorMaxMin
+	// selection (two colors per iteration).
+	AlgHybridMaxMin
+	// AlgHybridJP combines the hybrid degree split with Jones–Plassmann
+	// assignment.
+	AlgHybridJP
+)
+
+// Algorithms lists every algorithm in presentation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgBaseline, AlgMaxMin, AlgJP, AlgSpeculative,
+		AlgHybrid, AlgHybridMaxMin, AlgHybridJP,
+	}
+}
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgBaseline:
+		return "baseline"
+	case AlgMaxMin:
+		return "maxmin"
+	case AlgSpeculative:
+		return "speculative"
+	case AlgHybrid:
+		return "hybrid"
+	case AlgJP:
+		return "jp"
+	case AlgHybridMaxMin:
+		return "hybrid-maxmin"
+	case AlgHybridJP:
+		return "hybrid-jp"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm converts a name (as printed by String) to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("gpucolor: unknown algorithm %q (want baseline, maxmin, jp, speculative or hybrid)", s)
+}
+
+// Color runs the named algorithm on dev.
+func Color(dev *simt.Device, g *graph.Graph, a Algorithm, opt Options) (*Result, error) {
+	switch a {
+	case AlgBaseline:
+		return Baseline(dev, g, opt)
+	case AlgMaxMin:
+		return MaxMin(dev, g, opt)
+	case AlgSpeculative:
+		return Speculative(dev, g, opt)
+	case AlgHybrid:
+		return Hybrid(dev, g, opt)
+	case AlgJP:
+		return JPColor(dev, g, opt)
+	case AlgHybridMaxMin:
+		return HybridMaxMin(dev, g, opt)
+	case AlgHybridJP:
+		return HybridJP(dev, g, opt)
+	default:
+		return nil, fmt.Errorf("gpucolor: unknown algorithm %d", int(a))
+	}
+}

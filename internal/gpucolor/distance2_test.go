@@ -1,0 +1,88 @@
+package gpucolor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gcolor/internal/color"
+	"gcolor/internal/gen"
+)
+
+func TestSpeculativeD2Proper(t *testing.T) {
+	for name, g := range suite() {
+		if g.NumEdges() > 5000 {
+			continue // two-hop scans on the dense suite graphs are slow
+		}
+		res, err := SpeculativeD2(testDev(), g, Options{})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := color.VerifyD2(g, res.Colors); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSpeculativeD2Star(t *testing.T) {
+	n := 40
+	g := gen.Star(n)
+	res, err := SpeculativeD2(testDev(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors != n {
+		t.Errorf("star d2 colors = %d, want %d (all leaves mutually at distance 2)", res.NumColors, n)
+	}
+}
+
+func TestSpeculativeD2MatchesCPUQualityClass(t *testing.T) {
+	g := gen.Grid2D(10, 12)
+	gpu, err := SpeculativeD2(testDev(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := color.GreedyD2(g)
+	// Same quality class: both first-fit within the two-hop bound.
+	if gpu.NumColors > color.D2Bound(g) {
+		t.Errorf("gpu d2 colors %d exceed bound %d", gpu.NumColors, color.D2Bound(g))
+	}
+	if cpuN := color.NumColors(cpu); gpu.NumColors > 2*cpuN {
+		t.Errorf("gpu d2 colors %d far above cpu first-fit %d", gpu.NumColors, cpuN)
+	}
+}
+
+func TestSpeculativeD2Deterministic(t *testing.T) {
+	g := gen.GNM(150, 450, 3)
+	a, err := SpeculativeD2(testDev(), g, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SpeculativeD2(testDev(), g, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Colors {
+		if a.Colors[v] != b.Colors[v] {
+			t.Fatalf("nondeterministic at vertex %d", v)
+		}
+	}
+}
+
+// Property: SpeculativeD2 produces proper distance-2 colorings on arbitrary
+// sparse random graphs.
+func TestSpeculativeD2Property(t *testing.T) {
+	dev := testDev()
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN)%50 + 1
+		g := gen.GNM(n, 2*n, seed)
+		res, err := SpeculativeD2(dev, g, Options{Seed: uint32(seed)})
+		if err != nil {
+			return false
+		}
+		return color.VerifyD2(g, res.Colors) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

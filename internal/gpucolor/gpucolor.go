@@ -1,0 +1,271 @@
+// Package gpucolor implements the paper's contribution: graph coloring on
+// the (simulated) GPU. It provides the baseline iterative independent-set
+// kernels (colorMax and colorMaxMin in Pannotia's terminology), a
+// speculative first-fit variant, and the two load-imbalance techniques the
+// paper evaluates — work-stealing workgroup scheduling and the hybrid
+// algorithm that routes high-degree vertices to workgroup-per-vertex
+// cooperative kernels.
+//
+// All algorithms run on an simt.Device; their Results carry both the
+// coloring and the simulated performance evidence (cycles, per-kernel
+// breakdown, wavefront work distribution, per-CU load, utilization, steals)
+// that the experiment harness turns into the paper's tables and figures.
+package gpucolor
+
+import (
+	"fmt"
+	"slices"
+
+	"gcolor/internal/color"
+	"gcolor/internal/gpuprim"
+	"gcolor/internal/graph"
+	"gcolor/internal/simt"
+	"gcolor/internal/trace"
+)
+
+// CompactionMode selects how worklists are rebuilt between iterations.
+type CompactionMode int
+
+const (
+	// CompactionScan (the default) rebuilds worklists with device-side
+	// prefix-sum stream compaction (gpuprim): order-preserving,
+	// deterministic, and costed as the three scan kernels it launches.
+	CompactionScan CompactionMode = iota
+	// CompactionAtomic uses the Pannotia-era idiom: an atomic cursor per
+	// worklist. On real hardware the output order depends on timing; the
+	// simulator normalizes it to ascending order after each launch so runs
+	// stay reproducible.
+	CompactionAtomic
+)
+
+// String implements fmt.Stringer.
+func (m CompactionMode) String() string {
+	if m == CompactionAtomic {
+		return "atomic"
+	}
+	return "scan"
+}
+
+// Options configures a GPU coloring run.
+type Options struct {
+	// Seed selects the vertex priority hash (default 0 -> seed 1).
+	Seed uint32
+	// HybridThreshold is the degree at or above which Hybrid routes a vertex
+	// to the cooperative kernel; 0 means the device's workgroup size.
+	HybridThreshold int
+	// MaxIterations caps the outer loop as a safety net; 0 means the number
+	// of vertices + 1 (iterative IS coloring colors >= 1 vertex per
+	// iteration, so that bound is never hit by a correct run).
+	MaxIterations int
+	// Compaction selects the worklist rebuild strategy.
+	Compaction CompactionMode
+	// Trace records the per-launch timeline in Result.Timeline (for
+	// chrome-trace export); off by default to keep memory flat.
+	Trace bool
+}
+
+func (o Options) seed() uint32 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) maxIters(n int) int {
+	if o.MaxIterations > 0 {
+		return o.MaxIterations
+	}
+	return n + 1
+}
+
+// Result is the outcome of one GPU coloring run.
+type Result struct {
+	// Colors is the proper coloring produced; NumColors the count used.
+	Colors    []int32
+	NumColors int
+	// Iterations is the number of outer-loop iterations; ActivePerIter the
+	// uncolored-vertex count entering each iteration (convergence profile).
+	Iterations    int
+	ActivePerIter []int
+
+	// Cycles is total simulated time over all kernel launches;
+	// KernelCycles breaks it down by kernel name.
+	Cycles       int64
+	KernelCycles map[string]int64
+	// WavefrontWork lists per-wavefront cycles of the candidate/assign
+	// kernels — the paper's intra-kernel imbalance evidence.
+	WavefrontWork []int64
+	// CUBusy accumulates per-CU busy cycles over all launches (inter-CU
+	// imbalance evidence); Steals counts work-stealing events.
+	CUBusy []int64
+	Steals int64
+	// Aggregate operation counters over all launches.
+	ALUOps          int64
+	MemAccesses     int64
+	MemTransactions int64
+	Atomics         int64
+	CacheHits       int64
+
+	// Timeline lists every kernel launch in order (only when Options.Trace
+	// was set); export it with the trace package.
+	Timeline []trace.Span
+
+	busySum, busyMaxSum int64
+	width               int
+}
+
+// SIMDUtilization returns the lane-occupancy fraction aggregated over every
+// kernel launch of the run.
+func (r *Result) SIMDUtilization() float64 {
+	if r.busyMaxSum == 0 {
+		return 0
+	}
+	return float64(r.busySum) / float64(int64(r.width)*r.busyMaxSum)
+}
+
+// runner holds the device-resident state shared by all algorithms.
+type runner struct {
+	dev  *simt.Device
+	g    *graph.Graph
+	opt  Options
+	n    int32
+	off  *simt.BufInt32 // CSR offsets
+	adj  *simt.BufInt32 // CSR adjacency
+	prio *simt.BufInt32 // vertex priorities (uint32 bit patterns)
+	col  *simt.BufInt32 // colors; -1 = uncolored
+	win  *simt.BufInt32 // per-vertex candidate flag
+	wlA  *simt.BufInt32 // worklist ping
+	wlB  *simt.BufInt32 // worklist pong
+	cnt  *simt.BufInt32 // worklist append counters (atomic compaction mode)
+	keep *simt.BufInt32 // per-position survivor flags (scan compaction mode)
+	scr  *simt.BufInt32 // scan scratch (scan compaction mode)
+
+	res *Result
+}
+
+func newRunner(dev *simt.Device, g *graph.Graph, opt Options) *runner {
+	n := g.NumVertices()
+	r := &runner{
+		dev: dev, g: g, opt: opt, n: int32(n),
+		off:  dev.BindInt32(g.Offsets()),
+		adj:  dev.BindInt32(g.Adj()),
+		prio: dev.BindInt32(color.Priorities(g, opt.seed())),
+		col:  dev.AllocInt32(n),
+		win:  dev.AllocInt32(n),
+		wlA:  dev.AllocInt32(n),
+		wlB:  dev.AllocInt32(n),
+		cnt:  dev.AllocInt32(4),
+		keep: dev.AllocInt32(n),
+		scr:  dev.AllocInt32(n),
+		res: &Result{
+			KernelCycles: make(map[string]int64),
+			CUBusy:       make([]int64, dev.NumCUs),
+			width:        dev.WavefrontWidth,
+		},
+	}
+	r.col.Fill(color.Uncolored)
+	for v := 0; v < n; v++ {
+		r.wlA.Data()[v] = int32(v)
+	}
+	return r
+}
+
+// launch folds one kernel's results into the run totals. keepWavefronts
+// marks kernels whose wavefront distribution feeds the imbalance figures.
+func (r *runner) launch(rr *simt.RunResult, keepWavefronts bool) {
+	r.res.Cycles += rr.Cycles()
+	r.res.KernelCycles[rr.Stats.Name] += rr.Cycles()
+	for i, b := range rr.Sched.CUBusy {
+		r.res.CUBusy[i] += b
+	}
+	r.res.Steals += rr.Sched.Steals
+	busy, busyMax := rr.Stats.BusyParts()
+	r.res.busySum += busy
+	r.res.busyMaxSum += busyMax
+	r.res.ALUOps += rr.Stats.ALUOps
+	r.res.MemAccesses += rr.Stats.MemAccesses
+	r.res.MemTransactions += rr.Stats.MemTransactions
+	r.res.Atomics += rr.Stats.Atomics
+	r.res.CacheHits += rr.Stats.CacheHits
+	if keepWavefronts {
+		r.res.WavefrontWork = append(r.res.WavefrontWork, rr.Stats.WavefrontCost...)
+	}
+	if r.opt.Trace {
+		busy := make([]int64, len(rr.Sched.CUBusy))
+		copy(busy, rr.Sched.CUBusy)
+		r.res.Timeline = append(r.res.Timeline, trace.Span{
+			Name:   rr.Stats.Name,
+			Cycles: rr.Cycles(),
+			CUBusy: busy,
+		})
+	}
+}
+
+// finish validates and seals the result. Colors are counted as distinct
+// values because colorMaxMin can leave gaps in the color range (a final
+// iteration may produce max winners but no min winners).
+func (r *runner) finish() (*Result, error) {
+	r.res.Colors = r.col.Data()
+	if err := color.Verify(r.g, r.res.Colors); err != nil {
+		return nil, fmt.Errorf("gpucolor: produced invalid coloring: %w", err)
+	}
+	r.res.NumColors = countDistinct(r.res.Colors)
+	return r.res, nil
+}
+
+func countDistinct(colors []int32) int {
+	if len(colors) == 0 {
+		return 0
+	}
+	seen := make([]bool, color.NumColors(colors))
+	n := 0
+	for _, c := range colors {
+		if !seen[c] {
+			seen[c] = true
+			n++
+		}
+	}
+	return n
+}
+
+// uncoloredConst mirrors color.Uncolored for use inside kernels.
+const uncoloredConst = int32(-1)
+
+// charger adapts launch accounting for gpuprim primitives.
+func (r *runner) charger() gpuprim.Charger {
+	return func(rr *simt.RunResult) { r.launch(rr, false) }
+}
+
+// compactInto rebuilds a worklist under scan compaction: src[0:count]
+// entries whose r.keep flag is set move to dst, order preserved; returns
+// the kept count.
+func (r *runner) compactInto(src, dst *simt.BufInt32, count int) int {
+	return gpuprim.Compact(r.dev, src, r.keep, dst, r.scr, count, r.charger())
+}
+
+// flagAndCompact runs a flag/append kernel (kern receives a nil next buffer
+// in scan mode, meaning "write r.keep by position") and rebuilds the
+// worklist under the configured compaction strategy.
+func (r *runner) flagAndCompact(cur, next *simt.BufInt32, count int,
+	kern func(wl, next *simt.BufInt32, count int) *simt.RunResult) int {
+	if r.opt.Compaction == CompactionAtomic {
+		r.cnt.Data()[0] = 0
+		r.launch(kern(cur, next, count), false)
+		kept := int(r.cnt.Data()[0])
+		sortWorklist(next, kept)
+		return kept
+	}
+	r.launch(kern(cur, nil, count), false)
+	return r.compactInto(cur, next, count)
+}
+
+// sortWorklist orders the first count worklist entries ascending. Real GPU
+// implementations compact worklists with a stable prefix-sum scan, which
+// preserves vertex order; the atomic-append idiom used in the kernels here
+// produces the same *set* in an order that depends on execution
+// interleaving. Sorting restores the scan order, which both matches the
+// memory-access behaviour being modelled and makes every run bit-identical
+// regardless of host parallelism.
+func sortWorklist(wl *simt.BufInt32, count int) {
+	slices.Sort(wl.Data()[:count])
+}

@@ -1,0 +1,489 @@
+package gpucolor
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gcolor/internal/color"
+	"gcolor/internal/gen"
+	"gcolor/internal/graph"
+	"gcolor/internal/simt"
+)
+
+// testDev returns a small deterministic device for functional tests.
+func testDev() *simt.Device {
+	d := simt.NewDevice()
+	d.NumCUs = 4
+	d.WavefrontWidth = 16
+	d.WorkgroupSize = 64
+	return d
+}
+
+func suite() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"empty":    graph.FromEdges(0, nil),
+		"isolated": graph.FromEdges(7, nil),
+		"single":   graph.FromEdges(1, nil),
+		"path":     gen.Path(33),
+		"cycle":    gen.Cycle(15),
+		"star":     gen.Star(200), // hub degree 199 >> workgroup size
+		"complete": gen.Complete(10),
+		"grid":     gen.Grid2D(12, 11),
+		"rmat":     gen.RMAT(9, 8, gen.Graph500, 3),
+		"gnm":      gen.GNM(300, 1500, 4),
+		"ba":       gen.BarabasiAlbert(250, 4, 5),
+	}
+}
+
+func TestAllAlgorithmsProduceProperColorings(t *testing.T) {
+	for name, g := range suite() {
+		for _, alg := range Algorithms() {
+			res, err := Color(testDev(), g, alg, Options{})
+			if err != nil {
+				t.Errorf("%s/%v: %v", name, alg, err)
+				continue
+			}
+			if err := color.Verify(g, res.Colors); err != nil {
+				t.Errorf("%s/%v: %v", name, alg, err)
+			}
+			if res.Cycles <= 0 && g.NumVertices() > 0 {
+				t.Errorf("%s/%v: nonpositive cycles %d", name, alg, res.Cycles)
+			}
+		}
+	}
+}
+
+func TestEmptyGraphShortCircuits(t *testing.T) {
+	g := graph.FromEdges(0, nil)
+	for _, alg := range Algorithms() {
+		res, err := Color(testDev(), g, alg, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.Iterations != 0 || res.NumColors != 0 {
+			t.Errorf("%v: iterations=%d colors=%d, want 0/0", alg, res.Iterations, res.NumColors)
+		}
+	}
+}
+
+func TestBaselineColorsEqualIterations(t *testing.T) {
+	g := gen.GNM(200, 1000, 7)
+	res, err := Baseline(testDev(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// colorMax assigns color i in iteration i, so colors used == iterations.
+	if res.NumColors != res.Iterations {
+		t.Errorf("colors=%d iterations=%d, want equal", res.NumColors, res.Iterations)
+	}
+	if len(res.ActivePerIter) != res.Iterations {
+		t.Errorf("profile length %d != iterations %d", len(res.ActivePerIter), res.Iterations)
+	}
+	for i := 1; i < len(res.ActivePerIter); i++ {
+		if res.ActivePerIter[i] >= res.ActivePerIter[i-1] {
+			t.Errorf("active count not strictly decreasing at iteration %d", i)
+			break
+		}
+	}
+}
+
+func TestMaxMinHalvesIterations(t *testing.T) {
+	g := gen.GNM(500, 4000, 2)
+	base, err := Baseline(testDev(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := MaxMin(testDev(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// colorMaxMin colors two independent sets per iteration; allow slack but
+	// it must clearly beat the baseline's iteration count.
+	if mm.Iterations > base.Iterations*3/4 {
+		t.Errorf("maxmin iterations = %d, baseline = %d: expected a large reduction",
+			mm.Iterations, base.Iterations)
+	}
+}
+
+func TestJPColorQualityAndConvergence(t *testing.T) {
+	g := gen.RMAT(10, 8, gen.Graph500, 9)
+	base, err := Baseline(testDev(), g, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp, err := JPColor(testDev(), g, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical independent-set selection: same convergence profile.
+	if jp.Iterations != base.Iterations {
+		t.Errorf("jp iterations = %d, baseline = %d, want equal", jp.Iterations, base.Iterations)
+	}
+	// First-fit assignment: bounded by maxdeg+1 and below the baseline's
+	// iteration-numbered color count.
+	if jp.NumColors > g.MaxDegree()+1 {
+		t.Errorf("jp colors = %d > maxdeg+1 = %d", jp.NumColors, g.MaxDegree()+1)
+	}
+	if jp.NumColors >= base.NumColors {
+		t.Errorf("jp colors = %d, baseline = %d: expected fewer", jp.NumColors, base.NumColors)
+	}
+}
+
+func TestSpeculativeUsesFewerColors(t *testing.T) {
+	g := gen.RMAT(10, 8, gen.Graph500, 9)
+	base, err := Baseline(testDev(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Speculative(testDev(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.NumColors >= base.NumColors {
+		t.Errorf("speculative colors = %d, baseline = %d: expected fewer",
+			spec.NumColors, base.NumColors)
+	}
+	// First-fit bound holds.
+	if spec.NumColors > g.MaxDegree()+1 {
+		t.Errorf("speculative used %d colors > maxdeg+1 = %d", spec.NumColors, g.MaxDegree()+1)
+	}
+}
+
+func TestHybridMatchesBaselineColoring(t *testing.T) {
+	// Hybrid changes *where* candidate tests run, not their outcome: the
+	// coloring must be identical to the baseline's for the same seed.
+	for _, name := range []string{"star", "rmat", "grid", "ba"} {
+		g := suite()[name]
+		base, err := Baseline(testDev(), g, Options{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hyb, err := Hybrid(testDev(), g, Options{Seed: 11, HybridThreshold: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range base.Colors {
+			if base.Colors[v] != hyb.Colors[v] {
+				t.Fatalf("%s: hybrid differs from baseline at vertex %d (%d vs %d)",
+					name, v, hyb.Colors[v], base.Colors[v])
+			}
+		}
+		if base.Iterations != hyb.Iterations {
+			t.Errorf("%s: iteration counts differ: %d vs %d", name, base.Iterations, hyb.Iterations)
+		}
+	}
+}
+
+func TestHybridVariantsMatchTheirBaselines(t *testing.T) {
+	// Each hybrid variant changes *where* candidate tests run, never their
+	// outcome: colorings must equal the corresponding non-hybrid algorithm.
+	g := gen.RMAT(9, 12, gen.Graph500, 7) // maxdeg must cross the threshold
+	pairs := []struct {
+		hybrid, base Algorithm
+	}{
+		{AlgHybrid, AlgBaseline},
+		{AlgHybridMaxMin, AlgMaxMin},
+		{AlgHybridJP, AlgJP},
+	}
+	for _, p := range pairs {
+		h, err := Color(testDev(), g, p.hybrid, Options{Seed: 2, HybridThreshold: 32})
+		if err != nil {
+			t.Fatalf("%v: %v", p.hybrid, err)
+		}
+		b, err := Color(testDev(), g, p.base, Options{Seed: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", p.base, err)
+		}
+		for v := range b.Colors {
+			if h.Colors[v] != b.Colors[v] {
+				t.Fatalf("%v differs from %v at vertex %d (%d vs %d)",
+					p.hybrid, p.base, v, h.Colors[v], b.Colors[v])
+			}
+		}
+		if h.Iterations != b.Iterations {
+			t.Errorf("%v iterations %d != %v %d", p.hybrid, h.Iterations, p.base, b.Iterations)
+		}
+	}
+}
+
+func TestHybridFasterOnHubGraph(t *testing.T) {
+	// The headline effect: on a hub-dominated graph, the hybrid must beat
+	// the baseline; on a regular grid it must not be dramatically slower.
+	dev := simt.NewDevice()
+	hub := gen.RMAT(11, 16, gen.Graph500, 1)
+	base, err := Baseline(dev, hub, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := Hybrid(dev, hub, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyb.Cycles >= base.Cycles {
+		t.Errorf("hybrid %d cycles >= baseline %d on scale-free graph", hyb.Cycles, base.Cycles)
+	}
+
+	grid := gen.Grid2D(64, 64)
+	gb, err := Baseline(dev, grid, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gh, err := Hybrid(dev, grid, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(gh.Cycles) > 1.25*float64(gb.Cycles) {
+		t.Errorf("hybrid %d cycles far above baseline %d on a grid", gh.Cycles, gb.Cycles)
+	}
+}
+
+func TestWorkStealingPolicyReducesCycles(t *testing.T) {
+	// Hubs cluster at low ids under R-MAT, so static chunking overloads the
+	// first CUs; the stealing policy must shorten the makespan. Workgroups
+	// of 64 keep tasks fine-grained enough to migrate (with 256-item groups
+	// a single hub group is monolithic and nothing can be stolen — that
+	// granularity effect is itself an experiment, F-R8).
+	hub := gen.RMAT(12, 16, gen.Graph500, 1)
+	devStatic := simt.NewDevice()
+	devStatic.WorkgroupSize = 64
+	devSteal := simt.NewDevice()
+	devSteal.WorkgroupSize = 64
+	devSteal.Policy = simt.Stealing
+	base, err := Baseline(devStatic, hub, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := Baseline(devSteal, hub, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Steals == 0 {
+		t.Error("no steals recorded under stealing policy")
+	}
+	if ws.Cycles >= base.Cycles {
+		t.Errorf("stealing %d cycles >= static %d", ws.Cycles, base.Cycles)
+	}
+	// Colorings are identical: scheduling must not change results.
+	for v := range base.Colors {
+		if base.Colors[v] != ws.Colors[v] {
+			t.Fatal("scheduling policy changed the coloring")
+		}
+	}
+}
+
+func TestResultBookkeeping(t *testing.T) {
+	g := gen.GNM(200, 1200, 3)
+	dev := testDev()
+	res, err := Baseline(dev, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromKernels int64
+	for _, c := range res.KernelCycles {
+		fromKernels += c
+	}
+	if fromKernels != res.Cycles {
+		t.Errorf("KernelCycles sum %d != Cycles %d", fromKernels, res.Cycles)
+	}
+	if len(res.CUBusy) != dev.NumCUs {
+		t.Errorf("CUBusy length = %d, want %d", len(res.CUBusy), dev.NumCUs)
+	}
+	if len(res.WavefrontWork) == 0 {
+		t.Error("no wavefront work recorded")
+	}
+	u := res.SIMDUtilization()
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization = %v, want (0,1]", u)
+	}
+}
+
+func TestTimelineRecording(t *testing.T) {
+	g := gen.GNM(100, 400, 1)
+	off, err := Baseline(testDev(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(off.Timeline) != 0 {
+		t.Error("timeline recorded without Options.Trace")
+	}
+	on, err := Baseline(testDev(), g, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(on.Timeline) == 0 {
+		t.Fatal("no timeline recorded with Options.Trace")
+	}
+	var sum int64
+	for _, s := range on.Timeline {
+		if s.Name == "" || s.Cycles <= 0 {
+			t.Errorf("malformed span %+v", s)
+		}
+		sum += s.Cycles
+	}
+	if sum != on.Cycles {
+		t.Errorf("timeline cycles %d != total %d", sum, on.Cycles)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	if (Options{}).seed() != 1 {
+		t.Error("zero seed must map to 1")
+	}
+	if (Options{Seed: 5}).seed() != 5 {
+		t.Error("explicit seed ignored")
+	}
+	if (Options{}).maxIters(10) != 11 {
+		t.Error("default max iterations must be n+1")
+	}
+	if (Options{MaxIterations: 3}).maxIters(10) != 3 {
+		t.Error("explicit max iterations ignored")
+	}
+}
+
+func TestMaxIterationsAborts(t *testing.T) {
+	g := gen.Complete(12) // needs 12 iterations under colorMax
+	_, err := Baseline(testDev(), g, Options{MaxIterations: 3})
+	if err == nil || !strings.Contains(err.Error(), "convergence") {
+		t.Errorf("expected convergence error, got %v", err)
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, a := range Algorithms() {
+		got, err := ParseAlgorithm(a.String())
+		if err != nil || got != a {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if Algorithm(99).String() != "algorithm(99)" {
+		t.Error("unknown Algorithm.String wrong")
+	}
+	if _, err := Color(testDev(), gen.Path(3), Algorithm(99), Options{}); err == nil {
+		t.Error("Color accepted unknown algorithm")
+	}
+}
+
+func TestBaselineMatchesCPUReference(t *testing.T) {
+	// The GPU baseline must reproduce the sequential colorMax reference
+	// bit for bit: same priority hash, same independent sets, same colors.
+	for _, name := range []string{"rmat", "grid", "star", "gnm"} {
+		g := suite()[name]
+		gpu, err := Baseline(testDev(), g, Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu := color.IterativeMax(g, 5)
+		for v := range cpu {
+			if gpu.Colors[v] != cpu[v] {
+				t.Fatalf("%s: vertex %d: gpu %d vs cpu reference %d",
+					name, v, gpu.Colors[v], cpu[v])
+			}
+		}
+	}
+}
+
+func TestCompactionModesAgree(t *testing.T) {
+	// Scan and atomic compaction rebuild the same worklists (scan preserves
+	// order; atomic mode is normalized to the same order), so colorings and
+	// iteration counts must match exactly; only cycle accounting differs.
+	g := gen.RMAT(9, 8, gen.Graph500, 6)
+	for _, alg := range Algorithms() {
+		scan, err := Color(testDev(), g, alg, Options{Seed: 3})
+		if err != nil {
+			t.Fatalf("%v/scan: %v", alg, err)
+		}
+		atomic, err := Color(testDev(), g, alg, Options{Seed: 3, Compaction: CompactionAtomic})
+		if err != nil {
+			t.Fatalf("%v/atomic: %v", alg, err)
+		}
+		if scan.Iterations != atomic.Iterations {
+			t.Errorf("%v: iterations differ: scan %d vs atomic %d", alg, scan.Iterations, atomic.Iterations)
+		}
+		for v := range scan.Colors {
+			if scan.Colors[v] != atomic.Colors[v] {
+				t.Fatalf("%v: colorings differ at vertex %d", alg, v)
+			}
+		}
+		if scan.Cycles == atomic.Cycles {
+			t.Logf("%v: identical cycles under both modes (possible but unusual)", alg)
+		}
+	}
+	if CompactionScan.String() != "scan" || CompactionAtomic.String() != "atomic" {
+		t.Error("CompactionMode.String wrong")
+	}
+}
+
+func TestSeedChangesColoring(t *testing.T) {
+	g := gen.GNM(300, 2400, 8)
+	a, err := Baseline(testDev(), g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Baseline(testDev(), g, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for v := range a.Colors {
+		if a.Colors[v] != b.Colors[v] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical colorings (suspicious)")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	g := gen.RMAT(8, 8, gen.Graph500, 4)
+	for _, alg := range Algorithms() {
+		a, err := Color(testDev(), g, alg, Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Color(testDev(), g, alg, Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range a.Colors {
+			if a.Colors[v] != b.Colors[v] {
+				t.Fatalf("%v: nondeterministic at vertex %d", alg, v)
+			}
+		}
+		if a.Cycles != b.Cycles {
+			t.Errorf("%v: cycle counts differ across identical runs: %d vs %d", alg, a.Cycles, b.Cycles)
+		}
+	}
+}
+
+// Property: every algorithm yields a proper coloring on arbitrary random
+// graphs; independent-set algorithms stay within n colors and speculative
+// within maxdeg+1.
+func TestAlgorithmsProperProperty(t *testing.T) {
+	dev := testDev()
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN)%80 + 1
+		g := gen.GNM(n, 4*n, seed)
+		for _, alg := range Algorithms() {
+			res, err := Color(dev, g, alg, Options{Seed: uint32(seed)})
+			if err != nil {
+				return false
+			}
+			if color.Verify(g, res.Colors) != nil {
+				return false
+			}
+			if alg == AlgSpeculative && res.NumColors > g.MaxDegree()+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

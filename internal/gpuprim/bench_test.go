@@ -1,0 +1,44 @@
+package gpuprim
+
+import (
+	"math/rand"
+	"testing"
+
+	"gcolor/internal/simt"
+)
+
+func BenchmarkExclusiveScan(b *testing.B) {
+	d := simt.NewDevice()
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(1))
+	host := make([]int32, n)
+	for i := range host {
+		host[i] = int32(rng.Intn(4))
+	}
+	src := d.BindInt32(host)
+	dst := d.AllocInt32(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExclusiveScan(d, src, dst, n, nil)
+	}
+}
+
+func BenchmarkCompact(b *testing.B) {
+	d := simt.NewDevice()
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(2))
+	items := make([]int32, n)
+	flags := make([]int32, n)
+	for i := range items {
+		items[i] = int32(i)
+		flags[i] = int32(rng.Intn(2))
+	}
+	itemsB := d.BindInt32(items)
+	flagsB := d.BindInt32(flags)
+	out := d.AllocInt32(n)
+	scratch := d.AllocInt32(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compact(d, itemsB, flagsB, out, scratch, n, nil)
+	}
+}

@@ -1,0 +1,147 @@
+// Package gpuprim provides device-side parallel primitives on the SIMT
+// simulator: work-efficient exclusive prefix sum (Blelloch scan) and
+// flag-based stream compaction. The coloring algorithms use compaction to
+// rebuild their worklists each iteration the way real GPU implementations
+// do — with properly costed kernels and a deterministic, order-preserving
+// result — instead of atomic appends whose output order depends on timing.
+package gpuprim
+
+import (
+	"fmt"
+
+	"gcolor/internal/simt"
+)
+
+// Charger receives every kernel launch a primitive performs so the caller
+// can fold the costs into its own accounting.
+type Charger func(*simt.RunResult)
+
+// ExclusiveScan computes the exclusive prefix sum of src[0:n] into dst[0:n]
+// on the device and returns the total sum. dst must not alias src. Kernel
+// launches are reported to charge (which may be nil).
+//
+// The implementation is the classic three-phase approach: block-level
+// Blelloch scans in LDS, a recursive scan of the per-block totals, and a
+// uniform add of the block offsets.
+func ExclusiveScan(dev *simt.Device, src, dst *simt.BufInt32, n int, charge Charger) int32 {
+	if n < 0 || n > src.Len() || n > dst.Len() {
+		panic(fmt.Sprintf("gpuprim: scan length %d out of range (src %d, dst %d)", n, src.Len(), dst.Len()))
+	}
+	if b := dev.WorkgroupSize; b&(b-1) != 0 {
+		panic(fmt.Sprintf("gpuprim: Blelloch block scan needs a power-of-two workgroup size, got %d", b))
+	}
+	if charge == nil {
+		charge = func(*simt.RunResult) {}
+	}
+	return scan(dev, src, dst, n, charge)
+}
+
+func scan(dev *simt.Device, src, dst *simt.BufInt32, n int, charge Charger) int32 {
+	if n == 0 {
+		return 0
+	}
+	block := dev.WorkgroupSize
+	numBlocks := (n + block - 1) / block
+	blockSums := dev.AllocInt32(numBlocks)
+
+	charge(blockScanKernel(dev, src, dst, blockSums, n))
+
+	if numBlocks == 1 {
+		return blockSums.Data()[0]
+	}
+	// Scan the block sums (recursively; one level suffices for millions of
+	// elements) and add each block's offset to its elements.
+	sumOffsets := dev.AllocInt32(numBlocks)
+	total := scan(dev, blockSums, sumOffsets, numBlocks, charge)
+	charge(uniformAddKernel(dev, dst, sumOffsets, n))
+	return total
+}
+
+// blockScanKernel performs an exclusive Blelloch scan of each workgroup-
+// sized block in LDS and records the block totals.
+func blockScanKernel(dev *simt.Device, src, dst, blockSums *simt.BufInt32, n int) *simt.RunResult {
+	block := int32(dev.WorkgroupSize)
+	numBlocks := (n + dev.WorkgroupSize - 1) / dev.WorkgroupSize
+	return dev.RunCoop("scan-block", numBlocks, func(g *simt.GroupCtx) {
+		lds := g.AllocLDS(int(block))
+		base := g.ID() * block
+		// Load (zero-padded past n).
+		g.ForEach(block, func(c *simt.Ctx, i int32) {
+			v := int32(0)
+			if base+i < int32(n) {
+				v = c.Ld(src, base+i)
+			}
+			c.LdsSt(lds, i, v)
+		})
+		g.Barrier()
+		// Up-sweep (reduce).
+		for stride := int32(1); stride < block; stride *= 2 {
+			s := stride
+			g.ForEach(block/(2*s), func(c *simt.Ctx, i int32) {
+				a := 2*s*i + s - 1
+				b := 2*s*i + 2*s - 1
+				c.Op(1)
+				c.LdsSt(lds, b, c.LdsLd(lds, a)+c.LdsLd(lds, b))
+			})
+			g.Barrier()
+		}
+		// Record the block total and clear the root.
+		g.One(func(c *simt.Ctx) {
+			c.St(blockSums, g.ID(), c.LdsLd(lds, block-1))
+			c.LdsSt(lds, block-1, 0)
+		})
+		g.Barrier()
+		// Down-sweep.
+		for stride := block / 2; stride >= 1; stride /= 2 {
+			s := stride
+			g.ForEach(block/(2*s), func(c *simt.Ctx, i int32) {
+				a := 2*s*i + s - 1
+				b := 2*s*i + 2*s - 1
+				va := c.LdsLd(lds, a)
+				vb := c.LdsLd(lds, b)
+				c.Op(1)
+				c.LdsSt(lds, a, vb)
+				c.LdsSt(lds, b, va+vb)
+			})
+			g.Barrier()
+		}
+		// Store.
+		g.ForEach(block, func(c *simt.Ctx, i int32) {
+			if base+i < int32(n) {
+				c.St(dst, base+i, c.LdsLd(lds, i))
+			}
+		})
+	})
+}
+
+// uniformAddKernel adds each block's scanned offset to its elements.
+func uniformAddKernel(dev *simt.Device, dst, offsets *simt.BufInt32, n int) *simt.RunResult {
+	wg := int32(dev.WorkgroupSize)
+	return dev.Run("scan-add", n, func(c *simt.Ctx) {
+		off := c.Ld(offsets, c.Global/wg)
+		c.Op(1)
+		c.St(dst, c.Global, c.Ld(dst, c.Global)+off)
+	})
+}
+
+// Compact copies items[i] (for i in [0, n)) whose flags[i] != 0 into out,
+// preserving order, and returns the number kept. scratch must hold at least
+// n elements and not alias the other buffers; it receives the scanned
+// offsets. Kernel launches are reported to charge (which may be nil).
+func Compact(dev *simt.Device, items, flags, out, scratch *simt.BufInt32, n int, charge Charger) int {
+	if n == 0 {
+		return 0
+	}
+	if charge == nil {
+		charge = func(*simt.RunResult) {}
+	}
+	// Normalize flags to 0/1 into scratch? Flags are documented 0/1; scan
+	// them directly.
+	kept := ExclusiveScan(dev, flags, scratch, n, charge)
+	charge(dev.Run("compact-scatter", n, func(c *simt.Ctx) {
+		if c.Ld(flags, c.Global) != 0 {
+			c.St(out, c.Ld(scratch, c.Global), c.Ld(items, c.Global))
+		}
+	}))
+	return int(kept)
+}

@@ -1,0 +1,196 @@
+package gpuprim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gcolor/internal/simt"
+)
+
+func scanDevice() *simt.Device {
+	d := simt.NewDevice()
+	d.NumCUs = 4
+	d.WavefrontWidth = 8
+	d.WorkgroupSize = 16
+	d.Workers = 2
+	return d
+}
+
+func hostExclusiveScan(src []int32) ([]int32, int32) {
+	out := make([]int32, len(src))
+	var sum int32
+	for i, v := range src {
+		out[i] = sum
+		sum += v
+	}
+	return out, sum
+}
+
+func TestExclusiveScanSingleBlock(t *testing.T) {
+	d := scanDevice()
+	src := d.BindInt32([]int32{3, 1, 4, 1, 5, 9, 2, 6})
+	dst := d.AllocInt32(8)
+	total := ExclusiveScan(d, src, dst, 8, nil)
+	want, wantTotal := hostExclusiveScan(src.Data())
+	if total != wantTotal {
+		t.Errorf("total = %d, want %d", total, wantTotal)
+	}
+	for i := range want {
+		if dst.Data()[i] != want[i] {
+			t.Fatalf("dst = %v, want %v", dst.Data(), want)
+		}
+	}
+}
+
+func TestExclusiveScanMultiBlock(t *testing.T) {
+	d := scanDevice() // block 16
+	const n = 1000    // 63 blocks -> recursion depth 2
+	rng := rand.New(rand.NewSource(5))
+	host := make([]int32, n)
+	for i := range host {
+		host[i] = int32(rng.Intn(10))
+	}
+	src := d.BindInt32(host)
+	dst := d.AllocInt32(n)
+	var launches int
+	total := ExclusiveScan(d, src, dst, n, func(rr *simt.RunResult) { launches++ })
+	want, wantTotal := hostExclusiveScan(host)
+	if total != wantTotal {
+		t.Fatalf("total = %d, want %d", total, wantTotal)
+	}
+	for i := range want {
+		if dst.Data()[i] != want[i] {
+			t.Fatalf("mismatch at %d: %d vs %d", i, dst.Data()[i], want[i])
+		}
+	}
+	if launches < 3 {
+		t.Errorf("multi-block scan used %d launches, want >= 3 (block scan, sums scan, add)", launches)
+	}
+}
+
+func TestExclusiveScanEmptyAndOne(t *testing.T) {
+	d := scanDevice()
+	dst := d.AllocInt32(4)
+	if total := ExclusiveScan(d, d.AllocInt32(4), dst, 0, nil); total != 0 {
+		t.Errorf("empty scan total = %d", total)
+	}
+	src := d.BindInt32([]int32{7})
+	if total := ExclusiveScan(d, src, dst, 1, nil); total != 7 || dst.Data()[0] != 0 {
+		t.Errorf("one-element scan: total=%d dst0=%d", total, dst.Data()[0])
+	}
+}
+
+func TestExclusiveScanPanics(t *testing.T) {
+	d := scanDevice()
+	buf := d.AllocInt32(4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range n did not panic")
+			}
+		}()
+		ExclusiveScan(d, buf, buf, 10, nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("non-power-of-two workgroup did not panic")
+			}
+		}()
+		bad := scanDevice()
+		bad.WorkgroupSize = 24
+		ExclusiveScan(bad, bad.AllocInt32(32), bad.AllocInt32(32), 32, nil)
+	}()
+}
+
+func TestCompactBasic(t *testing.T) {
+	d := scanDevice()
+	items := d.BindInt32([]int32{10, 11, 12, 13, 14, 15})
+	flags := d.BindInt32([]int32{1, 0, 1, 1, 0, 1})
+	out := d.AllocInt32(6)
+	scratch := d.AllocInt32(6)
+	kept := Compact(d, items, flags, out, scratch, 6, nil)
+	if kept != 4 {
+		t.Fatalf("kept = %d, want 4", kept)
+	}
+	want := []int32{10, 12, 13, 15}
+	for i, w := range want {
+		if out.Data()[i] != w {
+			t.Fatalf("out = %v, want prefix %v", out.Data()[:kept], want)
+		}
+	}
+}
+
+func TestCompactAllAndNone(t *testing.T) {
+	d := scanDevice()
+	items := d.BindInt32([]int32{1, 2, 3})
+	out := d.AllocInt32(3)
+	scratch := d.AllocInt32(3)
+	all := d.BindInt32([]int32{1, 1, 1})
+	if kept := Compact(d, items, all, out, scratch, 3, nil); kept != 3 {
+		t.Errorf("all-flags kept = %d", kept)
+	}
+	none := d.BindInt32([]int32{0, 0, 0})
+	if kept := Compact(d, items, none, out, scratch, 3, nil); kept != 0 {
+		t.Errorf("no-flags kept = %d", kept)
+	}
+	if kept := Compact(d, items, all, out, scratch, 0, nil); kept != 0 {
+		t.Errorf("n=0 kept = %d", kept)
+	}
+}
+
+// Property: device scan and compaction match their host references for
+// arbitrary inputs and any power-of-two workgroup size.
+func TestScanCompactProperty(t *testing.T) {
+	f := func(raw []uint8, wgExp uint8) bool {
+		d := simt.NewDevice()
+		d.NumCUs = 3
+		d.WavefrontWidth = 4
+		d.WorkgroupSize = 4 << (wgExp % 4) // 4..32
+		d.Workers = 2
+		n := len(raw)
+		host := make([]int32, n)
+		flagsHost := make([]int32, n)
+		for i, r := range raw {
+			host[i] = int32(r % 7)
+			flagsHost[i] = int32(r % 2)
+		}
+		src := d.BindInt32(host)
+		dst := d.AllocInt32(n)
+		total := ExclusiveScan(d, src, dst, n, nil)
+		want, wantTotal := hostExclusiveScan(host)
+		if total != wantTotal {
+			return false
+		}
+		for i := range want {
+			if dst.Data()[i] != want[i] {
+				return false
+			}
+		}
+		// Compaction against the host reference.
+		items := d.BindInt32(host)
+		flags := d.BindInt32(flagsHost)
+		out := d.AllocInt32(n)
+		scratch := d.AllocInt32(n)
+		kept := Compact(d, items, flags, out, scratch, n, nil)
+		var ref []int32
+		for i, f := range flagsHost {
+			if f != 0 {
+				ref = append(ref, host[i])
+			}
+		}
+		if kept != len(ref) {
+			return false
+		}
+		for i, w := range ref {
+			if out.Data()[i] != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

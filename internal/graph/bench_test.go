@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchEdges(n, m int) [][2]int32 {
+	rng := rand.New(rand.NewSource(1))
+	edges := make([][2]int32, m)
+	for i := range edges {
+		edges[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	return edges
+}
+
+func BenchmarkBuild(b *testing.B) {
+	const n = 1 << 14
+	edges := benchEdges(n, 12*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromEdges(n, edges)
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	const n = 1 << 14
+	g := FromEdges(n, benchEdges(n, 12*n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStats(b *testing.B) {
+	const n = 1 << 14
+	g := FromEdges(n, benchEdges(n, 12*n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Stats()
+	}
+}
+
+func BenchmarkRelabel(b *testing.B) {
+	const n = 1 << 14
+	g := FromEdges(n, benchEdges(n, 12*n))
+	perm := DegreeOrder(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Relabel(g, perm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

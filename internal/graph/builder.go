@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates undirected edges and produces a simple Graph in CSR
+// form. It deduplicates edges, drops self loops, and symmetrizes, so callers
+// may add each edge once in either direction (or both; duplicates are free).
+//
+// Builder is not safe for concurrent use.
+type Builder struct {
+	n     int
+	edges []arc // directed arcs, both directions added per edge
+}
+
+type arc struct{ u, v int32 }
+
+// NewBuilder returns a builder for a graph with n vertices (ids 0..n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Builder{n: n}
+}
+
+// NumVertices returns the vertex count the builder was created with.
+func (b *Builder) NumVertices() int { return b.n }
+
+// AddEdge records the undirected edge {u, v}. Self loops are dropped
+// silently; out-of-range endpoints panic (they indicate a caller bug).
+func (b *Builder) AddEdge(u, v int32) {
+	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	b.edges = append(b.edges, arc{u, v}, arc{v, u})
+}
+
+// Grow raises the vertex count to at least n (no-op if already larger).
+func (b *Builder) Grow(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// Build produces the CSR graph. The builder may be reused afterwards; built
+// graphs do not alias builder storage.
+func (b *Builder) Build() *Graph {
+	// Counting sort by source vertex, then sort+dedup each adjacency range.
+	offsets := make([]int32, b.n+1)
+	for _, e := range b.edges {
+		offsets[e.u+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	adj := make([]int32, len(b.edges))
+	cursor := make([]int32, b.n)
+	copy(cursor, offsets[:b.n])
+	for _, e := range b.edges {
+		adj[cursor[e.u]] = e.v
+		cursor[e.u]++
+	}
+	// Sort and dedup each range, compacting in place.
+	out := adj[:0]
+	newOffsets := make([]int32, b.n+1)
+	for v := 0; v < b.n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		rng := adj[lo:hi]
+		sort.Slice(rng, func(i, j int) bool { return rng[i] < rng[j] })
+		newOffsets[v] = int32(len(out))
+		var prev int32 = -1
+		for _, u := range rng {
+			if u != prev {
+				out = append(out, u)
+				prev = u
+			}
+		}
+	}
+	newOffsets[b.n] = int32(len(out))
+	compact := make([]int32, len(out))
+	copy(compact, out)
+	return &Graph{offsets: newOffsets, adj: compact}
+}
+
+// FromEdges builds a graph with n vertices from an undirected edge list.
+// Edges may appear in any order and direction; duplicates and self loops are
+// ignored.
+func FromEdges(n int, edges [][2]int32) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// Relabel returns a copy of g with vertices renamed by perm: new id of
+// vertex v is perm[v]. perm must be a permutation of 0..n-1; Relabel returns
+// an error otherwise. Relabelling changes which vertices share wavefronts
+// and workgroup chunks on the simulated GPU, which is how the experiments
+// probe sensitivity to hub placement.
+func Relabel(g *Graph, perm []int32) (*Graph, error) {
+	n := g.NumVertices()
+	if len(perm) != n {
+		return nil, fmt.Errorf("graph: perm length %d, want %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || int(p) >= n || seen[p] {
+			return nil, fmt.Errorf("graph: perm is not a permutation (value %d)", p)
+		}
+		seen[p] = true
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(int32(v)) {
+			if int32(v) < u { // each undirected edge once
+				b.AddEdge(perm[v], perm[u])
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// DegreeOrder returns a permutation that relabels vertices by descending
+// degree (ties by original id), i.e. perm[v] is the new id of v.
+func DegreeOrder(g *Graph) []int32 {
+	n := g.NumVertices()
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.SliceStable(ids, func(i, j int) bool {
+		return g.Degree(ids[i]) > g.Degree(ids[j])
+	})
+	perm := make([]int32, n)
+	for newID, old := range ids {
+		perm[old] = int32(newID)
+	}
+	return perm
+}

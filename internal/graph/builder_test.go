@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderGrow(t *testing.T) {
+	b := NewBuilder(2)
+	b.Grow(5)
+	b.AddEdge(0, 4)
+	g := b.Build()
+	if g.NumVertices() != 5 {
+		t.Errorf("NumVertices = %d, want 5", g.NumVertices())
+	}
+	b.Grow(3) // shrink attempts are no-ops
+	if b.NumVertices() != 5 {
+		t.Errorf("Grow shrank builder to %d", b.NumVertices())
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddEdge out of range did not panic")
+		}
+	}()
+	NewBuilder(3).AddEdge(0, 3)
+}
+
+func TestNewBuilderPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBuilder(-1) did not panic")
+		}
+	}()
+	NewBuilder(-1)
+}
+
+func TestBuilderReuse(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	g1 := b.Build()
+	b.AddEdge(1, 2)
+	g2 := b.Build()
+	if g1.NumEdges() != 1 {
+		t.Errorf("first build mutated by later AddEdge: %d edges", g1.NumEdges())
+	}
+	if g2.NumEdges() != 2 {
+		t.Errorf("second build has %d edges, want 2", g2.NumEdges())
+	}
+}
+
+func TestRelabelIdentity(t *testing.T) {
+	g := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	perm := []int32{0, 1, 2, 3}
+	r, err := Relabel(g, perm)
+	if err != nil {
+		t.Fatalf("Relabel: %v", err)
+	}
+	if r.NumEdges() != g.NumEdges() {
+		t.Errorf("identity relabel changed edge count")
+	}
+	for v := int32(0); v < 3; v++ {
+		if !r.HasEdge(v, v+1) {
+			t.Errorf("edge %d-%d lost", v, v+1)
+		}
+	}
+}
+
+func TestRelabelReverse(t *testing.T) {
+	g := FromEdges(4, [][2]int32{{0, 1}, {2, 3}})
+	perm := []int32{3, 2, 1, 0}
+	r, err := Relabel(g, perm)
+	if err != nil {
+		t.Fatalf("Relabel: %v", err)
+	}
+	if !r.HasEdge(3, 2) || !r.HasEdge(1, 0) {
+		t.Error("reversed edges missing after relabel")
+	}
+	if r.HasEdge(0, 1) && !g.HasEdge(2, 3) {
+		t.Error("unexpected edge")
+	}
+}
+
+func TestRelabelRejectsBadPerm(t *testing.T) {
+	g := FromEdges(3, [][2]int32{{0, 1}})
+	if _, err := Relabel(g, []int32{0, 1}); err == nil {
+		t.Error("short perm accepted")
+	}
+	if _, err := Relabel(g, []int32{0, 0, 1}); err == nil {
+		t.Error("non-bijective perm accepted")
+	}
+	if _, err := Relabel(g, []int32{0, 1, 3}); err == nil {
+		t.Error("out-of-range perm accepted")
+	}
+}
+
+func TestDegreeOrder(t *testing.T) {
+	// Vertex 2 has the highest degree in the test graph; it must map to 0.
+	g := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	perm := DegreeOrder(g)
+	if perm[2] != 0 {
+		t.Errorf("highest-degree vertex mapped to %d, want 0", perm[2])
+	}
+	if perm[3] != 3 {
+		t.Errorf("lowest-degree vertex mapped to %d, want 3", perm[3])
+	}
+	r, err := Relabel(g, perm)
+	if err != nil {
+		t.Fatalf("Relabel: %v", err)
+	}
+	// Degrees must now be non-increasing.
+	for v := 0; v+1 < r.NumVertices(); v++ {
+		if r.Degree(int32(v)) < r.Degree(int32(v+1)) {
+			t.Errorf("degrees not sorted: deg(%d)=%d < deg(%d)=%d",
+				v, r.Degree(int32(v)), v+1, r.Degree(int32(v+1)))
+		}
+	}
+}
+
+// Property: relabelling preserves the degree multiset and edge count, and
+// relabelling by the inverse permutation restores the original graph.
+func TestRelabelRoundTripProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN)%40 + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := FromEdges(n, randomEdges(rng, n, 3*n))
+		perm := make([]int32, n)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		r, err := Relabel(g, perm)
+		if err != nil {
+			return false
+		}
+		if r.NumEdges() != g.NumEdges() {
+			return false
+		}
+		inv := make([]int32, n)
+		for old, nw := range perm {
+			inv[nw] = int32(old)
+		}
+		back, err := Relabel(r, inv)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if back.Degree(int32(v)) != g.Degree(int32(v)) {
+				return false
+			}
+			nbr, orig := back.Neighbors(int32(v)), g.Neighbors(int32(v))
+			for i := range orig {
+				if nbr[i] != orig[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

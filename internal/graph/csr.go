@@ -1,0 +1,221 @@
+// Package graph provides the compressed-sparse-row (CSR) graph representation
+// shared by every algorithm and by the SIMT simulator in this repository.
+//
+// Graphs are simple and undirected: every undirected edge {u, v} is stored as
+// the two directed arcs u->v and v->u, self loops and duplicate edges are
+// removed at build time, and adjacency lists are sorted by neighbour id.
+// Vertex ids and CSR offsets are int32 so that the same arrays can be bound
+// directly as simulated-GPU buffers; this caps graphs at 2^31-1 arcs, far
+// beyond the scale exercised here.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Graph is an undirected graph in CSR form. The zero value is the empty
+// graph. Construct non-empty graphs with NewBuilder or FromSortedCSR.
+type Graph struct {
+	offsets []int32 // len n+1; arc range of vertex v is offsets[v]:offsets[v+1]
+	adj     []int32 // len m (directed arcs); sorted within each vertex range
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// NumArcs returns the number of directed arcs (twice the undirected edges).
+func (g *Graph) NumArcs() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.adj) / 2 }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted adjacency list of v as a shared sub-slice;
+// callers must not modify it.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Offsets returns the CSR offset array (length NumVertices+1) as a shared
+// slice; callers must not modify it.
+func (g *Graph) Offsets() []int32 { return g.offsets }
+
+// Adj returns the CSR adjacency array as a shared slice; callers must not
+// modify it.
+func (g *Graph) Adj() []int32 { return g.adj }
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int32) bool {
+	nbr := g.Neighbors(u)
+	i := sort.Search(len(nbr), func(i int) bool { return nbr[i] >= v })
+	return i < len(nbr) && nbr[i] == v
+}
+
+// MaxDegree returns the maximum vertex degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(int32(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the mean vertex degree (0 for the empty graph).
+func (g *Graph) AvgDegree() float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return float64(g.NumArcs()) / float64(n)
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d maxdeg=%d}", g.NumVertices(), g.NumEdges(), g.MaxDegree())
+}
+
+// Validate checks the structural invariants of the CSR representation:
+// offsets are monotone and bracket adj, neighbour ids are in range and
+// strictly increasing (sorted, no duplicates, no self loops), and every arc
+// has its reverse. It returns a descriptive error for the first violation.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if len(g.offsets) == 0 {
+		if len(g.adj) != 0 {
+			return fmt.Errorf("graph: nil offsets with %d arcs", len(g.adj))
+		}
+		return nil
+	}
+	if g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
+	}
+	if int(g.offsets[n]) != len(g.adj) {
+		return fmt.Errorf("graph: offsets[n] = %d, want %d", g.offsets[n], len(g.adj))
+	}
+	for v := 0; v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+		nbr := g.Neighbors(int32(v))
+		for i, u := range nbr {
+			if u < 0 || int(u) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbour %d", v, u)
+			}
+			if int32(v) == u {
+				return fmt.Errorf("graph: self loop at vertex %d", v)
+			}
+			if i > 0 && nbr[i-1] >= u {
+				return fmt.Errorf("graph: adjacency of vertex %d not strictly sorted at index %d", v, i)
+			}
+		}
+	}
+	// Symmetry: every arc must have its reverse.
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(int32(v)) {
+			if !g.HasEdge(u, int32(v)) {
+				return fmt.Errorf("graph: arc %d->%d has no reverse", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// FromSortedCSR wraps pre-built CSR arrays in a Graph without copying.
+// The arrays must already satisfy the invariants checked by Validate;
+// FromSortedCSR verifies them and returns an error otherwise.
+func FromSortedCSR(offsets, adj []int32) (*Graph, error) {
+	g := &Graph{offsets: offsets, adj: adj}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		offsets: make([]int32, len(g.offsets)),
+		adj:     make([]int32, len(g.adj)),
+	}
+	copy(c.offsets, g.offsets)
+	copy(c.adj, g.adj)
+	return c
+}
+
+// Degrees returns a freshly allocated slice of all vertex degrees.
+func (g *Graph) Degrees() []int32 {
+	n := g.NumVertices()
+	d := make([]int32, n)
+	for v := 0; v < n; v++ {
+		d[v] = g.offsets[v+1] - g.offsets[v]
+	}
+	return d
+}
+
+// DegreeStats summarizes the degree distribution of a graph.
+type DegreeStats struct {
+	Min, Max   int
+	Mean       float64
+	StdDev     float64
+	CV         float64 // coefficient of variation: StdDev/Mean (0 if Mean==0)
+	P50, P90   int
+	P99        int
+	MaxOverAvg float64 // Max/Mean (0 if Mean==0)
+}
+
+// Stats computes degree-distribution statistics in one pass plus a sort for
+// the percentiles.
+func (g *Graph) Stats() DegreeStats {
+	n := g.NumVertices()
+	if n == 0 {
+		return DegreeStats{}
+	}
+	degs := make([]int, n)
+	var sum, sumsq float64
+	min, max := math.MaxInt, 0
+	for v := 0; v < n; v++ {
+		d := g.Degree(int32(v))
+		degs[v] = d
+		sum += float64(d)
+		sumsq += float64(d) * float64(d)
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	sd := math.Sqrt(variance)
+	sort.Ints(degs)
+	pct := func(p float64) int {
+		i := int(p * float64(n-1))
+		return degs[i]
+	}
+	st := DegreeStats{
+		Min: min, Max: max, Mean: mean, StdDev: sd,
+		P50: pct(0.50), P90: pct(0.90), P99: pct(0.99),
+	}
+	if mean > 0 {
+		st.CV = sd / mean
+		st.MaxOverAvg = float64(max) / mean
+	}
+	return st
+}

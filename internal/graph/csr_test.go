@@ -1,0 +1,229 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// triangle plus a pendant: 0-1, 1-2, 2-0, 2-3
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	var g Graph
+	if g.NumVertices() != 0 || g.NumArcs() != 0 || g.NumEdges() != 0 {
+		t.Errorf("empty graph reports n=%d arcs=%d edges=%d", g.NumVertices(), g.NumArcs(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate(empty) = %v", err)
+	}
+	if g.MaxDegree() != 0 || g.AvgDegree() != 0 {
+		t.Errorf("empty graph degree stats nonzero")
+	}
+	st := g.Stats()
+	if st.Mean != 0 || st.Max != 0 {
+		t.Errorf("empty graph Stats = %+v", st)
+	}
+}
+
+func TestBasicCounts(t *testing.T) {
+	g := testGraph(t)
+	if got := g.NumVertices(); got != 4 {
+		t.Errorf("NumVertices = %d, want 4", got)
+	}
+	if got := g.NumEdges(); got != 4 {
+		t.Errorf("NumEdges = %d, want 4", got)
+	}
+	if got := g.NumArcs(); got != 8 {
+		t.Errorf("NumArcs = %d, want 8", got)
+	}
+	wantDeg := []int{2, 2, 3, 1}
+	for v, want := range wantDeg {
+		if got := g.Degree(int32(v)); got != want {
+			t.Errorf("Degree(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if got := g.MaxDegree(); got != 3 {
+		t.Errorf("MaxDegree = %d, want 3", got)
+	}
+	if got := g.AvgDegree(); got != 2 {
+		t.Errorf("AvgDegree = %v, want 2", got)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := testGraph(t)
+	nbr := g.Neighbors(2)
+	want := []int32{0, 1, 3}
+	if len(nbr) != len(want) {
+		t.Fatalf("Neighbors(2) = %v, want %v", nbr, want)
+	}
+	for i := range want {
+		if nbr[i] != want[i] {
+			t.Fatalf("Neighbors(2) = %v, want %v", nbr, want)
+		}
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := testGraph(t)
+	cases := []struct {
+		u, v int32
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {2, 3, true}, {3, 2, true},
+		{0, 3, false}, {3, 0, false}, {1, 3, false}, {0, 0, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestSelfLoopsAndDuplicatesDropped(t *testing.T) {
+	g := FromEdges(3, [][2]int32{{0, 1}, {1, 0}, {0, 1}, {1, 1}, {2, 2}})
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.Degree(2) != 0 {
+		t.Errorf("Degree(2) = %d, want 0 (self loop dropped)", g.Degree(2))
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	g := FromEdges(10, [][2]int32{{0, 9}})
+	if g.NumVertices() != 10 {
+		t.Errorf("NumVertices = %d, want 10", g.NumVertices())
+	}
+	for v := int32(1); v < 9; v++ {
+		if g.Degree(v) != 0 {
+			t.Errorf("Degree(%d) = %d, want 0", v, g.Degree(v))
+		}
+	}
+}
+
+func TestFromSortedCSR(t *testing.T) {
+	offsets := []int32{0, 1, 2}
+	adj := []int32{1, 0}
+	g, err := FromSortedCSR(offsets, adj)
+	if err != nil {
+		t.Fatalf("FromSortedCSR: %v", err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Error("edge 0-1 missing")
+	}
+	// Broken inputs must be rejected.
+	if _, err := FromSortedCSR([]int32{0, 2, 2}, []int32{1, 1}); err == nil {
+		t.Error("duplicate neighbours accepted")
+	}
+	if _, err := FromSortedCSR([]int32{0, 1, 2}, []int32{1, 1}); err == nil {
+		t.Error("asymmetric arcs accepted")
+	}
+	if _, err := FromSortedCSR([]int32{0, 1, 1}, []int32{5}); err == nil {
+		t.Error("out-of-range neighbour accepted")
+	}
+	if _, err := FromSortedCSR([]int32{1, 1}, nil); err == nil {
+		t.Error("offsets[0] != 0 accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := testGraph(t)
+	c := g.Clone()
+	c.adj[0] = 99 // mutating the clone must not affect the original
+	if g.adj[0] == 99 {
+		t.Error("Clone aliases original storage")
+	}
+}
+
+func TestStats(t *testing.T) {
+	// Star graph: hub degree n-1, leaves degree 1.
+	n := 101
+	edges := make([][2]int32, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int32{0, int32(v)})
+	}
+	g := FromEdges(n, edges)
+	st := g.Stats()
+	if st.Max != n-1 || st.Min != 1 {
+		t.Errorf("star stats min/max = %d/%d, want 1/%d", st.Min, st.Max, n-1)
+	}
+	if st.P50 != 1 {
+		t.Errorf("star P50 = %d, want 1", st.P50)
+	}
+	wantMean := float64(2*(n-1)) / float64(n)
+	if diff := st.Mean - wantMean; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("star mean = %v, want %v", st.Mean, wantMean)
+	}
+	if st.CV <= 1 {
+		t.Errorf("star CV = %v, want > 1 (highly skewed)", st.CV)
+	}
+	// Cycle graph: every degree exactly 2 -> CV 0.
+	cyc := make([][2]int32, n)
+	for v := 0; v < n; v++ {
+		cyc[v] = [2]int32{int32(v), int32((v + 1) % n)}
+	}
+	cg := FromEdges(n, cyc)
+	cst := cg.Stats()
+	if cst.CV != 0 || cst.Min != 2 || cst.Max != 2 {
+		t.Errorf("cycle stats = %+v, want degree exactly 2 everywhere", cst)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := testGraph(t)
+	d := g.Degrees()
+	want := []int32{2, 2, 3, 1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("Degrees = %v, want %v", d, want)
+		}
+	}
+}
+
+// randomEdges produces a reproducible random edge set over n vertices.
+func randomEdges(rng *rand.Rand, n, m int) [][2]int32 {
+	edges := make([][2]int32, m)
+	for i := range edges {
+		edges[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	return edges
+}
+
+// Property: any random edge list builds a graph that passes Validate and
+// where HasEdge agrees with membership in the input (modulo self loops).
+func TestBuildValidatesProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8, rawM uint8) bool {
+		n := int(rawN)%50 + 1
+		m := int(rawM) % 200
+		rng := rand.New(rand.NewSource(seed))
+		edges := randomEdges(rng, n, m)
+		g := FromEdges(n, edges)
+		if err := g.Validate(); err != nil {
+			t.Logf("Validate failed: %v", err)
+			return false
+		}
+		for _, e := range edges {
+			if e[0] != e[1] && !g.HasEdge(e[0], e[1]) {
+				t.Logf("edge %v missing", e)
+				return false
+			}
+		}
+		// Handshake: arc count is even.
+		return g.NumArcs()%2 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the three text formats the tools accept:
+//
+//   - edge list: one "u v" pair per line, 0-based, '#' or '%' comments;
+//     the vertex count is max id + 1 unless a leading "# n <count>" line
+//     raises it.
+//   - DIMACS coloring format (.col): "c" comments, one "p edge <n> <m>"
+//     problem line, "e <u> <v>" edges, 1-based.
+//   - MatrixMarket coordinate pattern (.mtx): "%%MatrixMarket matrix
+//     coordinate pattern <symmetry>" header, "<rows> <cols> <nnz>" size
+//     line, 1-based "i j" entries. The matrix is treated as the adjacency
+//     structure of an undirected graph (general matrices are symmetrized).
+
+// ReadEdgeList parses the edge-list format from r.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var edges [][2]int32
+	declared := 0
+	maxID := int32(-1)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			// Optional "# n <count>" directive.
+			f := strings.Fields(strings.TrimLeft(text, "#% "))
+			if len(f) == 2 && f[0] == "n" {
+				n, err := strconv.Atoi(f[1])
+				if err == nil && n > declared {
+					declared = n
+				}
+			}
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("edgelist line %d: want two fields, got %q", line, text)
+		}
+		u, err := strconv.ParseInt(f[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("edgelist line %d: %v", line, err)
+		}
+		v, err := strconv.ParseInt(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("edgelist line %d: %v", line, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("edgelist line %d: negative vertex id", line)
+		}
+		edges = append(edges, [2]int32{int32(u), int32(v)})
+		if int32(u) > maxID {
+			maxID = int32(u)
+		}
+		if int32(v) > maxID {
+			maxID = int32(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	n := int(maxID) + 1
+	if declared > n {
+		n = declared
+	}
+	return FromEdges(n, edges), nil
+}
+
+// WriteEdgeList writes g in the edge-list format (each undirected edge once,
+// with a "# n" directive so isolated trailing vertices survive a round trip).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# n %d\n", g.NumVertices()); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(int32(v)) {
+			if int32(v) < u {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDIMACS parses the DIMACS graph-coloring (.col) format from r.
+func ReadDIMACS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		f := strings.Fields(text)
+		switch f[0] {
+		case "p":
+			if b != nil {
+				return nil, fmt.Errorf("dimacs line %d: duplicate problem line", line)
+			}
+			if len(f) < 3 {
+				return nil, fmt.Errorf("dimacs line %d: malformed problem line %q", line, text)
+			}
+			n, err := strconv.Atoi(f[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dimacs line %d: bad vertex count %q", line, f[2])
+			}
+			b = NewBuilder(n)
+		case "e":
+			if b == nil {
+				return nil, fmt.Errorf("dimacs line %d: edge before problem line", line)
+			}
+			if len(f) < 3 {
+				return nil, fmt.Errorf("dimacs line %d: malformed edge %q", line, text)
+			}
+			u, err1 := strconv.Atoi(f[1])
+			v, err2 := strconv.Atoi(f[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("dimacs line %d: malformed edge %q", line, text)
+			}
+			if u < 1 || v < 1 || u > b.NumVertices() || v > b.NumVertices() {
+				return nil, fmt.Errorf("dimacs line %d: edge (%d,%d) out of range 1..%d", line, u, v, b.NumVertices())
+			}
+			b.AddEdge(int32(u-1), int32(v-1))
+		default:
+			return nil, fmt.Errorf("dimacs line %d: unknown record %q", line, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("dimacs: missing problem line")
+	}
+	return b.Build(), nil
+}
+
+// WriteDIMACS writes g in the DIMACS .col format.
+func WriteDIMACS(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p edge %d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(int32(v)) {
+			if int32(v) < u {
+				if _, err := fmt.Fprintf(bw, "e %d %d\n", v+1, u+1); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate-pattern matrix as an
+// undirected graph. Square matrices only; the diagonal is dropped.
+func ReadMatrixMarket(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mtx: empty input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("mtx: unsupported header %q", sc.Text())
+	}
+	// header[3] is the field (pattern/real/integer); values, if present, are
+	// ignored — only the sparsity structure matters for coloring.
+	var b *Builder
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		f := strings.Fields(text)
+		if b == nil { // size line
+			if len(f) < 3 {
+				return nil, fmt.Errorf("mtx line %d: malformed size line %q", line, text)
+			}
+			rows, err1 := strconv.Atoi(f[0])
+			cols, err2 := strconv.Atoi(f[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("mtx line %d: malformed size line %q", line, text)
+			}
+			if rows != cols {
+				return nil, fmt.Errorf("mtx: matrix is %dx%d, want square", rows, cols)
+			}
+			b = NewBuilder(rows)
+			continue
+		}
+		if len(f) < 2 {
+			return nil, fmt.Errorf("mtx line %d: malformed entry %q", line, text)
+		}
+		i, err1 := strconv.Atoi(f[0])
+		j, err2 := strconv.Atoi(f[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("mtx line %d: malformed entry %q", line, text)
+		}
+		if i < 1 || j < 1 || i > b.NumVertices() || j > b.NumVertices() {
+			return nil, fmt.Errorf("mtx line %d: entry (%d,%d) out of range", line, i, j)
+		}
+		if i != j {
+			b.AddEdge(int32(i-1), int32(j-1))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("mtx: missing size line")
+	}
+	return b.Build(), nil
+}

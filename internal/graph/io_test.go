@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := "# a comment\n# n 6\n0 1\n1 2\n\n% another comment\n2 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.NumVertices() != 6 {
+		t.Errorf("NumVertices = %d, want 6 (from directive)", g.NumVertices())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{"0\n", "a b\n", "0 x\n", "-1 2\n"}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadEdgeList(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := FromEdges(30, randomEdges(rng, 30, 100))
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	assertSameGraph(t, g, back)
+}
+
+func TestReadDIMACS(t *testing.T) {
+	in := "c comment\np edge 4 3\ne 1 2\ne 2 3\ne 3 4\n"
+	g, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadDIMACS: %v", err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 3 {
+		t.Errorf("got n=%d m=%d, want 4, 3", g.NumVertices(), g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 3) {
+		t.Error("expected edges missing (1-based conversion broken?)")
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"e 1 2\n",                  // edge before problem line
+		"p edge 2 1\ne 1 3\n",      // out of range
+		"p edge 2 1\np edge 2 1\n", // duplicate problem line
+		"p edge\n",                 // malformed problem line
+		"p edge 2 1\ne 1\n",        // malformed edge
+		"p edge 2 1\nq 1 2\n",      // unknown record
+		"p edge x 1\n",             // bad count
+		"",                         // missing problem line
+		"p edge 2 1\ne one two\n",  // non-numeric edge
+	}
+	for _, in := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadDIMACS(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := FromEdges(25, randomEdges(rng, 25, 80))
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g); err != nil {
+		t.Fatalf("WriteDIMACS: %v", err)
+	}
+	back, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatalf("ReadDIMACS: %v", err)
+	}
+	assertSameGraph(t, g, back)
+}
+
+func TestReadMatrixMarket(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+% comment
+3 3 3
+1 2
+2 3
+1 1
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadMatrixMarket: %v", err)
+	}
+	if g.NumVertices() != 3 {
+		t.Errorf("NumVertices = %d, want 3", g.NumVertices())
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2 (diagonal dropped)", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Error("expected edges missing")
+	}
+}
+
+func TestReadMatrixMarketRealField(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 3.5\n2 1 3.5\n"
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadMatrixMarket: %v", err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Error("edge missing from real-valued matrix")
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n",
+		"%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n",
+		"%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 9\n",
+		"%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1\n",
+		"%%MatrixMarket matrix coordinate pattern general\nx y z\n",
+		"%%MatrixMarket matrix coordinate pattern general\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadMatrixMarket(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func assertSameGraph(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("graphs differ: n=%d/%d m=%d/%d",
+			a.NumVertices(), b.NumVertices(), a.NumEdges(), b.NumEdges())
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		na, nb := a.Neighbors(int32(v)), b.Neighbors(int32(v))
+		if len(na) != len(nb) {
+			t.Fatalf("vertex %d degree differs: %d vs %d", v, len(na), len(nb))
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("vertex %d adjacency differs at %d: %d vs %d", v, i, na[i], nb[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package metrics provides the load-imbalance statistics used throughout the
+// evaluation: distribution summaries (CV, max/mean, Gini) and power-of-two
+// histograms over per-lane / per-wavefront / per-CU work tallies.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes the distribution of a non-negative work measure.
+type Summary struct {
+	N           int
+	Min, Max    float64
+	Sum, Mean   float64
+	StdDev      float64
+	CV          float64 // StdDev / Mean; 0 when Mean == 0
+	MaxOverMean float64 // the paper's headline imbalance measure; 0 when Mean == 0
+	Gini        float64 // 0 = perfectly balanced, ->1 = one worker does everything
+}
+
+// Summarize computes a Summary over xs. An empty slice yields the zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sumsq float64
+	for _, x := range xs {
+		s.Sum += x
+		sumsq += x * x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	variance := sumsq/float64(s.N) - s.Mean*s.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	s.StdDev = math.Sqrt(variance)
+	if s.Mean > 0 {
+		s.CV = s.StdDev / s.Mean
+		s.MaxOverMean = s.Max / s.Mean
+	}
+	s.Gini = gini(xs)
+	return s
+}
+
+// SummarizeInt64 is Summarize for integer work tallies.
+func SummarizeInt64(xs []int64) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// gini computes the Gini coefficient of a non-negative sample (sorted copy).
+func gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var cum, weighted float64
+	for i, x := range sorted {
+		cum += x
+		weighted += float64(i+1) * x
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted - float64(n+1)*cum) / (float64(n) * cum)
+}
+
+// String renders the summary compactly for reports.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f max=%.0f cv=%.2f max/mean=%.1f gini=%.2f",
+		s.N, s.Mean, s.Max, s.CV, s.MaxOverMean, s.Gini)
+}
+
+// Histogram buckets non-negative values by power of two: bucket 0 holds
+// value 0, bucket k holds values in [2^(k-1), 2^k).
+type Histogram struct {
+	counts []int64
+	total  int64
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v int64) {
+	b := bucketOf(v)
+	for len(h.counts) <= b {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[b]++
+	h.total++
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return 64 - bitsLeadingZeros64(uint64(v))
+}
+
+func bitsLeadingZeros64(x uint64) int {
+	n := 0
+	for x != 0 {
+		x >>= 1
+		n++
+	}
+	return 64 - n
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Buckets returns (label, count) pairs for all non-empty trailing buckets.
+func (h *Histogram) Buckets() []HistBucket {
+	out := make([]HistBucket, 0, len(h.counts))
+	for i, c := range h.counts {
+		lo, hi := bucketBounds(i)
+		out = append(out, HistBucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return out
+}
+
+// HistBucket is one histogram bucket covering [Lo, Hi].
+type HistBucket struct {
+	Lo, Hi int64
+	Count  int64
+}
+
+func bucketBounds(b int) (lo, hi int64) {
+	if b == 0 {
+		return 0, 0
+	}
+	return 1 << (b - 1), 1<<b - 1
+}
+
+// String renders an ASCII histogram, one line per bucket, bar scaled to the
+// largest bucket.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	var maxC int64 = 1
+	for _, c := range h.counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for _, b := range h.Buckets() {
+		if b.Count == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", int(40*b.Count/maxC))
+		fmt.Fprintf(&sb, "[%8d,%8d] %10d %s\n", b.Lo, b.Hi, b.Count, bar)
+	}
+	return sb.String()
+}
+
+// Speedup returns base/opt as a multiplicative speedup (how many times
+// faster opt is than base); it returns +Inf if opt is 0 and 0 if base is 0.
+func Speedup(base, opt float64) float64 {
+	if opt == 0 {
+		return math.Inf(1)
+	}
+	return base / opt
+}
+
+// PercentImprovement returns the percentage by which opt improves on base
+// (positive = faster), the form the paper's "~25%" headline uses.
+func PercentImprovement(base, opt float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - opt) / base
+}

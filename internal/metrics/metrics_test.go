@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.CV != 0 {
+		t.Errorf("Summarize(nil) = %+v, want zero", s)
+	}
+}
+
+func TestSummarizeUniform(t *testing.T) {
+	s := Summarize([]float64{5, 5, 5, 5})
+	if s.Mean != 5 || s.StdDev != 0 || s.CV != 0 || s.Gini != 0 {
+		t.Errorf("uniform summary = %+v, want zero spread", s)
+	}
+	if s.MaxOverMean != 1 {
+		t.Errorf("MaxOverMean = %v, want 1", s.MaxOverMean)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Sum != 10 {
+		t.Errorf("summary = %+v", s)
+	}
+	if !approx(s.StdDev, math.Sqrt(1.25), 1e-12) {
+		t.Errorf("StdDev = %v, want sqrt(1.25)", s.StdDev)
+	}
+	if !approx(s.MaxOverMean, 1.6, 1e-12) {
+		t.Errorf("MaxOverMean = %v, want 1.6", s.MaxOverMean)
+	}
+	// Gini of {1,2,3,4} = 0.25.
+	if !approx(s.Gini, 0.25, 1e-12) {
+		t.Errorf("Gini = %v, want 0.25", s.Gini)
+	}
+}
+
+func TestGiniExtreme(t *testing.T) {
+	// One worker does everything: Gini -> (n-1)/n.
+	s := Summarize([]float64{0, 0, 0, 100})
+	if !approx(s.Gini, 0.75, 1e-12) {
+		t.Errorf("Gini = %v, want 0.75", s.Gini)
+	}
+	// All zero work: defined as balanced.
+	z := Summarize([]float64{0, 0, 0})
+	if z.Gini != 0 || z.CV != 0 {
+		t.Errorf("all-zero summary = %+v, want Gini=CV=0", z)
+	}
+}
+
+func TestSummarizeInt64(t *testing.T) {
+	s := SummarizeInt64([]int64{2, 4})
+	if s.Mean != 3 || s.Max != 4 {
+		t.Errorf("SummarizeInt64 = %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	got := Summarize([]float64{1, 3}).String()
+	if !strings.Contains(got, "n=2") || !strings.Contains(got, "mean=2.0") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 1, 2, 3, 4, 7, 8, 1000} {
+		h.Add(v)
+	}
+	if h.Total() != 9 {
+		t.Errorf("Total = %d, want 9", h.Total())
+	}
+	want := map[[2]int64]int64{
+		{0, 0}: 1, {1, 1}: 2, {2, 3}: 2, {4, 7}: 2, {8, 15}: 1, {512, 1023}: 1,
+	}
+	for _, b := range h.Buckets() {
+		if c, ok := want[[2]int64{b.Lo, b.Hi}]; ok {
+			if b.Count != c {
+				t.Errorf("bucket [%d,%d] = %d, want %d", b.Lo, b.Hi, b.Count, c)
+			}
+			delete(want, [2]int64{b.Lo, b.Hi})
+		} else if b.Count != 0 {
+			t.Errorf("unexpected non-empty bucket [%d,%d] = %d", b.Lo, b.Hi, b.Count)
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("missing buckets: %v", want)
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	var h Histogram
+	h.Add(-5)
+	if h.Buckets()[0].Count != 1 {
+		t.Error("negative value not clamped into bucket 0")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Add(1)
+	h.Add(16)
+	s := h.String()
+	if !strings.Contains(s, "[       1,       1]") {
+		t.Errorf("histogram render missing bucket line:\n%s", s)
+	}
+	if strings.Count(s, "\n") != 2 {
+		t.Errorf("histogram should render exactly 2 non-empty buckets:\n%s", s)
+	}
+}
+
+func TestSpeedupAndImprovement(t *testing.T) {
+	if got := Speedup(200, 100); got != 2 {
+		t.Errorf("Speedup = %v, want 2", got)
+	}
+	if got := Speedup(100, 0); !math.IsInf(got, 1) {
+		t.Errorf("Speedup(x,0) = %v, want +Inf", got)
+	}
+	if got := PercentImprovement(200, 150); got != 25 {
+		t.Errorf("PercentImprovement = %v, want 25", got)
+	}
+	if got := PercentImprovement(0, 10); got != 0 {
+		t.Errorf("PercentImprovement(0,·) = %v, want 0", got)
+	}
+	if got := PercentImprovement(100, 120); got != -20 {
+		t.Errorf("slowdown should be negative, got %v", got)
+	}
+}
+
+// Property: Gini is in [0,1) and scale-invariant; CV is scale-invariant.
+func TestSummaryInvariantsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		if s.Gini < 0 || s.Gini >= 1 {
+			return false
+		}
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = xs[i] * 3
+		}
+		s2 := Summarize(scaled)
+		return approx(s.Gini, s2.Gini, 1e-9) && approx(s.CV, s2.CV, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram total equals number of Adds and each value lands in a
+// bucket whose bounds contain it.
+func TestHistogramProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Add(int64(v))
+		}
+		if h.Total() != int64(len(vals)) {
+			return false
+		}
+		var sum int64
+		for _, b := range h.Buckets() {
+			if b.Lo > b.Hi {
+				return false
+			}
+			sum += b.Count
+		}
+		return sum == int64(len(vals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

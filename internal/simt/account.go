@@ -1,0 +1,157 @@
+package simt
+
+// Per-wavefront cost accounting. Lanes of one wavefront execute in lockstep,
+// so the wavefront pays for its busiest lane's ALU work, and each memory
+// access ordinal (the k-th access issued by each lane) becomes one
+// wavefront-wide memory instruction whose cost depends on how many distinct
+// memory segments the active lanes touch — the coalescing model.
+
+type laneAcc struct {
+	alu       int64 // ALU ops issued by this lane
+	atomics   int64 // atomic ops issued by this lane
+	nAccess   int32 // global memory accesses issued (its ordinal counter)
+	ldsAccess int32 // LDS accesses issued (its LDS ordinal counter)
+	active    bool  // lane executed at all (grid tail masking)
+}
+
+type ordAcc struct {
+	active int      // lanes issuing an access at this ordinal
+	segs   []uint64 // distinct segments touched (deduplicated, <= width entries)
+}
+
+// wfAcc accumulates one wavefront's activity. It is scratch memory reused
+// across wavefronts by each phase-A worker.
+type wfAcc struct {
+	lanes    []laneAcc
+	ords     []ordAcc
+	nOrds    int
+	ldsOrds  []ldsOrd
+	nLdsOrds int
+}
+
+func newWfAcc(width int) *wfAcc {
+	return &wfAcc{lanes: make([]laneAcc, width)}
+}
+
+func (w *wfAcc) reset() {
+	for i := range w.lanes {
+		w.lanes[i] = laneAcc{}
+	}
+	for i := 0; i < w.nOrds; i++ {
+		w.ords[i].active = 0
+		w.ords[i].segs = w.ords[i].segs[:0]
+	}
+	w.nOrds = 0
+	for i := 0; i < w.nLdsOrds; i++ {
+		w.ldsOrds[i].active = 0
+		w.ldsOrds[i].pairs = w.ldsOrds[i].pairs[:0]
+	}
+	w.nLdsOrds = 0
+}
+
+// record notes that lane l issued a memory access to element idx of buffer
+// buf, with the given coalescing granularity.
+func (w *wfAcc) record(l int, buf, idx, segElems int32) {
+	lane := &w.lanes[l]
+	k := int(lane.nAccess)
+	lane.nAccess++
+	for len(w.ords) <= k {
+		w.ords = append(w.ords, ordAcc{})
+	}
+	if k >= w.nOrds {
+		w.nOrds = k + 1
+	}
+	o := &w.ords[k]
+	o.active++
+	seg := uint64(uint32(buf))<<40 | uint64(uint32(idx))/uint64(uint32(segElems))
+	for _, s := range o.segs {
+		if s == seg {
+			return
+		}
+	}
+	o.segs = append(o.segs, seg)
+}
+
+// wfCost is the costed-out summary of one wavefront.
+type wfCost struct {
+	cycles       int64
+	busySum      int64 // sum over lanes of performed operations: utilization numerator
+	busyMax      int64 // busiest lane: utilization denominator per wavefront
+	aluOps       int64
+	accesses     int64
+	transactions int64
+	atomics      int64
+	ldsAccesses  int64
+	cacheHits    int64
+}
+
+// cost folds the accumulated activity into cycles under cm. cache may be
+// nil (model off).
+func (w *wfAcc) cost(cm *CostModel, cache *segCache) wfCost {
+	var c wfCost
+	var aluMax int64
+	for i := range w.lanes {
+		l := &w.lanes[i]
+		if !l.active {
+			continue
+		}
+		busy := l.alu + int64(l.nAccess) + int64(l.ldsAccess)
+		c.busySum += busy
+		if busy > c.busyMax {
+			c.busyMax = busy
+		}
+		if l.alu > aluMax {
+			aluMax = l.alu
+		}
+		c.aluOps += l.alu
+		c.accesses += int64(l.nAccess)
+		c.atomics += l.atomics
+	}
+	c.cycles = aluMax*cm.ALUOp + c.atomics*cm.AtomicOp
+	for k := 0; k < w.nOrds; k++ {
+		c.cycles += cm.MemIssue
+		for _, seg := range w.ords[k].segs {
+			c.transactions++
+			if cache.touch(seg) {
+				c.cacheHits++
+				c.cycles += cm.MemPerHit
+			} else {
+				c.cycles += cm.MemPerTransaction
+			}
+		}
+	}
+	ldsCycles, ldsAccesses := w.ldsCost(cm)
+	c.cycles += ldsCycles
+	c.ldsAccesses = ldsAccesses
+	return c
+}
+
+// Ctx is the view a single work-item (lane) has of the device while a kernel
+// body runs: its ids plus accounted memory and ALU operations. A Ctx is only
+// valid for the duration of the kernel body invocation it is passed to.
+type Ctx struct {
+	// Global, Local and Group are the work-item's global id, id within its
+	// workgroup, and workgroup id.
+	Global, Local, Group int32
+
+	cm      *CostModel
+	wf      *wfAcc
+	laneIdx int
+}
+
+// Op charges n ALU operations to this lane.
+func (c *Ctx) Op(n int) { c.wf.lanes[c.laneIdx].alu += int64(n) }
+
+// Ld loads element i of b, accounting one global memory access.
+func (c *Ctx) Ld(b *BufInt32, i int32) int32 {
+	c.wf.record(c.laneIdx, b.id, i, c.cm.SegmentElems)
+	return b.data[i]
+}
+
+// St stores v to element i of b, accounting one global memory access.
+// Plain stores must not race with other lanes' accesses to the same element
+// within one launch; use the Atomic variants for communication.
+func (c *Ctx) St(b *BufInt32, i int32, v int32) {
+	c.wf.record(c.laneIdx, b.id, i, c.cm.SegmentElems)
+	b.data[i] = v
+}

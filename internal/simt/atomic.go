@@ -1,0 +1,77 @@
+package simt
+
+import "sync/atomic"
+
+// Atomic operations. These are the only accesses that may race between
+// work-items within one kernel launch (matching OpenCL semantics, and
+// keeping the Go memory model happy under the race detector). Each costs a
+// memory access plus the per-atomic serialization charge.
+
+func (c *Ctx) atomicAccount(b *BufInt32, i int32) {
+	c.wf.record(c.laneIdx, b.id, i, c.cm.SegmentElems)
+	c.wf.lanes[c.laneIdx].atomics++
+}
+
+// AtomicLoad returns element i of b with acquire semantics.
+func (c *Ctx) AtomicLoad(b *BufInt32, i int32) int32 {
+	c.atomicAccount(b, i)
+	return atomic.LoadInt32(&b.data[i])
+}
+
+// AtomicStore writes v to element i of b with release semantics.
+func (c *Ctx) AtomicStore(b *BufInt32, i int32, v int32) {
+	c.atomicAccount(b, i)
+	atomic.StoreInt32(&b.data[i], v)
+}
+
+// AtomicAdd adds delta to element i of b and returns the previous value
+// (OpenCL atomic_add semantics).
+func (c *Ctx) AtomicAdd(b *BufInt32, i int32, delta int32) int32 {
+	c.atomicAccount(b, i)
+	return atomic.AddInt32(&b.data[i], delta) - delta
+}
+
+// AtomicCAS performs compare-and-swap on element i of b, returning the value
+// observed before the operation (OpenCL atomic_cmpxchg semantics).
+func (c *Ctx) AtomicCAS(b *BufInt32, i int32, old, new int32) int32 {
+	c.atomicAccount(b, i)
+	for {
+		cur := atomic.LoadInt32(&b.data[i])
+		if cur != old {
+			return cur
+		}
+		if atomic.CompareAndSwapInt32(&b.data[i], old, new) {
+			return old
+		}
+	}
+}
+
+// AtomicMax raises element i of b to at least v, returning the previous
+// value.
+func (c *Ctx) AtomicMax(b *BufInt32, i int32, v int32) int32 {
+	c.atomicAccount(b, i)
+	for {
+		cur := atomic.LoadInt32(&b.data[i])
+		if cur >= v {
+			return cur
+		}
+		if atomic.CompareAndSwapInt32(&b.data[i], cur, v) {
+			return cur
+		}
+	}
+}
+
+// AtomicMin lowers element i of b to at most v, returning the previous
+// value.
+func (c *Ctx) AtomicMin(b *BufInt32, i int32, v int32) int32 {
+	c.atomicAccount(b, i)
+	for {
+		cur := atomic.LoadInt32(&b.data[i])
+		if cur <= v {
+			return cur
+		}
+		if atomic.CompareAndSwapInt32(&b.data[i], cur, v) {
+			return cur
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package simt
+
+import "testing"
+
+func BenchmarkKernelCoalesced(b *testing.B) {
+	d := NewDevice()
+	data := d.AllocInt32(1 << 16)
+	for i := 0; i < b.N; i++ {
+		d.Run("coalesced", 1<<16, func(c *Ctx) {
+			c.Ld(data, c.Global)
+		})
+	}
+}
+
+func BenchmarkKernelScattered(b *testing.B) {
+	d := NewDevice()
+	data := d.AllocInt32(1 << 16)
+	for i := 0; i < b.N; i++ {
+		d.Run("scattered", 1<<16, func(c *Ctx) {
+			c.Ld(data, (c.Global*7919)&(1<<16-1))
+		})
+	}
+}
+
+func BenchmarkKernelAtomics(b *testing.B) {
+	d := NewDevice()
+	ctr := d.AllocInt32(64)
+	for i := 0; i < b.N; i++ {
+		d.Run("atomics", 1<<14, func(c *Ctx) {
+			c.AtomicAdd(ctr, c.Global&63, 1)
+		})
+	}
+}
+
+func BenchmarkCoopReduce(b *testing.B) {
+	d := NewDevice()
+	data := d.AllocInt32(1 << 14)
+	for i := 0; i < b.N; i++ {
+		d.RunCoop("reduce", 64, func(g *GroupCtx) {
+			g.Any(1<<8, func(c *Ctx, j int32) bool {
+				return c.Ld(data, (g.ID()<<8)+j) > 0
+			})
+		})
+	}
+}
+
+func BenchmarkStealingSimulation(b *testing.B) {
+	d := NewDevice()
+	costs := make([]int64, 4096)
+	for i := range costs {
+		costs[i] = int64(i%97) * 100
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimulateSchedule(d, costs, Stealing)
+	}
+}

@@ -1,0 +1,61 @@
+package simt
+
+// Optional read-cache model. When CostModel.CacheSegments > 0, each
+// workgroup execution carries a FIFO set of recently touched memory
+// segments (approximating the reuse a CU's L1 captures while the group is
+// resident); a transaction whose segment is cached costs MemPerHit instead
+// of MemPerTransaction. The cache is per workgroup, not per CU, so the
+// model stays independent of scheduling (phase A records costs before the
+// scheduling policy is simulated — see the package comment).
+
+// segCache is a fixed-capacity FIFO set of segment ids.
+type segCache struct {
+	cap     int
+	ring    []uint64
+	next    int
+	present map[uint64]int // seg -> count of live ring entries
+}
+
+func newSegCache(capacity int) *segCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &segCache{
+		cap:     capacity,
+		ring:    make([]uint64, 0, capacity),
+		present: make(map[uint64]int, capacity),
+	}
+}
+
+func (c *segCache) reset() {
+	if c == nil {
+		return
+	}
+	c.ring = c.ring[:0]
+	c.next = 0
+	clear(c.present)
+}
+
+// touch returns whether seg was cached, inserting it either way.
+func (c *segCache) touch(seg uint64) bool {
+	if c == nil {
+		return false
+	}
+	if c.present[seg] > 0 {
+		return true
+	}
+	if len(c.ring) < c.cap {
+		c.ring = append(c.ring, seg)
+	} else {
+		old := c.ring[c.next]
+		if n := c.present[old] - 1; n > 0 {
+			c.present[old] = n
+		} else {
+			delete(c.present, old)
+		}
+		c.ring[c.next] = seg
+		c.next = (c.next + 1) % c.cap
+	}
+	c.present[seg]++
+	return false
+}

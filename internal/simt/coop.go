@@ -1,0 +1,178 @@
+package simt
+
+import "sync"
+
+// CoopFunc is the body of a cooperative kernel: it is invoked once per
+// workgroup, and the whole workgroup processes one task together (the
+// paper's workgroup-per-vertex kernels). Work is distributed over lanes via
+// the GroupCtx collectives below.
+type CoopFunc func(g *GroupCtx)
+
+// GroupCtx is a workgroup's view of the device inside a cooperative kernel.
+type GroupCtx struct {
+	id    int32
+	size  int
+	width int
+	cm    *CostModel
+	wfs   []*wfAcc
+
+	extraCost   int64 // barrier + collective charges
+	barriers    int64
+	collectives int64
+}
+
+// ID returns the workgroup id (which cooperative kernels use as the task
+// id, e.g. the vertex this group processes).
+func (g *GroupCtx) ID() int32 { return g.id }
+
+// Size returns the number of work-items in the group.
+func (g *GroupCtx) Size() int { return g.size }
+
+func (g *GroupCtx) ctxFor(lane int) Ctx {
+	wf := lane / g.width
+	l := lane % g.width
+	g.wfs[wf].lanes[l].active = true
+	return Ctx{
+		Global:  g.id*int32(g.size) + int32(lane),
+		Local:   int32(lane),
+		Group:   g.id,
+		cm:      g.cm,
+		wf:      g.wfs[wf],
+		laneIdx: l,
+	}
+}
+
+// ForEach runs body for every i in [0, n), striding the iterations across
+// the group's work-items in chunks of Size() — the canonical cooperative
+// loop over a vertex's neighbour list.
+func (g *GroupCtx) ForEach(n int32, body func(c *Ctx, i int32)) {
+	for chunk := int32(0); chunk < n; chunk += int32(g.size) {
+		for lane := 0; lane < g.size && chunk+int32(lane) < n; lane++ {
+			c := g.ctxFor(lane)
+			body(&c, chunk+int32(lane))
+		}
+	}
+}
+
+// Any evaluates pred over [0, n) cooperatively and reports whether any
+// invocation returned true. After each chunk of Size() items the group
+// reduces its verdict (one collective per wavefront plus a barrier) and
+// exits early on success, modelling the ballot-and-break idiom.
+func (g *GroupCtx) Any(n int32, pred func(c *Ctx, i int32) bool) bool {
+	for chunk := int32(0); chunk < n; chunk += int32(g.size) {
+		found := false
+		for lane := 0; lane < g.size && chunk+int32(lane) < n; lane++ {
+			c := g.ctxFor(lane)
+			if pred(&c, chunk+int32(lane)) {
+				found = true
+			}
+		}
+		g.reduceCharge(chunk, n)
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// reduceCharge accounts a chunk-wide reduction: one collective per wavefront
+// that had live lanes in this chunk, plus one barrier across the group.
+func (g *GroupCtx) reduceCharge(chunk, n int32) {
+	live := n - chunk
+	if live > int32(g.size) {
+		live = int32(g.size)
+	}
+	wfsLive := (int(live) + g.width - 1) / g.width
+	g.extraCost += int64(wfsLive)*g.cm.Collective + g.cm.Barrier
+	g.collectives += int64(wfsLive)
+	g.barriers++
+}
+
+// One runs body on lane 0 only (the "if (tid == 0)" idiom).
+func (g *GroupCtx) One(body func(c *Ctx)) {
+	c := g.ctxFor(0)
+	body(&c)
+}
+
+// Barrier charges a workgroup barrier.
+func (g *GroupCtx) Barrier() {
+	g.extraCost += g.cm.Barrier * int64(len(g.wfs))
+	g.barriers++
+}
+
+// RunCoop executes a cooperative kernel with the given number of workgroups,
+// each of the device's workgroup size.
+func (d *Device) RunCoop(name string, groups int, f CoopFunc) *RunResult {
+	stats := d.execCoopGroups(name, groups, f)
+	sched := SimulateSchedule(d, stats.GroupCost, d.Policy)
+	return &RunResult{Stats: *stats, Sched: sched}
+}
+
+func (d *Device) execCoopGroups(name string, groups int, f CoopFunc) *KernelStats {
+	d.check()
+	width := d.WavefrontWidth
+	size := d.WorkgroupSize
+	nWfs := size / width
+	stats := &KernelStats{
+		Name:      name,
+		Items:     groups * size,
+		Groups:    groups,
+		GroupCost: make([]int64, groups),
+		width:     width,
+	}
+	if groups == 0 {
+		return stats
+	}
+	workers := d.workers()
+	if workers > groups {
+		workers = groups
+	}
+	var mu sync.Mutex
+	var wgrp sync.WaitGroup
+	groupCh := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wgrp.Add(1)
+		go func() {
+			defer wgrp.Done()
+			local := &KernelStats{width: width}
+			wfs := make([]*wfAcc, nWfs)
+			for i := range wfs {
+				wfs[i] = newWfAcc(width)
+			}
+			cache := newSegCache(d.Cost.CacheSegments)
+			for gi := range groupCh {
+				cache.reset()
+				for _, wf := range wfs {
+					wf.reset()
+				}
+				gc := &GroupCtx{
+					id:    int32(gi),
+					size:  size,
+					width: width,
+					cm:    &d.Cost,
+					wfs:   wfs,
+				}
+				f(gc)
+				var cost int64
+				for _, wf := range wfs {
+					wc := wf.cost(&d.Cost, cache)
+					cost += wc.cycles
+					local.addWavefront(wc)
+				}
+				cost += gc.extraCost
+				local.Barriers += gc.barriers
+				local.Collectives += gc.collectives
+				stats.GroupCost[gi] = cost
+			}
+			mu.Lock()
+			stats.merge(local)
+			mu.Unlock()
+		}()
+	}
+	for g := 0; g < groups; g++ {
+		groupCh <- g
+	}
+	close(groupCh)
+	wgrp.Wait()
+	return stats
+}

@@ -1,0 +1,171 @@
+package simt
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestCoopForEachCoversAllIndices(t *testing.T) {
+	d := testDevice() // workgroup size 8, wavefront 4
+	const n = 29      // not a multiple of the group size
+	hits := make([]int32, n)
+	buf := d.BindInt32(hits)
+	d.RunCoop("foreach", 1, func(g *GroupCtx) {
+		g.ForEach(n, func(c *Ctx, i int32) {
+			c.AtomicAdd(buf, i, 1)
+		})
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestCoopGroupIDs(t *testing.T) {
+	d := testDevice()
+	var bad int32
+	d.RunCoop("ids", 5, func(g *GroupCtx) {
+		if g.ID() < 0 || g.ID() >= 5 || g.Size() != 8 {
+			atomic.StoreInt32(&bad, 1)
+		}
+	})
+	if bad != 0 {
+		t.Error("group ids or size wrong")
+	}
+}
+
+func TestCoopAnyFindsAndEarlyExits(t *testing.T) {
+	d := testDevice()
+	d.Workers = 1
+	var evaluated int64
+	var found int32
+	d.RunCoop("any", 1, func(g *GroupCtx) {
+		// The match is in the first chunk of 8; later chunks must not run.
+		ok := g.Any(1000, func(c *Ctx, i int32) bool {
+			atomic.AddInt64(&evaluated, 1)
+			return i == 3
+		})
+		if ok {
+			atomic.StoreInt32(&found, 1)
+		}
+	})
+	if found != 1 {
+		t.Error("Any missed the match")
+	}
+	if evaluated != 8 {
+		t.Errorf("Any evaluated %d items, want 8 (one chunk, early exit)", evaluated)
+	}
+}
+
+func TestCoopAnyNoMatch(t *testing.T) {
+	d := testDevice()
+	d.Workers = 1
+	var evaluated int64
+	var found int32
+	res := d.RunCoop("any-none", 1, func(g *GroupCtx) {
+		if g.Any(20, func(c *Ctx, i int32) bool {
+			atomic.AddInt64(&evaluated, 1)
+			return false
+		}) {
+			atomic.StoreInt32(&found, 1)
+		}
+	})
+	if found != 0 {
+		t.Error("Any reported a match on all-false predicate")
+	}
+	if evaluated != 20 {
+		t.Errorf("Any evaluated %d items, want 20", evaluated)
+	}
+	// 20 items over size-8 chunks = 3 chunks = 3 barriers.
+	if res.Stats.Barriers != 3 {
+		t.Errorf("Barriers = %d, want 3", res.Stats.Barriers)
+	}
+	if res.Stats.Collectives == 0 {
+		t.Error("no collectives charged for Any")
+	}
+}
+
+func TestCoopOneRunsSingleLane(t *testing.T) {
+	d := testDevice()
+	var runs int64
+	out := d.AllocInt32(1)
+	d.RunCoop("one", 3, func(g *GroupCtx) {
+		g.One(func(c *Ctx) {
+			atomic.AddInt64(&runs, 1)
+			c.AtomicAdd(out, 0, g.ID())
+		})
+	})
+	if runs != 3 {
+		t.Errorf("One ran %d times, want 3 (once per group)", runs)
+	}
+	if out.Data()[0] != 0+1+2 {
+		t.Errorf("accumulated %d, want 3", out.Data()[0])
+	}
+}
+
+func TestCoopBarrierCharged(t *testing.T) {
+	d := testDevice()
+	d.Workers = 1
+	res := d.RunCoop("barrier", 1, func(g *GroupCtx) {
+		g.Barrier()
+		g.Barrier()
+	})
+	if res.Stats.Barriers != 2 {
+		t.Errorf("Barriers = %d, want 2", res.Stats.Barriers)
+	}
+	// Cost: 2 barriers x 2 wavefronts x Barrier.
+	want := 2 * 2 * d.Cost.Barrier
+	if res.Stats.GroupCost[0] != want {
+		t.Errorf("group cost = %d, want %d", res.Stats.GroupCost[0], want)
+	}
+}
+
+func TestCoopCoalescedNeighbourScan(t *testing.T) {
+	// A cooperative scan of 64 consecutive elements by a 64-wide group is
+	// one fully coalesced ordinal per wavefront: this is the hybrid
+	// algorithm's efficiency claim in miniature.
+	d := NewDevice()
+	d.Workers = 1
+	d.WorkgroupSize = 64
+	data := d.AllocInt32(64)
+	res := d.RunCoop("scan", 1, func(g *GroupCtx) {
+		g.ForEach(64, func(c *Ctx, i int32) {
+			c.Ld(data, i)
+		})
+	})
+	if res.Stats.MemTransactions != 4 {
+		t.Errorf("transactions = %d, want 4 (64 elems / 16 per segment)", res.Stats.MemTransactions)
+	}
+	if u := res.Stats.SIMDUtilization(); u != 1 {
+		t.Errorf("utilization = %v, want 1", u)
+	}
+}
+
+func TestCoopEmpty(t *testing.T) {
+	d := testDevice()
+	res := d.RunCoop("none", 0, func(g *GroupCtx) { t.Error("body ran") })
+	if res.Stats.Groups != 0 {
+		t.Errorf("groups = %d, want 0", res.Stats.Groups)
+	}
+}
+
+func TestCoopChunkedDivergenceCost(t *testing.T) {
+	// 12 items on a size-8 group: chunk 1 fills all lanes, chunk 2 only 4.
+	d := testDevice()
+	d.Workers = 1
+	data := d.AllocInt32(1024)
+	res := d.RunCoop("chunks", 1, func(g *GroupCtx) {
+		g.ForEach(12, func(c *Ctx, i int32) {
+			c.Ld(data, i*16) // one segment per access
+		})
+	})
+	// Wavefront 0 (lanes 0-3): 2 ordinals x (issue + 1 seg each)... lanes
+	// access distinct segments, so ordinal cost = issue + 4 transactions.
+	// Wavefront 1 (lanes 4-7): ordinal 1 full (4 segs), ordinal 2 empty.
+	wf0 := 2 * (d.Cost.MemIssue + 4*d.Cost.MemPerTransaction)
+	wf1 := (d.Cost.MemIssue + 4*d.Cost.MemPerTransaction)
+	if got := res.Stats.GroupCost[0]; got != wf0+wf1 {
+		t.Errorf("group cost = %d, want %d", got, wf0+wf1)
+	}
+}

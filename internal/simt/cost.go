@@ -1,0 +1,78 @@
+// Package simt is a deterministic SIMT GPU simulator: the substrate standing
+// in for the AMD Radeon HD 7950 used in the paper. It models the first-order
+// performance effects the paper reasons about — wavefronts serializing on
+// their slowest lane, memory coalescing per wavefront access, compute units
+// serializing their workgroup queues, and workgroup scheduling policies
+// including work stealing — while executing kernel bodies as real Go code
+// against shared buffers, so results are functionally exact.
+//
+// Execution is two-phase. Phase A runs every workgroup (optionally in
+// parallel across OS threads for wall-clock speed) and records each group's
+// simulated cost; kernels must therefore be written so that the result does
+// not depend on inter-group ordering, exactly as on a real GPU (communicate
+// through atomics, or split phases across kernel launches). Phase B replays
+// the recorded costs through a virtual-time scheduling simulation, which is
+// what makes work-stealing results deterministic and lets several policies
+// be compared on identical work.
+package simt
+
+// CostModel holds the simulator's timing constants, in abstract cycles. The
+// defaults loosely follow GCN-class ratios; only relative magnitudes matter
+// for the reproduction (see DESIGN.md).
+type CostModel struct {
+	// ALUOp is the cost of one arithmetic/control operation per wavefront
+	// (lanes run in lockstep, so a wavefront pays for its busiest lane).
+	ALUOp int64
+	// MemIssue is the fixed cost of issuing one wavefront-wide memory
+	// instruction, and MemPerTransaction the additional cost per distinct
+	// memory segment the instruction touches across its active lanes.
+	MemIssue          int64
+	MemPerTransaction int64
+	// SegmentElems is the coalescing granularity in 4-byte elements
+	// (16 elements = 64-byte cache line).
+	SegmentElems int32
+	// CacheSegments enables the per-workgroup read-cache model when > 0:
+	// the most recently touched CacheSegments segments are cached and a
+	// cached transaction costs MemPerHit instead of MemPerTransaction.
+	// The default of 256 segments models the HD 7950's 16 KB per-CU read L1
+	// (256 lines of 64 bytes); 0 turns the model off — see ablation A6.
+	CacheSegments int
+	MemPerHit     int64
+	// AtomicOp is charged per atomic operation; atomics from the same
+	// wavefront serialize.
+	AtomicOp int64
+	// Barrier is the cost of a workgroup barrier (charged per wavefront);
+	// Collective the cost of a wavefront-wide reduction/ballot.
+	Barrier    int64
+	Collective int64
+	// LDSOp is the cost of one conflict-free LDS access instruction; lanes
+	// hitting the same of the LDSBanks banks at distinct addresses
+	// serialize (the instruction costs LDSOp times the worst bank's
+	// distinct-address count).
+	LDSOp    int64
+	LDSBanks int32
+	// KernelLaunch is the fixed host-side cost added to every kernel.
+	KernelLaunch int64
+	// StealCost is charged to a compute unit for each steal attempt under
+	// the work-stealing scheduling policy.
+	StealCost int64
+}
+
+// DefaultCostModel returns the calibrated defaults used by the experiments.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ALUOp:             1,
+		MemIssue:          8,
+		MemPerTransaction: 16,
+		SegmentElems:      16,
+		CacheSegments:     256,
+		MemPerHit:         2,
+		AtomicOp:          60,
+		Barrier:           20,
+		Collective:        8,
+		LDSOp:             2,
+		LDSBanks:          32,
+		KernelLaunch:      3000,
+		StealCost:         400,
+	}
+}

@@ -1,0 +1,96 @@
+package simt
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Device describes one simulated GPU. The zero value is not usable; create
+// devices with NewDevice and adjust fields before the first kernel launch.
+type Device struct {
+	// NumCUs is the number of compute units (default 28, as on the
+	// Radeon HD 7950). Each CU executes its assigned workgroups serially.
+	NumCUs int
+	// WavefrontWidth is the SIMD width in lanes (default 64, GCN wavefront).
+	WavefrontWidth int
+	// WorkgroupSize is the default work-items per workgroup (default 256);
+	// it must be a positive multiple of WavefrontWidth.
+	WorkgroupSize int
+	// Policy selects the workgroup scheduling policy used by Run
+	// (default Static). SimulateSchedule can replay other policies.
+	Policy Policy
+	// Cost holds the timing constants.
+	Cost CostModel
+	// Workers bounds phase-A wall-clock parallelism; 0 means GOMAXPROCS.
+	// Set 1 for fully deterministic inter-group execution order (only
+	// observable by kernels that race through atomics by design).
+	Workers int
+
+	nextBuf atomic.Int32
+}
+
+// NewDevice returns a device with HD 7950-like defaults.
+func NewDevice() *Device {
+	return &Device{
+		NumCUs:         28,
+		WavefrontWidth: 64,
+		WorkgroupSize:  256,
+		Policy:         Static,
+		Cost:           DefaultCostModel(),
+	}
+}
+
+// check panics on malformed configuration; configuration is programmer
+// input, not runtime data.
+func (d *Device) check() {
+	if d.NumCUs < 1 {
+		panic(fmt.Sprintf("simt: NumCUs = %d, want >= 1", d.NumCUs))
+	}
+	if d.WavefrontWidth < 1 {
+		panic(fmt.Sprintf("simt: WavefrontWidth = %d, want >= 1", d.WavefrontWidth))
+	}
+	if d.WorkgroupSize < 1 || d.WorkgroupSize%d.WavefrontWidth != 0 {
+		panic(fmt.Sprintf("simt: WorkgroupSize = %d, want positive multiple of wavefront width %d",
+			d.WorkgroupSize, d.WavefrontWidth))
+	}
+}
+
+func (d *Device) workers() int {
+	if d.Workers > 0 {
+		return d.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// BufInt32 is a device buffer of 32-bit integers. Buffers wrap host slices
+// zero-copy (shared virtual memory style); the simulator only needs the
+// buffer identity and element index for coalescing analysis.
+type BufInt32 struct {
+	id   int32
+	data []int32
+}
+
+// AllocInt32 allocates a zeroed device buffer of n elements.
+func (d *Device) AllocInt32(n int) *BufInt32 {
+	return d.BindInt32(make([]int32, n))
+}
+
+// BindInt32 wraps an existing slice as a device buffer without copying.
+// The slice remains readable/writable from the host between kernel launches.
+func (d *Device) BindInt32(data []int32) *BufInt32 {
+	return &BufInt32{id: d.nextBuf.Add(1), data: data}
+}
+
+// Data returns the backing slice (host view) of the buffer.
+func (b *BufInt32) Data() []int32 { return b.data }
+
+// Len returns the element count of the buffer.
+func (b *BufInt32) Len() int { return len(b.data) }
+
+// Fill sets every element to v (a host-side operation, not accounted).
+func (b *BufInt32) Fill(v int32) {
+	for i := range b.data {
+		b.data[i] = v
+	}
+}

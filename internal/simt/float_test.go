@@ -1,0 +1,74 @@
+package simt
+
+import "testing"
+
+func TestFloatBufferRoundTrip(t *testing.T) {
+	d := testDevice()
+	f := d.AllocFloat32(16)
+	d.Run("float-rt", 16, func(c *Ctx) {
+		c.StF(f, c.Global, float32(c.Global)*1.5)
+	})
+	for i, v := range f.Data() {
+		if v != float32(i)*1.5 {
+			t.Fatalf("f[%d] = %v, want %v", i, v, float32(i)*1.5)
+		}
+	}
+	sum := float32(0)
+	out := d.AllocFloat32(1)
+	d.Run("float-read", 1, func(c *Ctx) {
+		for i := int32(0); i < 16; i++ {
+			sum += c.LdF(f, i)
+		}
+		c.StF(out, 0, sum)
+	})
+	if out.Data()[0] != 180 { // 1.5 * (0+..+15) = 1.5*120
+		t.Errorf("sum = %v, want 180", out.Data()[0])
+	}
+}
+
+func TestFloatAccessesAccounted(t *testing.T) {
+	d := NewDevice()
+	d.Workers = 1
+	d.WorkgroupSize = 64
+	f := d.AllocFloat32(64)
+	res := d.Run("float-cost", 64, func(c *Ctx) {
+		c.LdF(f, c.Global)
+	})
+	if res.Stats.MemAccesses != 64 {
+		t.Errorf("MemAccesses = %d, want 64", res.Stats.MemAccesses)
+	}
+	// Same coalescing as int loads: 64 consecutive floats = 4 segments.
+	if res.Stats.MemTransactions != 4 {
+		t.Errorf("MemTransactions = %d, want 4", res.Stats.MemTransactions)
+	}
+}
+
+func TestFloatBindShares(t *testing.T) {
+	d := testDevice()
+	host := []float32{1, 2}
+	buf := d.BindFloat32(host)
+	host[1] = 9
+	if buf.Data()[1] != 9 || buf.Len() != 2 {
+		t.Error("BindFloat32 copied instead of wrapping")
+	}
+	buf.Fill(3)
+	if host[0] != 3 {
+		t.Error("Fill did not write through")
+	}
+}
+
+func TestFloatAndIntBuffersDistinctSegments(t *testing.T) {
+	// Same index into different buffers must not coalesce together.
+	d := NewDevice()
+	d.Workers = 1
+	d.WorkgroupSize = 64
+	fi := d.AllocInt32(64)
+	ff := d.AllocFloat32(64)
+	res := d.Run("mixed", 64, func(c *Ctx) {
+		c.Ld(fi, c.Global)
+		c.LdF(ff, c.Global)
+	})
+	if res.Stats.MemTransactions != 8 {
+		t.Errorf("MemTransactions = %d, want 8 (4 per buffer)", res.Stats.MemTransactions)
+	}
+}

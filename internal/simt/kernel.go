@@ -1,0 +1,196 @@
+package simt
+
+import "sync"
+
+// KernelFunc is the body of a data-parallel kernel, invoked once per
+// work-item. Bodies must be safe to run concurrently across workgroups and
+// must not depend on inter-group execution order except through atomics.
+type KernelFunc func(c *Ctx)
+
+// KernelStats aggregates the simulated activity of one kernel launch.
+type KernelStats struct {
+	Name   string
+	Items  int // work-items launched
+	Groups int // workgroups launched
+
+	// GroupCost[g] is the simulated cycles of workgroup g (the input to the
+	// scheduling simulation); WavefrontCost lists every wavefront's cycles
+	// (the paper's intra-kernel imbalance evidence).
+	GroupCost     []int64
+	WavefrontCost []int64
+
+	// Utilization accounting: per wavefront, busySum counts lane-operations
+	// actually performed and busyMax the busiest lane; utilization is
+	// busySum / (width * busyMax) summed over wavefronts.
+	laneBusySum    int64
+	laneBusyMaxSum int64
+	width          int
+
+	ALUOps          int64
+	MemAccesses     int64
+	MemTransactions int64
+	Atomics         int64
+	Barriers        int64
+	Collectives     int64
+	LDSAccesses     int64
+	CacheHits       int64
+}
+
+// SIMDUtilization returns the fraction of lane slots doing useful work,
+// in (0, 1]; 0 for an empty kernel.
+func (s *KernelStats) SIMDUtilization() float64 {
+	if s.laneBusyMaxSum == 0 {
+		return 0
+	}
+	return float64(s.laneBusySum) / float64(int64(s.width)*s.laneBusyMaxSum)
+}
+
+// BusyParts exposes the utilization accounting so callers can aggregate
+// utilization across kernel launches: busy is the lane-operations performed,
+// busyMax the per-wavefront busiest-lane total; the aggregate utilization of
+// launches is sum(busy) / (width * sum(busyMax)).
+func (s *KernelStats) BusyParts() (busy, busyMax int64) {
+	return s.laneBusySum, s.laneBusyMaxSum
+}
+
+// Width returns the wavefront width the stats were collected under.
+func (s *KernelStats) Width() int { return s.width }
+
+// TotalCost returns the sum of all workgroup costs (the work, as opposed to
+// the makespan, which depends on scheduling).
+func (s *KernelStats) TotalCost() int64 {
+	var t int64
+	for _, c := range s.GroupCost {
+		t += c
+	}
+	return t
+}
+
+func (s *KernelStats) addWavefront(c wfCost) {
+	s.WavefrontCost = append(s.WavefrontCost, c.cycles)
+	s.laneBusySum += c.busySum
+	s.laneBusyMaxSum += c.busyMax
+	s.ALUOps += c.aluOps
+	s.MemAccesses += c.accesses
+	s.MemTransactions += c.transactions
+	s.Atomics += c.atomics
+	s.LDSAccesses += c.ldsAccesses
+	s.CacheHits += c.cacheHits
+}
+
+// merge folds worker-local stats into s (group-indexed slices are written
+// in place by group id, so only scalars and wavefront lists merge here).
+func (s *KernelStats) merge(o *KernelStats) {
+	s.WavefrontCost = append(s.WavefrontCost, o.WavefrontCost...)
+	s.laneBusySum += o.laneBusySum
+	s.laneBusyMaxSum += o.laneBusyMaxSum
+	s.ALUOps += o.ALUOps
+	s.MemAccesses += o.MemAccesses
+	s.MemTransactions += o.MemTransactions
+	s.Atomics += o.Atomics
+	s.Barriers += o.Barriers
+	s.Collectives += o.Collectives
+	s.LDSAccesses += o.LDSAccesses
+	s.CacheHits += o.CacheHits
+}
+
+// RunResult pairs a kernel's activity stats with its scheduling outcome.
+type RunResult struct {
+	Stats KernelStats
+	Sched ScheduleResult
+}
+
+// Cycles returns the simulated end-to-end kernel time (makespan plus launch
+// overhead).
+func (r *RunResult) Cycles() int64 { return r.Sched.Cycles }
+
+// Run executes a data-parallel kernel over items work-items using the
+// device's workgroup size and scheduling policy.
+func (d *Device) Run(name string, items int, f KernelFunc) *RunResult {
+	stats := d.execGroups(name, items, f)
+	sched := SimulateSchedule(d, stats.GroupCost, d.Policy)
+	return &RunResult{Stats: *stats, Sched: sched}
+}
+
+// execGroups is phase A: execute every workgroup, recording costs.
+func (d *Device) execGroups(name string, items int, f KernelFunc) *KernelStats {
+	d.check()
+	wg := d.WorkgroupSize
+	width := d.WavefrontWidth
+	groups := (items + wg - 1) / wg
+	stats := &KernelStats{
+		Name:      name,
+		Items:     items,
+		Groups:    groups,
+		GroupCost: make([]int64, groups),
+		width:     width,
+	}
+	if groups == 0 {
+		return stats
+	}
+
+	workers := d.workers()
+	if workers > groups {
+		workers = groups
+	}
+	var mu sync.Mutex
+	var wgrp sync.WaitGroup
+	groupCh := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wgrp.Add(1)
+		go func() {
+			defer wgrp.Done()
+			local := &KernelStats{width: width}
+			acc := newWfAcc(width)
+			cache := newSegCache(d.Cost.CacheSegments)
+			for g := range groupCh {
+				cache.reset()
+				stats.GroupCost[g] = d.execOneGroup(g, items, f, acc, cache, local)
+			}
+			mu.Lock()
+			stats.merge(local)
+			mu.Unlock()
+		}()
+	}
+	for g := 0; g < groups; g++ {
+		groupCh <- g
+	}
+	close(groupCh)
+	wgrp.Wait()
+	return stats
+}
+
+// execOneGroup runs workgroup g's work-items lane by lane, wavefront by
+// wavefront, and returns the group's simulated cost.
+func (d *Device) execOneGroup(g, items int, f KernelFunc, acc *wfAcc, cache *segCache, local *KernelStats) int64 {
+	wg := d.WorkgroupSize
+	width := d.WavefrontWidth
+	base := g * wg
+	var groupCost int64
+	for wfStart := 0; wfStart < wg; wfStart += width {
+		if base+wfStart >= items {
+			break // whole wavefront past the grid tail
+		}
+		acc.reset()
+		for l := 0; l < width; l++ {
+			gid := base + wfStart + l
+			if gid >= items {
+				break
+			}
+			acc.lanes[l].active = true
+			c := Ctx{
+				Global:  int32(gid),
+				Local:   int32(wfStart + l),
+				Group:   int32(g),
+				cm:      &d.Cost,
+				wf:      acc,
+				laneIdx: l,
+			}
+			f(&c)
+		}
+		wc := acc.cost(&d.Cost, cache)
+		groupCost += wc.cycles
+		local.addWavefront(wc)
+	}
+	return groupCost
+}

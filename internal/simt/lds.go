@@ -1,0 +1,98 @@
+package simt
+
+// Local data share (LDS): workgroup-scoped scratch memory with a banked
+// cost model. An LDS access instruction completes in one LDSOp when the
+// wavefront's lanes hit distinct banks (or broadcast-read the same
+// address); lanes hitting the same bank at different addresses serialize,
+// so the instruction costs LDSOp times the worst bank's distinct-address
+// count — the classic bank-conflict model.
+
+// LDSBuf is a workgroup-local buffer. Allocate one per group inside a
+// cooperative kernel with GroupCtx.AllocLDS; it is zeroed and private to
+// the group.
+type LDSBuf struct {
+	data []int32
+}
+
+// Data returns the backing storage (group-private).
+func (b *LDSBuf) Data() []int32 { return b.data }
+
+// Len returns the element count.
+func (b *LDSBuf) Len() int { return len(b.data) }
+
+// AllocLDS allocates a zeroed workgroup-local buffer of n elements.
+func (g *GroupCtx) AllocLDS(n int) *LDSBuf {
+	return &LDSBuf{data: make([]int32, n)}
+}
+
+// ldsOrd records the k-th LDS access of a wavefront: which (bank, address)
+// pairs its lanes touched.
+type ldsOrd struct {
+	active int
+	// pairs holds bank<<32 | address entries, deduplicated: a repeated
+	// address is a broadcast and costs nothing extra.
+	pairs []uint64
+}
+
+// recordLDS notes that lane l issued an LDS access to element idx.
+func (w *wfAcc) recordLDS(l int, idx int32, banks int32) {
+	lane := &w.lanes[l]
+	k := int(lane.ldsAccess)
+	lane.ldsAccess++
+	for len(w.ldsOrds) <= k {
+		w.ldsOrds = append(w.ldsOrds, ldsOrd{})
+	}
+	if k >= w.nLdsOrds {
+		w.nLdsOrds = k + 1
+	}
+	o := &w.ldsOrds[k]
+	o.active++
+	bank := uint64(uint32(idx) % uint32(banks))
+	pair := bank<<32 | uint64(uint32(idx))
+	for _, p := range o.pairs {
+		if p == pair {
+			return
+		}
+	}
+	o.pairs = append(o.pairs, pair)
+}
+
+// ldsCost folds the wavefront's LDS activity into cycles: per ordinal,
+// LDSOp times the worst bank's distinct-address count.
+func (w *wfAcc) ldsCost(cm *CostModel) (cycles int64, accesses int64) {
+	banks := int(cm.LDSBanks)
+	counts := make(map[uint64]int, banks)
+	for k := 0; k < w.nLdsOrds; k++ {
+		o := &w.ldsOrds[k]
+		clear(counts)
+		worst := 1
+		for _, p := range o.pairs {
+			b := p >> 32
+			counts[b]++
+			if counts[b] > worst {
+				worst = counts[b]
+			}
+		}
+		cycles += cm.LDSOp * int64(worst)
+	}
+	for i := range w.lanes {
+		accesses += int64(w.lanes[i].ldsAccess)
+	}
+	return cycles, accesses
+}
+
+// LdsLd loads element i of the group-local buffer b, accounting one LDS
+// access.
+func (c *Ctx) LdsLd(b *LDSBuf, i int32) int32 {
+	c.wf.recordLDS(c.laneIdx, i, c.cm.LDSBanks)
+	return b.data[i]
+}
+
+// LdsSt stores v to element i of the group-local buffer b, accounting one
+// LDS access. Stores from different lanes to the same element within one
+// phase are a programming error on real hardware too; the simulator keeps
+// last-writer-wins semantics.
+func (c *Ctx) LdsSt(b *LDSBuf, i int32, v int32) {
+	c.wf.recordLDS(c.laneIdx, i, c.cm.LDSBanks)
+	b.data[i] = v
+}

@@ -1,0 +1,88 @@
+package simt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: for arbitrary little kernels (random per-lane ALU and load
+// counts), the simulator's core invariants hold — positive cost for
+// non-empty work, utilization in (0, 1], accesses conserved, and total cost
+// equals the sum of wavefront costs.
+func TestSimulatorInvariantsProperty(t *testing.T) {
+	f := func(seed int64, rawItems uint16, rawOps, rawLoads uint8) bool {
+		items := int(rawItems)%2000 + 1
+		opsMod := int(rawOps)%7 + 1
+		loadsMod := int(rawLoads)%5 + 1
+		d := NewDevice()
+		d.Workers = 2
+		data := d.AllocInt32(4096)
+		res := d.Run("prop", items, func(c *Ctx) {
+			ops := int(c.Global) % opsMod
+			loads := int(c.Global) % loadsMod
+			c.Op(ops)
+			for i := 0; i < loads; i++ {
+				// Mix coalesced and scattered addressing.
+				c.Ld(data, (c.Global*int32(i+1))&4095)
+			}
+		})
+		if res.Cycles() < d.Cost.KernelLaunch {
+			return false
+		}
+		var wantAccesses int64
+		for g := 0; g < items; g++ {
+			wantAccesses += int64(g % loadsMod)
+		}
+		if res.Stats.MemAccesses != wantAccesses {
+			return false
+		}
+		var wfSum int64
+		for _, c := range res.Stats.WavefrontCost {
+			wfSum += c
+		}
+		if wfSum != res.Stats.TotalCost() {
+			return false
+		}
+		u := res.Stats.SIMDUtilization()
+		if wantAccesses > 0 && (u <= 0 || u > 1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: kernel results and costs are identical regardless of the
+// phase-A worker count (execution-order independence for race-free
+// kernels).
+func TestWorkerCountIndependenceProperty(t *testing.T) {
+	f := func(rawItems uint16) bool {
+		items := int(rawItems)%3000 + 1
+		run := func(workers int) (int64, []int32) {
+			d := NewDevice()
+			d.Workers = workers
+			out := d.AllocInt32(items)
+			res := d.Run("wcount", items, func(c *Ctx) {
+				c.Op(int(c.Global % 5))
+				c.St(out, c.Global, c.Global*3)
+			})
+			return res.Cycles(), out.Data()
+		}
+		c1, o1 := run(1)
+		c4, o4 := run(4)
+		if c1 != c4 {
+			return false
+		}
+		for i := range o1 {
+			if o1[i] != o4[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+package simt
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Policy selects how workgroups are distributed over compute units.
+type Policy int
+
+const (
+	// Static assigns contiguous chunks of workgroups to CUs up front —
+	// the paper's baseline hardware dispatcher stand-in. Hub-dense id
+	// ranges land on one CU, which is what work stealing fixes.
+	Static Policy = iota
+	// RoundRobin deals workgroups to CUs cyclically.
+	RoundRobin
+	// Stealing starts from the Static assignment but lets an idle CU steal
+	// the back half of the fullest remaining queue, paying StealCost per
+	// steal — the paper's task-donation/work-stealing technique.
+	Stealing
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Static:
+		return "static"
+	case RoundRobin:
+		return "round-robin"
+	case Stealing:
+		return "stealing"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ScheduleResult describes the outcome of replaying recorded workgroup costs
+// through a scheduling policy in virtual time.
+type ScheduleResult struct {
+	Policy Policy
+	// CUBusy[c] is the cycles CU c spent executing workgroups (plus steal
+	// charges); CUFinish[c] is its completion time.
+	CUBusy   []int64
+	CUFinish []int64
+	Steals   int64
+	// Makespan is the finish time of the slowest CU; Cycles adds the kernel
+	// launch overhead and is the simulated end-to-end kernel time.
+	Makespan int64
+	Cycles   int64
+}
+
+// SimulateSchedule replays per-workgroup costs under policy p on device d.
+// It is deterministic and can be called repeatedly with different policies
+// on the same recorded costs.
+func SimulateSchedule(d *Device, groupCost []int64, p Policy) ScheduleResult {
+	d.check()
+	n := d.NumCUs
+	res := ScheduleResult{
+		Policy:   p,
+		CUBusy:   make([]int64, n),
+		CUFinish: make([]int64, n),
+	}
+	switch p {
+	case Static:
+		chunk := (len(groupCost) + n - 1) / n
+		for g, c := range groupCost {
+			cu := 0
+			if chunk > 0 {
+				cu = g / chunk
+			}
+			res.CUBusy[cu] += c
+		}
+	case RoundRobin:
+		for g, c := range groupCost {
+			res.CUBusy[g%n] += c
+		}
+	case Stealing:
+		res.Steals = simulateStealing(d, groupCost, res.CUBusy)
+	default:
+		panic(fmt.Sprintf("simt: unknown policy %d", int(p)))
+	}
+	copy(res.CUFinish, res.CUBusy)
+	for _, f := range res.CUFinish {
+		if f > res.Makespan {
+			res.Makespan = f
+		}
+	}
+	res.Cycles = res.Makespan + d.Cost.KernelLaunch
+	return res
+}
+
+// cuState is one compute unit inside the virtual-time stealing simulation.
+type cuState struct {
+	id    int
+	clock int64
+	queue []int64 // remaining workgroup costs; front = next to execute
+}
+
+// cuHeap orders CUs by clock (ties by id for determinism).
+type cuHeap []*cuState
+
+func (h cuHeap) Len() int { return len(h) }
+func (h cuHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].id < h[j].id
+}
+func (h cuHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *cuHeap) Push(x any)   { *h = append(*h, x.(*cuState)) }
+func (h *cuHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// simulateStealing runs the event loop: the CU with the smallest clock acts
+// next — executing from its own queue's front, or stealing the back half of
+// the fullest queue when its own is empty. Returns the number of steals and
+// fills busy with per-CU finish-relevant work.
+func simulateStealing(d *Device, groupCost []int64, busy []int64) int64 {
+	n := d.NumCUs
+	cus := make([]*cuState, n)
+	chunk := (len(groupCost) + n - 1) / n
+	for i := 0; i < n; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if lo > len(groupCost) {
+			lo = len(groupCost)
+		}
+		if hi > len(groupCost) {
+			hi = len(groupCost)
+		}
+		q := make([]int64, hi-lo)
+		copy(q, groupCost[lo:hi])
+		cus[i] = &cuState{id: i, queue: q}
+	}
+	h := make(cuHeap, n)
+	copy(h, cus)
+	heap.Init(&h)
+
+	var steals int64
+	for h.Len() > 0 {
+		cu := h[0]
+		if len(cu.queue) > 0 {
+			cu.clock += cu.queue[0]
+			cu.queue = cu.queue[1:]
+			heap.Fix(&h, 0)
+			continue
+		}
+		// Steal from the CU with the most queued work. Victims must hold at
+		// least two groups: the last item in a deque is the one its owner
+		// is about to execute, and letting thieves take it makes a lone
+		// expensive group ping-pong between idle CUs forever (each steal
+		// charge pushes the holder's clock above the next idler's, so the
+		// holder never reaches the front of the event queue). Scanning all
+		// CUs is O(n) per steal; n is a few dozen, and steals are rare.
+		var victim *cuState
+		for _, v := range cus {
+			if v == cu || len(v.queue) < 2 {
+				continue
+			}
+			if victim == nil || len(v.queue) > len(victim.queue) ||
+				(len(v.queue) == len(victim.queue) && v.id < victim.id) {
+				victim = v
+			}
+		}
+		if victim == nil {
+			heap.Pop(&h) // nothing left anywhere: this CU is done
+			continue
+		}
+		// Take the back half (at least one group); pay for the attempt.
+		take := len(victim.queue) / 2
+		if take == 0 {
+			take = 1
+		}
+		split := len(victim.queue) - take
+		stolen := make([]int64, take)
+		copy(stolen, victim.queue[split:])
+		victim.queue = victim.queue[:split]
+		cu.queue = append(cu.queue, stolen...)
+		cu.clock += d.Cost.StealCost
+		steals++
+		heap.Fix(&h, 0)
+	}
+	for i, cu := range cus {
+		busy[i] = cu.clock
+	}
+	return steals
+}

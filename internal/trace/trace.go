@@ -1,0 +1,61 @@
+// Package trace exports simulated runs as Chrome trace-event JSON
+// (chrome://tracing / Perfetto): one track per compute unit plus a kernel
+// track, with durations in simulated cycles (mapped to microseconds). It
+// turns a Result's launch timeline into the kind of utilization picture the
+// paper draws by hand.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Span is one kernel launch's contribution to the timeline.
+type Span struct {
+	// Name is the kernel name; Cycles its end-to-end simulated time.
+	Name   string
+	Cycles int64
+	// CUBusy is per-CU busy cycles within the launch.
+	CUBusy []int64
+}
+
+// event is the chrome trace-event wire format (complete events, "ph": "X").
+type event struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"`
+	Dur  int64  `json:"dur"`
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+}
+
+// WriteChromeTrace renders the launch timeline to w. Launches are laid out
+// back to back (the host serializes them); each launch emits one event on
+// the kernel track (tid 0) and one per busy CU (tid = CU index + 1).
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	var events []event
+	var clock int64
+	for _, s := range spans {
+		events = append(events, event{
+			Name: s.Name, Cat: "kernel", Ph: "X",
+			TS: clock, Dur: s.Cycles, PID: 1, TID: 0,
+		})
+		for cu, busy := range s.CUBusy {
+			if busy == 0 {
+				continue
+			}
+			events = append(events, event{
+				Name: fmt.Sprintf("%s@cu%d", s.Name, cu), Cat: "cu", Ph: "X",
+				TS: clock, Dur: busy, PID: 1, TID: cu + 1,
+			})
+		}
+		clock += s.Cycles
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []event `json:"traceEvents"`
+		Unit        string  `json:"displayTimeUnit"`
+	}{events, "ns"})
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	spans := []Span{
+		{Name: "candidate", Cycles: 100, CUBusy: []int64{60, 0, 40}},
+		{Name: "assign", Cycles: 50, CUBusy: []int64{25, 25, 0}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// 2 kernel events + 2 busy CUs + 2 busy CUs (zero-busy CUs skipped).
+	if len(parsed.TraceEvents) != 6 {
+		t.Fatalf("got %d events, want 6", len(parsed.TraceEvents))
+	}
+	// Kernel track events are back to back.
+	var kernelTS []int64
+	for _, e := range parsed.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("event phase %q, want X", e.Ph)
+		}
+		if e.TID == 0 {
+			kernelTS = append(kernelTS, e.TS)
+		}
+	}
+	if len(kernelTS) != 2 || kernelTS[0] != 0 || kernelTS[1] != 100 {
+		t.Errorf("kernel timestamps = %v, want [0 100]", kernelTS)
+	}
+	if !strings.Contains(buf.String(), "candidate@cu0") {
+		t.Error("per-CU event names missing")
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("empty trace is not valid JSON")
+	}
+}
