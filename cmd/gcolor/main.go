@@ -5,12 +5,14 @@
 //
 //	gcolor -in graph.el -alg hybrid -policy stealing -wg 64
 //	graphgen -type rmat | gcolor -alg baseline -v
+//	graphgen -type rmat | gcolor -alg hybrid -chaos -fault-rate 1e-3
 //
 // Input formats are detected by extension: .col/.dimacs (DIMACS),
 // .mtx (MatrixMarket), anything else (edge list).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +40,13 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-kernel and imbalance detail")
 		cpu       = flag.Bool("cpu", false, "also report CPU reference colorings")
 		traceOut  = flag.String("trace", "", "write a chrome://tracing timeline of the run to this file")
+
+		chaos     = flag.Bool("chaos", false, "arm the fault injector (implies -resilient)")
+		faultRate = flag.Float64("fault-rate", 1e-4, "per-event fault probability for -chaos")
+		faultSeed = flag.Uint64("fault-seed", 1, "fault injector seed for -chaos")
+		resilient = flag.Bool("resilient", false, "run through the resilient driver (repair/retry/CPU-fallback ladder)")
+		budget    = flag.Int64("budget", 0, "simulated-cycle budget per attempt for -resilient (0 = unlimited)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock deadline for -resilient (0 = none)")
 	)
 	flag.Parse()
 
@@ -68,13 +77,47 @@ func main() {
 	fmt.Printf("graph: n=%d m=%d degrees min/avg/max=%d/%.1f/%d cv=%.2f\n",
 		g.NumVertices(), g.NumEdges(), st.Min, st.Mean, st.Max, st.CV)
 
-	res, err := gpucolor.Color(dev, g, alg, gpucolor.Options{
+	opt := gpucolor.Options{
 		Seed:            uint32(*seed),
 		HybridThreshold: *threshold,
 		Trace:           *traceOut != "",
-	})
-	if err != nil {
-		fatal(err)
+	}
+	var res *gpucolor.Result
+	if *chaos || *resilient {
+		if *chaos {
+			dev.Fault = simt.NewFaultInjector(*faultSeed, *faultRate)
+			fmt.Printf("chaos: fault injector armed, rate %g, seed %d\n", *faultRate, *faultSeed)
+		}
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		out, err := gpucolor.ColorContext(ctx, dev, g, alg, gpucolor.ResilientOptions{
+			Options:     opt,
+			CycleBudget: *budget,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resilient: recovery=%s attempts=%d", out.Recovery, out.Attempts)
+		if out.Repaired > 0 {
+			fmt.Printf(" repaired=%d", out.Repaired)
+		}
+		if inj := out.Faults.Injected(); inj > 0 {
+			fmt.Printf(" faults=%d (flips %d, cas %d, aborts %d, stalls %d)",
+				inj, out.Faults.BitFlips, out.Faults.CASFails,
+				out.Faults.WavefrontAborts, out.Faults.Stalls)
+		}
+		fmt.Println()
+		res = out.Result
+	} else {
+		var err error
+		res, err = gpucolor.Color(dev, g, alg, opt)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

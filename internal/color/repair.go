@@ -1,0 +1,72 @@
+package color
+
+import "gcolor/internal/graph"
+
+// Repair turns a damaged coloring back into a proper one by recoloring
+// only the offending vertices, in the spirit of the detect-and-recolor
+// repair phases of Rokos et al. and the conflict-resolve loops of
+// speculative GPU coloring: vertices that are uncolored (or carry a
+// negative sentinel) and, for every monochromatic edge, the endpoint with
+// the lower hashed priority (the same tie-break the GPU kernels use) are
+// reset and then first-fit recolored in ascending id order. Untouched
+// vertices keep their colors, so a mostly-correct coloring is fixed at the
+// cost of the damage, not of a full re-run.
+//
+// It returns the number of vertices recolored (0 when colors was already
+// proper). The result always verifies; the palette may grow past the
+// input's, but never past MaxDegree+1 for the repaired vertices.
+func Repair(g *graph.Graph, colors []int32, seed uint32) int {
+	n := g.NumVertices()
+	if len(colors) != n {
+		// A length mismatch cannot be repaired in place; the caller holds
+		// the wrong buffer. Treat as programmer error.
+		panic("color: Repair: colors length does not match vertex count")
+	}
+	bad := make([]bool, n)
+	nBad := 0
+	mark := func(v int32) {
+		if !bad[v] {
+			bad[v] = true
+			nBad++
+		}
+	}
+	for v := int32(0); int(v) < n; v++ {
+		if colors[v] < 0 {
+			mark(v)
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if u <= v || colors[u] != colors[v] {
+				continue
+			}
+			// Monochromatic edge: the lower-priority endpoint retries,
+			// exactly as in the GPU conflict-detect kernel.
+			pu, pv := Priority(u, seed), Priority(v, seed)
+			if PriorityGreater(pu, u, pv, v) {
+				mark(v)
+			} else {
+				mark(u)
+			}
+		}
+	}
+	if nBad == 0 {
+		return 0
+	}
+	for v := int32(0); int(v) < n; v++ {
+		if bad[v] {
+			colors[v] = Uncolored
+		}
+	}
+	scratch := make([]int32, g.MaxDegree()+2)
+	for i := range scratch {
+		scratch[i] = -1
+	}
+	epoch := int32(0)
+	for v := int32(0); int(v) < n; v++ {
+		if bad[v] {
+			colors[v] = firstFit(g, v, colors, scratch, epoch)
+			epoch++
+		}
+	}
+	return nBad
+}

@@ -1,0 +1,162 @@
+package color
+
+import (
+	"slices"
+	"testing"
+
+	"gcolor/internal/gen"
+	"gcolor/internal/graph"
+)
+
+func TestRepairProperColoringUntouched(t *testing.T) {
+	g := gen.GNM(200, 1000, 3)
+	colors := Greedy(g, Natural, 0)
+	want := slices.Clone(colors)
+	if n := Repair(g, colors, 1); n != 0 {
+		t.Fatalf("Repair recolored %d vertices of a proper coloring", n)
+	}
+	if !slices.Equal(colors, want) {
+		t.Fatal("Repair mutated a proper coloring")
+	}
+}
+
+func TestRepairFixesDamage(t *testing.T) {
+	g := gen.RMAT(8, 8, gen.Graph500, 5)
+	colors := Greedy(g, Natural, 0)
+	// Damage: uncolor some vertices, clone colors across some edges, and
+	// plant an absurd (but conflict-free only by luck) value.
+	damaged := map[int32]bool{}
+	for v := int32(0); v < 40; v += 4 {
+		colors[v] = Uncolored
+		damaged[v] = true
+	}
+	for v := int32(0); int(v) < g.NumVertices(); v += 17 {
+		if nbr := g.Neighbors(v); len(nbr) > 0 {
+			colors[nbr[0]] = colors[v]
+			damaged[nbr[0]] = true
+			damaged[v] = true
+		}
+	}
+	before := slices.Clone(colors)
+	n := Repair(g, colors, 1)
+	if n == 0 {
+		t.Fatal("Repair found nothing to do on a damaged coloring")
+	}
+	if err := Verify(g, colors); err != nil {
+		t.Fatalf("coloring still improper after Repair: %v", err)
+	}
+	// Locality: vertices not implicated in any damage keep their colors.
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		if !damaged[v] && colors[v] != before[v] {
+			// v may still have been the losing endpoint of a planted
+			// conflict edge; only flag truly uninvolved vertices.
+			involved := false
+			for _, u := range g.Neighbors(v) {
+				if damaged[u] {
+					involved = true
+					break
+				}
+			}
+			if !involved {
+				t.Errorf("vertex %d recolored %d->%d without being damaged",
+					v, before[v], colors[v])
+			}
+		}
+	}
+}
+
+func TestRepairLoserMatchesGPUTieBreak(t *testing.T) {
+	// Two adjacent vertices share a color: the lower-priority endpoint must
+	// be the one recolored, mirroring the GPU detect kernel.
+	g := graph.FromEdges(2, [][2]int32{{0, 1}})
+	const seed = 7
+	colors := []int32{0, 0}
+	if n := Repair(g, colors, seed); n != 1 {
+		t.Fatalf("recolored %d vertices, want 1", n)
+	}
+	p0, p1 := Priority(0, seed), Priority(1, seed)
+	winner := int32(0)
+	if PriorityGreater(p1, 1, p0, 0) {
+		winner = 1
+	}
+	if colors[winner] != 0 {
+		t.Errorf("winner %d lost its color", winner)
+	}
+	if colors[1-winner] == 0 {
+		t.Errorf("loser %d kept the conflicting color", 1-winner)
+	}
+}
+
+func TestRepairAllUncolored(t *testing.T) {
+	g := gen.Complete(9)
+	colors := make([]int32, g.NumVertices())
+	for i := range colors {
+		colors[i] = Uncolored
+	}
+	if n := Repair(g, colors, 1); n != g.NumVertices() {
+		t.Fatalf("recolored %d, want all %d", n, g.NumVertices())
+	}
+	if err := Verify(g, colors); err != nil {
+		t.Fatal(err)
+	}
+	if NumColors(colors) != g.NumVertices() {
+		t.Errorf("complete graph repaired with %d colors, want %d", NumColors(colors), g.NumVertices())
+	}
+}
+
+func TestRepairGarbageColors(t *testing.T) {
+	// Wildly out-of-range colors (as bit flips produce) must not crash the
+	// first-fit scratch indexing and must end in a proper coloring.
+	g := gen.Grid2D(8, 8)
+	colors := Greedy(g, Natural, 0)
+	colors[0] = 1 << 28
+	colors[10] = -12345
+	colors[20] = colors[21]
+	Repair(g, colors, 3)
+	if err := Verify(g, colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairDeterministic(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 4, 2)
+	mk := func() []int32 {
+		colors := Greedy(g, Natural, 0)
+		for v := int32(0); v < 30; v += 3 {
+			colors[v] = Uncolored
+		}
+		return colors
+	}
+	a, b := mk(), mk()
+	na, nb := Repair(g, a, 9), Repair(g, b, 9)
+	if na != nb || !slices.Equal(a, b) {
+		t.Fatalf("Repair not deterministic: %d vs %d recolored", na, nb)
+	}
+}
+
+func TestRepairLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Repair(gen.Cycle(5), make([]int32, 3), 1)
+}
+
+// TestFirstFitGrowsPastTinyScratch covers the palette-growth fallback that
+// replaced the "no free color" panic: a scratch array shorter than deg+1
+// must still yield a free color.
+func TestFirstFitGrowsPastTinyScratch(t *testing.T) {
+	g := gen.Complete(6)
+	colors := []int32{0, 1, 2, 3, 4, Uncolored}
+	scratch := []int32{-1, -1, -1} // deg(5) = 5 needs 6 slots; give it 3
+	c := firstFit(g, 5, colors, scratch, 0)
+	for _, u := range g.Neighbors(5) {
+		if colors[u] == c {
+			t.Fatalf("firstFit returned occupied color %d", c)
+		}
+	}
+	if c != 5 {
+		t.Errorf("fallback color = %d, want 5 (one past max neighbour)", c)
+	}
+}

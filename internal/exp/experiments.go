@@ -59,6 +59,7 @@ func Experiments() []Experiment {
 		{"X2", "Extension: imbalance across irregular workloads", FigApps},
 		{"X3", "Extension: compute-unit scaling", FigScalability},
 		{"X4", "Extension: hybrid technique on BFS", FigHybridBFS},
+		{"X5", "Extension: fault injection and recovery", FigResilience},
 	}
 }
 

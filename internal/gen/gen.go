@@ -6,6 +6,14 @@
 // These generators stand in for the real-world datasets used in the paper's
 // evaluation (SuiteSparse/SNAP-style inputs); see DESIGN.md for the
 // substitution rationale.
+//
+// Panic policy: generator parameters are programmer input, not external
+// data, so out-of-domain arguments (negative sizes, an odd Watts–Strogatz
+// k, a Barabási–Albert attachment count outside [1,n)) panic with a
+// message naming the violated precondition. Code that forwards untrusted
+// values — command-line flags, parsed files — must validate them first;
+// cmd/graphgen does exactly that. Anything reachable from *well-formed*
+// parameters never panics.
 package gen
 
 import (

@@ -68,7 +68,10 @@ func runIterative(dev *simt.Device, g *graph.Graph, opt Options, mode iterMode) 
 	cur, next := r.wlA, r.wlB
 	for iter := 0; count > 0; iter++ {
 		if iter >= opt.maxIters(int(r.n)) {
-			return nil, fmt.Errorf("gpucolor: no convergence after %d iterations", iter)
+			return nil, fmt.Errorf("gpucolor: no convergence after %d iterations: %w", iter, ErrMaxIterations)
+		}
+		if err := r.checkIter(iter, count); err != nil {
+			return nil, err
 		}
 		r.res.ActivePerIter = append(r.res.ActivePerIter, count)
 		r.res.Iterations++
@@ -86,7 +89,7 @@ func (r *runner) assignAndCompact(cur, next *simt.BufInt32, count int, iter int3
 	if r.opt.Compaction == CompactionAtomic {
 		r.cnt.Data()[0] = 0
 		r.launch(r.assignKernel(cur, next, count, iter, mode), false)
-		kept := int(r.cnt.Data()[0])
+		kept := clampCount(int(r.cnt.Data()[0]), next.Len())
 		sortWorklist(next, kept)
 		return kept
 	}

@@ -23,7 +23,10 @@ func SpeculativeD2(dev *simt.Device, g *graph.Graph, opt Options) (*Result, erro
 	cur, next := r.wlA, r.wlB
 	for round := 0; count > 0; round++ {
 		if round >= opt.maxIters(int(r.n)) {
-			return nil, fmt.Errorf("gpucolor: speculative-d2 did not converge after %d rounds", round)
+			return nil, fmt.Errorf("gpucolor: speculative-d2 did not converge after %d rounds: %w", round, ErrMaxIterations)
+		}
+		if err := r.checkIter(round, count); err != nil {
+			return nil, err
 		}
 		r.res.ActivePerIter = append(r.res.ActivePerIter, count)
 		r.res.Iterations++

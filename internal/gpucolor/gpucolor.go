@@ -13,7 +13,6 @@
 package gpucolor
 
 import (
-	"fmt"
 	"slices"
 
 	"gcolor/internal/color"
@@ -62,6 +61,14 @@ type Options struct {
 	// Trace records the per-launch timeline in Result.Timeline (for
 	// chrome-trace export); off by default to keep memory flat.
 	Trace bool
+
+	// guard, when set, is invoked at every outer-loop iteration boundary
+	// with the iteration number, the active-vertex count entering it, and
+	// the cycles simulated so far; a non-nil return aborts the run with
+	// that error. It is package-private plumbing for the resilient driver
+	// (ColorContext): cancellation, cycle budgets, and livelock detection
+	// all hook in here, costing nothing when unset.
+	guard func(iter, active int, cycles int64) error
 }
 
 func (o Options) seed() uint32 {
@@ -201,13 +208,23 @@ func (r *runner) launch(rr *simt.RunResult, keepWavefronts bool) {
 	}
 }
 
+// checkIter runs the iteration-boundary guard, if any (see Options.guard).
+func (r *runner) checkIter(iter, active int) error {
+	if r.opt.guard == nil {
+		return nil
+	}
+	return r.opt.guard(iter, active, r.res.Cycles)
+}
+
 // finish validates and seals the result. Colors are counted as distinct
 // values because colorMaxMin can leave gaps in the color range (a final
-// iteration may produce max winners but no min winners).
+// iteration may produce max winners but no min winners). A verification
+// failure returns an *InvalidColoringError carrying the partial result so
+// the resilient driver can hand it to the repair pass.
 func (r *runner) finish() (*Result, error) {
 	r.res.Colors = r.col.Data()
 	if err := color.Verify(r.g, r.res.Colors); err != nil {
-		return nil, fmt.Errorf("gpucolor: produced invalid coloring: %w", err)
+		return nil, &InvalidColoringError{Result: r.res, Err: err}
 	}
 	r.res.NumColors = countDistinct(r.res.Colors)
 	return r.res, nil
@@ -236,11 +253,24 @@ func (r *runner) charger() gpuprim.Charger {
 	return func(rr *simt.RunResult) { r.launch(rr, false) }
 }
 
+// clampCount bounds a device-reported worklist count to [0, max]. Fault-free
+// runs never leave that range; under fault injection a corrupted scan total
+// or append cursor must not drive the host loop out of its buffers.
+func clampCount(k, max int) int {
+	if k < 0 {
+		return 0
+	}
+	if k > max {
+		return max
+	}
+	return k
+}
+
 // compactInto rebuilds a worklist under scan compaction: src[0:count]
 // entries whose r.keep flag is set move to dst, order preserved; returns
 // the kept count.
 func (r *runner) compactInto(src, dst *simt.BufInt32, count int) int {
-	return gpuprim.Compact(r.dev, src, r.keep, dst, r.scr, count, r.charger())
+	return clampCount(gpuprim.Compact(r.dev, src, r.keep, dst, r.scr, count, r.charger()), dst.Len())
 }
 
 // flagAndCompact runs a flag/append kernel (kern receives a nil next buffer
@@ -251,7 +281,7 @@ func (r *runner) flagAndCompact(cur, next *simt.BufInt32, count int,
 	if r.opt.Compaction == CompactionAtomic {
 		r.cnt.Data()[0] = 0
 		r.launch(kern(cur, next, count), false)
-		kept := int(r.cnt.Data()[0])
+		kept := clampCount(int(r.cnt.Data()[0]), next.Len())
 		sortWorklist(next, kept)
 		return kept
 	}

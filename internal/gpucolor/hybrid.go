@@ -61,8 +61,8 @@ func runHybrid(dev *simt.Device, g *graph.Graph, opt Options, mode iterMode) (*R
 		smallCur, smallNext = r.wlA, r.wlB
 		r.cnt.Data()[1], r.cnt.Data()[2] = 0, 0
 		r.launch(r.partitionAtomicKernel(smallCur, bigCur, int(r.n), threshold), false)
-		nSmall = int(r.cnt.Data()[1])
-		nBig = int(r.cnt.Data()[2])
+		nSmall = clampCount(int(r.cnt.Data()[1]), smallCur.Len())
+		nBig = clampCount(int(r.cnt.Data()[2]), bigCur.Len())
 		sortWorklist(smallCur, nSmall)
 		sortWorklist(bigCur, nBig)
 	} else {
@@ -77,7 +77,10 @@ func runHybrid(dev *simt.Device, g *graph.Graph, opt Options, mode iterMode) (*R
 
 	for iter := 0; nSmall+nBig > 0; iter++ {
 		if iter >= opt.maxIters(int(r.n)) {
-			return nil, fmt.Errorf("gpucolor: hybrid did not converge after %d iterations", iter)
+			return nil, fmt.Errorf("gpucolor: hybrid did not converge after %d iterations: %w", iter, ErrMaxIterations)
+		}
+		if err := r.checkIter(iter, nSmall+nBig); err != nil {
+			return nil, err
 		}
 		r.res.ActivePerIter = append(r.res.ActivePerIter, nSmall+nBig)
 		r.res.Iterations++

@@ -1,0 +1,310 @@
+package gpucolor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"testing"
+
+	"gcolor/internal/color"
+	"gcolor/internal/gen"
+	"gcolor/internal/graph"
+	"gcolor/internal/simt"
+)
+
+// chaosSuite is the graph set the acceptance criteria name: RMAT, GNM, Grid.
+func chaosSuite() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"rmat": gen.RMAT(8, 8, gen.Graph500, 3),
+		"gnm":  gen.GNM(300, 1500, 4),
+		"grid": gen.Grid2D(12, 11),
+	}
+}
+
+func faultTestDev(rate float64, seed uint64) *simt.Device {
+	d := testDev()
+	d.Fault = simt.NewFaultInjector(seed, rate)
+	return d
+}
+
+// TestColorContextCleanMatchesColor: with no injector, ColorContext's result
+// must be bit-identical to Color's — same colors, cycles, and iteration
+// profile — with the recovery ladder untouched.
+func TestColorContextCleanMatchesColor(t *testing.T) {
+	for name, g := range chaosSuite() {
+		for _, alg := range Algorithms() {
+			want, err := Color(testDev(), g, alg, Options{})
+			if err != nil {
+				t.Fatalf("%s/%v: baseline: %v", name, alg, err)
+			}
+			out, err := ColorContext(context.Background(), testDev(), g, alg, ResilientOptions{})
+			if err != nil {
+				t.Fatalf("%s/%v: ColorContext: %v", name, alg, err)
+			}
+			if out.Recovery != RecoveryNone || out.Attempts != 1 || len(out.AttemptErrors) != 0 {
+				t.Errorf("%s/%v: recovery=%v attempts=%d errs=%d, want clean first run",
+					name, alg, out.Recovery, out.Attempts, len(out.AttemptErrors))
+			}
+			if !slices.Equal(out.Colors, want.Colors) {
+				t.Errorf("%s/%v: colors differ from plain Color", name, alg)
+			}
+			if out.Cycles != want.Cycles || out.Iterations != want.Iterations {
+				t.Errorf("%s/%v: cycles/iterations %d/%d, want %d/%d",
+					name, alg, out.Cycles, out.Iterations, want.Cycles, want.Iterations)
+			}
+			if out.Faults != (simt.FaultStats{}) {
+				t.Errorf("%s/%v: nonzero fault stats without injector: %+v", name, alg, out.Faults)
+			}
+		}
+	}
+}
+
+func TestColorContextCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ColorContext(ctx, testDev(), gen.GNM(100, 400, 1), AlgBaseline, ResilientOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+}
+
+// TestGuardCancelMidRun exercises the iteration-boundary guard directly:
+// cancellation between iterations surfaces as a typed context error.
+func TestGuardCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	guard := newGuard(ctx, ResilientOptions{})
+	if err := guard(0, 400, 0); err != nil {
+		t.Fatalf("iteration 0: unexpected %v", err)
+	}
+	cancel()
+	if err := guard(1, 350, 1000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+}
+
+// TestGuardWatchdogAndBudget checks the two remaining guard conditions in
+// isolation: stale progress trips ErrWatchdog after the stall window, and a
+// cycle overrun trips ErrBudgetExceeded.
+func TestGuardWatchdogAndBudget(t *testing.T) {
+	guard := newGuard(context.Background(), ResilientOptions{StallWindow: 2})
+	if err := guard(0, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := guard(1, 100, 0); err != nil {
+		t.Fatalf("first stale iteration must be tolerated, got %v", err)
+	}
+	if err := guard(2, 100, 0); !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("err=%v, want ErrWatchdog", err)
+	}
+	guard = newGuard(context.Background(), ResilientOptions{CycleBudget: 500})
+	if err := guard(0, 100, 400); err != nil {
+		t.Fatal(err)
+	}
+	if err := guard(1, 90, 600); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err=%v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestColorContextCycleBudget(t *testing.T) {
+	g := gen.GNM(400, 3000, 2)
+	// A 1-cycle budget fails every attempt; with fallback disabled the
+	// typed error must surface through the join.
+	opt := ResilientOptions{CycleBudget: 1, MaxRetries: -1, NoCPUFallback: true}
+	_, err := ColorContext(context.Background(), testDev(), g, AlgBaseline, opt)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err=%v, want ErrBudgetExceeded", err)
+	}
+	// With the fallback enabled the caller still gets a verified coloring.
+	opt.NoCPUFallback = false
+	out, err := ColorContext(context.Background(), testDev(), g, AlgBaseline, opt)
+	if err != nil {
+		t.Fatalf("with fallback: %v", err)
+	}
+	if out.Recovery != RecoveryCPU {
+		t.Fatalf("recovery=%v, want cpu-fallback", out.Recovery)
+	}
+	if err := color.Verify(g, out.Colors); err != nil {
+		t.Fatalf("fallback coloring invalid: %v", err)
+	}
+}
+
+// TestMaxIterationsTyped covers the Options.MaxIterations safety net: every
+// algorithm must stop at the cap with an error that errors.Is-matches
+// ErrMaxIterations rather than looping or panicking.
+func TestMaxIterationsTyped(t *testing.T) {
+	g := gen.Complete(12) // needs 12 iterations (6 for maxmin)
+	for _, alg := range Algorithms() {
+		_, err := Color(testDev(), g, alg, Options{MaxIterations: 2})
+		if !errors.Is(err, ErrMaxIterations) {
+			t.Errorf("%v: err=%v, want ErrMaxIterations", alg, err)
+		}
+	}
+	_, err := SpeculativeD2(testDev(), g, Options{MaxIterations: 1})
+	if !errors.Is(err, ErrMaxIterations) {
+		t.Errorf("speculative-d2: err=%v, want ErrMaxIterations", err)
+	}
+}
+
+// TestMaxIterationsRecoversThroughLadder: an iteration cap too tight for the
+// GPU run is a structural failure, so the ladder must end at the CPU rung
+// with a verified coloring.
+func TestMaxIterationsRecoversThroughLadder(t *testing.T) {
+	g := gen.Complete(12)
+	opt := ResilientOptions{Options: Options{MaxIterations: 2}}
+	out, err := ColorContext(context.Background(), testDev(), g, AlgBaseline, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Recovery != RecoveryCPU {
+		t.Fatalf("recovery=%v, want cpu-fallback", out.Recovery)
+	}
+	if err := color.Verify(g, out.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.AttemptErrors) != out.Attempts {
+		t.Fatalf("%d attempt errors for %d attempts", len(out.AttemptErrors), out.Attempts)
+	}
+	for _, aerr := range out.AttemptErrors {
+		if !errors.Is(aerr, ErrMaxIterations) {
+			t.Errorf("attempt error %v does not wrap ErrMaxIterations", aerr)
+		}
+	}
+}
+
+func TestWatchdogNeverFiresCleanRuns(t *testing.T) {
+	// Fault-free iterative coloring strictly shrinks the active set, so an
+	// aggressive 1-iteration stall window must never trip.
+	for name, g := range chaosSuite() {
+		for _, alg := range Algorithms() {
+			opt := ResilientOptions{StallWindow: 1, MaxRetries: -1, NoCPUFallback: true}
+			out, err := ColorContext(context.Background(), testDev(), g, alg, opt)
+			if err != nil {
+				t.Errorf("%s/%v: %v", name, alg, err)
+				continue
+			}
+			if out.Recovery != RecoveryNone {
+				t.Errorf("%s/%v: recovery=%v, want none", name, alg, out.Recovery)
+			}
+		}
+	}
+}
+
+// TestChaosVerifiedOrTypedError is the acceptance chaos suite: at fault
+// rates up to 1e-3 every outcome is either a coloring Verify accepts or a
+// typed error, and reruns with the same (graph, fault seed) are
+// bit-for-bit identical.
+func TestChaosVerifiedOrTypedError(t *testing.T) {
+	algs := []Algorithm{AlgBaseline, AlgMaxMin, AlgJP, AlgSpeculative, AlgHybrid}
+	recoveries := map[RecoveryLevel]int{}
+	for name, g := range chaosSuite() {
+		for _, rate := range []float64{1e-5, 1e-4, 1e-3} {
+			for ai, alg := range algs {
+				faultSeed := uint64(0xC0FFEE + ai)
+				run := func() (*Outcome, error) {
+					dev := faultTestDev(rate, faultSeed)
+					return ColorContext(context.Background(), dev, g, alg, ResilientOptions{})
+				}
+				out, err := run()
+				if err != nil {
+					// A typed error is an acceptable outcome; an untyped one
+					// is a bug in the ladder.
+					var fe *FaultError
+					if !errors.As(err, &fe) && !errors.Is(err, ErrMaxIterations) &&
+						!errors.Is(err, ErrWatchdog) && !errors.Is(err, ErrBudgetExceeded) {
+						t.Errorf("%s/%v@%g: untyped error %v", name, alg, rate, err)
+					}
+				} else {
+					if verr := color.Verify(g, out.Colors); verr != nil {
+						t.Errorf("%s/%v@%g: unverified coloring escaped: %v", name, alg, rate, verr)
+					}
+					recoveries[out.Recovery]++
+				}
+
+				// Determinism: identical fresh device + injector => identical
+				// outcome, down to colors, attempt count, and fault counters.
+				out2, err2 := run()
+				if (err == nil) != (err2 == nil) {
+					t.Errorf("%s/%v@%g: rerun flipped between error and success", name, alg, rate)
+					continue
+				}
+				if err != nil {
+					if err.Error() != err2.Error() {
+						t.Errorf("%s/%v@%g: rerun error differs:\n  %v\n  %v", name, alg, rate, err, err2)
+					}
+					continue
+				}
+				if !slices.Equal(out.Colors, out2.Colors) || out.Cycles != out2.Cycles ||
+					out.Attempts != out2.Attempts || out.Recovery != out2.Recovery ||
+					out.Repaired != out2.Repaired || out.Faults != out2.Faults {
+					t.Errorf("%s/%v@%g: rerun not bit-identical (attempts %d/%d recovery %v/%v faults %+v/%+v)",
+						name, alg, rate, out.Attempts, out2.Attempts, out.Recovery, out2.Recovery,
+						out.Faults, out2.Faults)
+				}
+			}
+		}
+	}
+	t.Logf("recovery distribution: %v", fmtRecoveries(recoveries))
+}
+
+func fmtRecoveries(m map[RecoveryLevel]int) string {
+	s := ""
+	for _, l := range []RecoveryLevel{RecoveryNone, RecoveryRepair, RecoveryRetry, RecoveryCPU} {
+		s += fmt.Sprintf("%v=%d ", l, m[l])
+	}
+	return s
+}
+
+// TestChaosHighRateStillSafe drives the rate an order of magnitude past the
+// acceptance bar: outcomes may be errors far more often, but never an
+// unverified coloring, an untyped error, or a panic.
+func TestChaosHighRateStillSafe(t *testing.T) {
+	g := gen.GNM(300, 1500, 4)
+	for seed := uint64(1); seed <= 8; seed++ {
+		dev := faultTestDev(1e-2, seed)
+		out, err := ColorContext(context.Background(), dev, g, AlgBaseline, ResilientOptions{})
+		if err != nil {
+			var fe *FaultError
+			if !errors.As(err, &fe) && !errors.Is(err, ErrMaxIterations) &&
+				!errors.Is(err, ErrWatchdog) {
+				t.Errorf("seed %d: untyped error %v", seed, err)
+			}
+			continue
+		}
+		if verr := color.Verify(g, out.Colors); verr != nil {
+			t.Errorf("seed %d: unverified coloring escaped: %v", seed, verr)
+		}
+	}
+}
+
+func TestReseedKeepsAttemptZeroAndNeverZero(t *testing.T) {
+	if got := reseed(7, 0); got != 7 {
+		t.Errorf("attempt 0 reseed = %d, want caller's seed 7", got)
+	}
+	seen := map[uint32]bool{}
+	for attempt := 0; attempt < 8; attempt++ {
+		s := reseed(7, attempt)
+		if s == 0 {
+			t.Errorf("attempt %d: reseed produced 0", attempt)
+		}
+		if seen[s] {
+			t.Errorf("attempt %d: reseed repeated %d", attempt, s)
+		}
+		seen[s] = true
+	}
+	if reseed(0x9e3779b9, 1) != 1 {
+		t.Errorf("zero-colliding reseed must map to 1")
+	}
+}
+
+func TestFaultErrorUnwrap(t *testing.T) {
+	inner := fmt.Errorf("wrapped: %w", ErrWatchdog)
+	fe := &FaultError{Stats: simt.FaultStats{BitFlips: 3}, Err: inner}
+	if !errors.Is(fe, ErrWatchdog) {
+		t.Error("FaultError does not unwrap to ErrWatchdog")
+	}
+	ice := &InvalidColoringError{Err: inner}
+	if !errors.Is(ice, ErrWatchdog) {
+		t.Error("InvalidColoringError does not unwrap")
+	}
+}

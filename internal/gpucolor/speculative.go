@@ -29,7 +29,10 @@ func Speculative(dev *simt.Device, g *graph.Graph, opt Options) (*Result, error)
 	cur, next := r.wlA, r.wlB
 	for round := 0; count > 0; round++ {
 		if round >= opt.maxIters(int(r.n)) {
-			return nil, fmt.Errorf("gpucolor: speculative did not converge after %d rounds", round)
+			return nil, fmt.Errorf("gpucolor: speculative did not converge after %d rounds: %w", round, ErrMaxIterations)
+		}
+		if err := r.checkIter(round, count); err != nil {
+			return nil, err
 		}
 		r.res.ActivePerIter = append(r.res.ActivePerIter, count)
 		r.res.Iterations++

@@ -9,6 +9,12 @@ import (
 // form. It deduplicates edges, drops self loops, and symmetrizes, so callers
 // may add each edge once in either direction (or both; duplicates are free).
 //
+// Panic policy: NewBuilder and AddEdge panic on a negative vertex count or
+// an out-of-range endpoint. Those are caller bugs — every code path that
+// handles external input (the io.go parsers, cmd flags) range-checks before
+// calling, and returns an error instead. Keeping the library precondition a
+// panic makes a missing validation step loud rather than silently clamped.
+//
 // Builder is not safe for concurrent use.
 type Builder struct {
 	n     int

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fuzz targets drive the text parsers with arbitrary bytes through the
+// small-cap variants (so a hostile size declaration cannot OOM the fuzzing
+// harness) and hold two invariants: the parser never panics, and any graph
+// it does accept passes the full CSR structural validation.
+
+const fuzzMaxVertices = 1 << 16
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n2 0\n")
+	f.Add("# n 6\n0 1\n")
+	f.Add("# comment\n% comment\n\n3 4\n")
+	f.Add("-1 2\n")
+	f.Add("0 99999999999999999999\n")
+	f.Add("# n 999999999\n")
+	f.Add("0\n")
+	f.Add("a b c\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := readEdgeListLimit(strings.NewReader(in), fuzzMaxVertices)
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted input built an invalid graph: %v\ninput: %q", verr, in)
+		}
+		if g.NumVertices() > fuzzMaxVertices {
+			t.Fatalf("vertex count %d exceeds the cap", g.NumVertices())
+		}
+	})
+}
+
+func FuzzDIMACS(f *testing.F) {
+	f.Add("p edge 4 3\ne 1 2\ne 2 3\ne 3 4\n")
+	f.Add("c comment\np edge 2 1\ne 1 2\n")
+	f.Add("p edge 0 0\n")
+	f.Add("e 1 2\n")
+	f.Add("p edge 2 1\ne 1 3\n")
+	f.Add("p edge x y\n")
+	f.Add("p edge 999999999 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := readDIMACSLimit(strings.NewReader(in), fuzzMaxVertices)
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted input built an invalid graph: %v\ninput: %q", verr, in)
+		}
+	})
+}
+
+func FuzzMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n1 2\n2 3\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3.5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n-5 -5 1\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 3 1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := readMatrixMarketLimit(strings.NewReader(in), fuzzMaxVertices)
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted input built an invalid graph: %v\ninput: %q", verr, in)
+		}
+	})
+}

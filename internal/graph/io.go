@@ -20,8 +20,21 @@ import (
 //     line, 1-based "i j" entries. The matrix is treated as the adjacency
 //     structure of an undirected graph (general matrices are symmetrized).
 
+// MaxVertices caps the vertex count the text parsers accept. The CSR
+// offsets array alone costs 4 bytes per vertex, so a single malformed line
+// like "0 2000000000" would otherwise commit gigabytes before any edge is
+// read; real inputs at this repository's scale sit orders of magnitude
+// below the cap.
+const MaxVertices = 1 << 28
+
 // ReadEdgeList parses the edge-list format from r.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	return readEdgeListLimit(r, MaxVertices)
+}
+
+// readEdgeListLimit is ReadEdgeList with an explicit vertex-count cap (the
+// fuzz targets use a small one so hostile inputs cannot OOM the harness).
+func readEdgeListLimit(r io.Reader, maxN int) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	var edges [][2]int32
@@ -40,6 +53,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			if len(f) == 2 && f[0] == "n" {
 				n, err := strconv.Atoi(f[1])
 				if err == nil && n > declared {
+					if n > maxN {
+						return nil, fmt.Errorf("edgelist line %d: declared vertex count %d exceeds limit %d", line, n, maxN)
+					}
 					declared = n
 				}
 			}
@@ -59,6 +75,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		if u < 0 || v < 0 {
 			return nil, fmt.Errorf("edgelist line %d: negative vertex id", line)
+		}
+		if u >= int64(maxN) || v >= int64(maxN) {
+			return nil, fmt.Errorf("edgelist line %d: vertex id %d exceeds limit %d", line, max(u, v), maxN)
 		}
 		edges = append(edges, [2]int32{int32(u), int32(v)})
 		if int32(u) > maxID {
@@ -99,6 +118,10 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 
 // ReadDIMACS parses the DIMACS graph-coloring (.col) format from r.
 func ReadDIMACS(r io.Reader) (*Graph, error) {
+	return readDIMACSLimit(r, MaxVertices)
+}
+
+func readDIMACSLimit(r io.Reader, maxN int) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	var b *Builder
@@ -121,6 +144,9 @@ func ReadDIMACS(r io.Reader) (*Graph, error) {
 			n, err := strconv.Atoi(f[2])
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("dimacs line %d: bad vertex count %q", line, f[2])
+			}
+			if n > maxN {
+				return nil, fmt.Errorf("dimacs line %d: vertex count %d exceeds limit %d", line, n, maxN)
 			}
 			b = NewBuilder(n)
 		case "e":
@@ -173,6 +199,10 @@ func WriteDIMACS(w io.Writer, g *Graph) error {
 // ReadMatrixMarket parses a MatrixMarket coordinate-pattern matrix as an
 // undirected graph. Square matrices only; the diagonal is dropped.
 func ReadMatrixMarket(r io.Reader) (*Graph, error) {
+	return readMatrixMarketLimit(r, MaxVertices)
+}
+
+func readMatrixMarketLimit(r io.Reader, maxN int) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	if !sc.Scan() {
@@ -202,8 +232,14 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) {
 			if err1 != nil || err2 != nil {
 				return nil, fmt.Errorf("mtx line %d: malformed size line %q", line, text)
 			}
+			if rows < 0 || cols < 0 {
+				return nil, fmt.Errorf("mtx line %d: negative dimension in %q", line, text)
+			}
 			if rows != cols {
 				return nil, fmt.Errorf("mtx: matrix is %dx%d, want square", rows, cols)
+			}
+			if rows > maxN {
+				return nil, fmt.Errorf("mtx line %d: dimension %d exceeds limit %d", line, rows, maxN)
 			}
 			b = NewBuilder(rows)
 			continue

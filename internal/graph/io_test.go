@@ -22,11 +22,41 @@ func TestReadEdgeList(t *testing.T) {
 }
 
 func TestReadEdgeListErrors(t *testing.T) {
-	cases := []string{"0\n", "a b\n", "0 x\n", "-1 2\n"}
+	cases := []string{
+		"0\n",
+		"a b\n",
+		"0 x\n",
+		"-1 2\n",
+		"0 99999999999999999999\n", // overflows int32
+		"0 268435456\n",            // exceeds MaxVertices
+		"# n 999999999999\n0 1\n",  // declared count exceeds MaxVertices
+		"0 9999999999\n",           // exceeds int32 range via ParseInt
+	}
 	for _, in := range cases {
 		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
 			t.Errorf("ReadEdgeList(%q) succeeded, want error", in)
 		}
+	}
+}
+
+// TestParserLimitsBoundAllocation: hostile size declarations must be
+// rejected by every parser before any proportional allocation happens.
+func TestParserLimitsBoundAllocation(t *testing.T) {
+	if _, err := readEdgeListLimit(strings.NewReader("0 5000\n"), 100); err == nil {
+		t.Error("edge list: id over the cap accepted")
+	}
+	if _, err := readDIMACSLimit(strings.NewReader("p edge 5000 0\n"), 100); err == nil {
+		t.Error("dimacs: vertex count over the cap accepted")
+	}
+	if _, err := readMatrixMarketLimit(strings.NewReader("%%MatrixMarket matrix coordinate pattern general\n5000 5000 0\n"), 100); err == nil {
+		t.Error("mtx: dimension over the cap accepted")
+	}
+	// At exactly the cap all three still parse.
+	if _, err := readEdgeListLimit(strings.NewReader("0 99\n"), 100); err != nil {
+		t.Errorf("edge list at the cap rejected: %v", err)
+	}
+	if _, err := readDIMACSLimit(strings.NewReader("p edge 100 0\n"), 100); err != nil {
+		t.Errorf("dimacs at the cap rejected: %v", err)
 	}
 }
 
@@ -134,6 +164,8 @@ func TestReadMatrixMarketErrors(t *testing.T) {
 		"%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1\n",
 		"%%MatrixMarket matrix coordinate pattern general\nx y z\n",
 		"%%MatrixMarket matrix coordinate pattern general\n",
+		"%%MatrixMarket matrix coordinate pattern general\n-5 -5 1\n", // negative dims must not reach NewBuilder
+		"%%MatrixMarket matrix coordinate pattern general\n999999999999 999999999999 1\n",
 	}
 	for _, in := range cases {
 		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {

@@ -137,21 +137,33 @@ type Ctx struct {
 	cm      *CostModel
 	wf      *wfAcc
 	laneIdx int
+	fi      *FaultInjector // nil unless the device has an armed injector
+	launch  uint64         // device launch ordinal (fault-decision key)
 }
 
 // Op charges n ALU operations to this lane.
 func (c *Ctx) Op(n int) { c.wf.lanes[c.laneIdx].alu += int64(n) }
 
-// Ld loads element i of b, accounting one global memory access.
+// Ld loads element i of b, accounting one global memory access. With a
+// fault injector armed the load may return a bit-flipped value, and an
+// out-of-range index returns poison (0) instead of panicking.
 func (c *Ctx) Ld(b *BufInt32, i int32) int32 {
 	c.wf.record(c.laneIdx, b.id, i, c.cm.SegmentElems)
+	if c.fi != nil {
+		return c.fi.ld(c.launch, c.Global, c.wf.lanes[c.laneIdx].nAccess, b, i)
+	}
 	return b.data[i]
 }
 
 // St stores v to element i of b, accounting one global memory access.
 // Plain stores must not race with other lanes' accesses to the same element
-// within one launch; use the Atomic variants for communication.
+// within one launch; use the Atomic variants for communication. With a
+// fault injector armed an out-of-range store is dropped instead of
+// panicking.
 func (c *Ctx) St(b *BufInt32, i int32, v int32) {
 	c.wf.record(c.laneIdx, b.id, i, c.cm.SegmentElems)
+	if c.fi != nil && !c.fi.stOK(b, i) {
+		return
+	}
 	b.data[i] = v
 }

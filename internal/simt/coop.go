@@ -10,11 +10,13 @@ type CoopFunc func(g *GroupCtx)
 
 // GroupCtx is a workgroup's view of the device inside a cooperative kernel.
 type GroupCtx struct {
-	id    int32
-	size  int
-	width int
-	cm    *CostModel
-	wfs   []*wfAcc
+	id     int32
+	size   int
+	width  int
+	cm     *CostModel
+	wfs    []*wfAcc
+	fi     *FaultInjector
+	launch uint64
 
 	extraCost   int64 // barrier + collective charges
 	barriers    int64
@@ -39,6 +41,8 @@ func (g *GroupCtx) ctxFor(lane int) Ctx {
 		cm:      g.cm,
 		wf:      g.wfs[wf],
 		laneIdx: l,
+		fi:      g.fi,
+		launch:  g.launch,
 	}
 }
 
@@ -103,12 +107,12 @@ func (g *GroupCtx) Barrier() {
 // RunCoop executes a cooperative kernel with the given number of workgroups,
 // each of the device's workgroup size.
 func (d *Device) RunCoop(name string, groups int, f CoopFunc) *RunResult {
-	stats := d.execCoopGroups(name, groups, f)
+	stats := d.execCoopGroups(name, groups, d.launches.Add(1), f)
 	sched := SimulateSchedule(d, stats.GroupCost, d.Policy)
 	return &RunResult{Stats: *stats, Sched: sched}
 }
 
-func (d *Device) execCoopGroups(name string, groups int, f CoopFunc) *KernelStats {
+func (d *Device) execCoopGroups(name string, groups int, launch uint64, f CoopFunc) *KernelStats {
 	d.check()
 	width := d.WavefrontWidth
 	size := d.WorkgroupSize
@@ -146,22 +150,18 @@ func (d *Device) execCoopGroups(name string, groups int, f CoopFunc) *KernelStat
 					wf.reset()
 				}
 				gc := &GroupCtx{
-					id:    int32(gi),
-					size:  size,
-					width: width,
-					cm:    &d.Cost,
-					wfs:   wfs,
+					id:     int32(gi),
+					size:   size,
+					width:  width,
+					cm:     &d.Cost,
+					wfs:    wfs,
+					fi:     d.Fault,
+					launch: launch,
 				}
-				f(gc)
-				var cost int64
-				for _, wf := range wfs {
-					wc := wf.cost(&d.Cost, cache)
-					cost += wc.cycles
-					local.addWavefront(wc)
+				cost := d.execCoopGroup(gc, launch, f, cache, local)
+				if fi := d.Fault; fi != nil && fi.stallGroup(launch, gc.id) {
+					cost *= fi.stallFactor()
 				}
-				cost += gc.extraCost
-				local.Barriers += gc.barriers
-				local.Collectives += gc.collectives
 				stats.GroupCost[gi] = cost
 			}
 			mu.Lock()
@@ -175,4 +175,33 @@ func (d *Device) execCoopGroups(name string, groups int, f CoopFunc) *KernelStat
 	close(groupCh)
 	wgrp.Wait()
 	return stats
+}
+
+// execCoopGroup runs one cooperative workgroup and costs it out. With a
+// fault injector armed, the whole group may be aborted before executing
+// (the cooperative analogue of a wavefront abort — the group owns one
+// task, so killing part of it is indistinguishable from killing it all),
+// and kernel-body panics on corrupted data are absorbed as group panics.
+func (d *Device) execCoopGroup(gc *GroupCtx, launch uint64, f CoopFunc, cache *segCache, local *KernelStats) (cost int64) {
+	if fi := d.Fault; fi != nil {
+		if fi.abortWavefront(launch, gc.id, 0) {
+			return 0
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				fi.notePanic()
+				cost = 0
+			}
+		}()
+	}
+	f(gc)
+	for _, wf := range gc.wfs {
+		wc := wf.cost(&d.Cost, cache)
+		cost += wc.cycles
+		local.addWavefront(wc)
+	}
+	cost += gc.extraCost
+	local.Barriers += gc.barriers
+	local.Collectives += gc.collectives
+	return cost
 }

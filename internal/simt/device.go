@@ -26,8 +26,14 @@ type Device struct {
 	// Set 1 for fully deterministic inter-group execution order (only
 	// observable by kernels that race through atomics by design).
 	Workers int
+	// Fault, when non-nil, injects deterministic seeded faults into every
+	// kernel launch and switches the device to permissive out-of-bounds
+	// semantics (see FaultInjector). nil — the default — costs nothing and
+	// changes nothing.
+	Fault *FaultInjector
 
-	nextBuf atomic.Int32
+	nextBuf  atomic.Int32
+	launches atomic.Uint64
 }
 
 // NewDevice returns a device with HD 7950-like defaults.

@@ -1,0 +1,206 @@
+package simt
+
+import "testing"
+
+// copyKernel runs a simple elementwise copy of src into dst.
+func copyKernel(d *Device, src, dst *BufInt32, n int) *RunResult {
+	return d.Run("copy", n, func(c *Ctx) {
+		c.St(dst, c.Global, c.Ld(src, c.Global))
+	})
+}
+
+func faultDevice(rate float64, seed uint64) *Device {
+	d := NewDevice()
+	d.NumCUs = 4
+	d.WorkgroupSize = 64
+	d.Fault = NewFaultInjector(seed, rate)
+	return d
+}
+
+func TestZeroRateInjectorMatchesNil(t *testing.T) {
+	const n = 4096
+	run := func(fi *FaultInjector) ([]int32, int64) {
+		d := NewDevice()
+		d.NumCUs = 4
+		d.WorkgroupSize = 64
+		d.Fault = fi
+		src := d.AllocInt32(n)
+		for i := range src.Data() {
+			src.Data()[i] = int32(i * 3)
+		}
+		dst := d.AllocInt32(n)
+		rr := copyKernel(d, src, dst, n)
+		return dst.Data(), rr.Cycles()
+	}
+	wantData, wantCycles := run(nil)
+	gotData, gotCycles := run(NewFaultInjector(7, 0))
+	if gotCycles != wantCycles {
+		t.Fatalf("zero-rate injector changed cycles: %d vs %d", gotCycles, wantCycles)
+	}
+	for i := range wantData {
+		if gotData[i] != wantData[i] {
+			t.Fatalf("zero-rate injector changed data at %d: %d vs %d", i, gotData[i], wantData[i])
+		}
+	}
+}
+
+func TestBitFlipsDeterministicAndCounted(t *testing.T) {
+	const n = 1 << 15
+	run := func() ([]int32, FaultStats) {
+		d := faultDevice(0, 42)
+		d.Fault.BitFlipRate = 1e-2
+		src := d.AllocInt32(n)
+		for i := range src.Data() {
+			src.Data()[i] = int32(i)
+		}
+		dst := d.AllocInt32(n)
+		copyKernel(d, src, dst, n)
+		return dst.Data(), d.Fault.Stats()
+	}
+	d1, s1 := run()
+	d2, s2 := run()
+	if s1.BitFlips == 0 {
+		t.Fatalf("rate 1e-2 over %d reads injected no bit flips", n)
+	}
+	if s1 != s2 {
+		t.Fatalf("fault stats not deterministic: %+v vs %+v", s1, s2)
+	}
+	flipped := 0
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("corrupted data not deterministic at %d: %d vs %d", i, d1[i], d2[i])
+		}
+		if d1[i] != int32(i) {
+			flipped++
+			if diff := uint32(d1[i]) ^ uint32(i); diff&^0xFF != 0 {
+				t.Fatalf("flip at %d touched high bits: %d -> %d", i, i, d1[i])
+			}
+		}
+	}
+	if flipped == 0 {
+		t.Fatal("flips counted but no value changed")
+	}
+}
+
+func TestPermissiveOutOfBounds(t *testing.T) {
+	d := faultDevice(0, 1) // armed but zero rates: permissive mode only
+	buf := d.AllocInt32(8)
+	got := d.AllocInt32(64)
+	d.Run("oob", 64, func(c *Ctx) {
+		c.St(got, c.Global, c.Ld(buf, c.Global+100)) // read far out of range
+		c.St(buf, c.Global+1000, 7)                  // dropped write
+		c.AtomicAdd(buf, -5, 1)                      // dropped atomic
+	})
+	for i, v := range got.Data() {
+		if v != 0 {
+			t.Fatalf("OOB read returned %d at %d, want poison 0", v, i)
+		}
+	}
+	st := d.Fault.Stats()
+	if st.OOBReads != 64 || st.OOBWrites != 64 || st.OOBAtomics != 64 {
+		t.Fatalf("OOB counters = %+v, want 64 each", st)
+	}
+}
+
+func TestWavefrontAbortSkipsWrites(t *testing.T) {
+	d := faultDevice(0, 3)
+	d.Fault.WavefrontAbortRate = 1 // every wavefront dies
+	const n = 256
+	dst := d.AllocInt32(n)
+	dst.Fill(-1)
+	src := d.AllocInt32(n)
+	copyKernel(d, src, dst, n)
+	for i, v := range dst.Data() {
+		if v != -1 {
+			t.Fatalf("aborted wavefront still wrote dst[%d] = %d", i, v)
+		}
+	}
+	if st := d.Fault.Stats(); st.WavefrontAborts != int64(n/d.WavefrontWidth) {
+		t.Fatalf("aborts = %d, want %d", st.WavefrontAborts, n/d.WavefrontWidth)
+	}
+}
+
+func TestStallMultipliesGroupCost(t *testing.T) {
+	const n = 1024
+	clean := func(fi *FaultInjector) int64 {
+		d := faultDevice(0, 9)
+		d.Fault = fi
+		src := d.AllocInt32(n)
+		dst := d.AllocInt32(n)
+		return copyKernel(d, src, dst, n).Stats.TotalCost()
+	}
+	base := clean(nil)
+	fi := NewFaultInjector(9, 0)
+	fi.StallRate = 1
+	fi.StallFactor = 64
+	stalled := clean(fi)
+	if stalled != base*64 {
+		t.Fatalf("stalled cost %d, want %d * 64 = %d", stalled, base, base*64)
+	}
+}
+
+func TestCASSpuriousFailure(t *testing.T) {
+	d := faultDevice(0, 11)
+	d.Fault.CASFailRate = 1
+	buf := d.AllocInt32(1)
+	obs := d.AllocInt32(64)
+	d.Run("cas", 64, func(c *Ctx) {
+		c.St(obs, c.Global, c.AtomicCAS(buf, 0, 0, 5))
+	})
+	if buf.Data()[0] != 0 {
+		t.Fatalf("CAS with rate-1 failure still swapped: got %d", buf.Data()[0])
+	}
+	for i, v := range obs.Data() {
+		if v == 0 {
+			t.Fatalf("lane %d observed its expected value %d despite forced failure", i, v)
+		}
+	}
+	if st := d.Fault.Stats(); st.CASFails != 64 {
+		t.Fatalf("CAS fails = %d, want 64", st.CASFails)
+	}
+}
+
+func TestKernelPanicAbsorbed(t *testing.T) {
+	d := faultDevice(0, 13)
+	// Simulate a panic on corrupted data in group 1 only.
+	rr := d.Run("boom", 256, func(c *Ctx) {
+		c.Op(1)
+		if c.Group == 1 && c.Local == 0 {
+			panic("corrupted length")
+		}
+	})
+	if st := d.Fault.Stats(); st.GroupPanics != 1 {
+		t.Fatalf("GroupPanics = %d, want 1", st.GroupPanics)
+	}
+	if got := rr.Stats.GroupCost[1]; got != 0 {
+		t.Fatalf("panicked group cost = %d, want 0", got)
+	}
+	if rr.Stats.GroupCost[0] == 0 {
+		t.Fatal("healthy group was not costed")
+	}
+}
+
+func TestCoopGroupAbortAndPanicAbsorbed(t *testing.T) {
+	d := faultDevice(0, 17)
+	d.Fault.WavefrontAbortRate = 1
+	dst := d.AllocInt32(4)
+	dst.Fill(-1)
+	d.RunCoop("coop-abort", 4, func(g *GroupCtx) {
+		g.One(func(c *Ctx) { c.St(dst, g.ID(), g.ID()) })
+	})
+	for i, v := range dst.Data() {
+		if v != -1 {
+			t.Fatalf("aborted coop group %d still wrote %d", i, v)
+		}
+	}
+	d2 := faultDevice(0, 19)
+	d2.RunCoop("coop-panic", 2, func(g *GroupCtx) {
+		if g.ID() == 0 {
+			panic("corrupted")
+		}
+		g.One(func(c *Ctx) { c.Op(1) })
+	})
+	if st := d2.Fault.Stats(); st.GroupPanics != 1 {
+		t.Fatalf("coop GroupPanics = %d, want 1", st.GroupPanics)
+	}
+}

@@ -107,13 +107,13 @@ func (r *RunResult) Cycles() int64 { return r.Sched.Cycles }
 // Run executes a data-parallel kernel over items work-items using the
 // device's workgroup size and scheduling policy.
 func (d *Device) Run(name string, items int, f KernelFunc) *RunResult {
-	stats := d.execGroups(name, items, f)
+	stats := d.execGroups(name, items, d.launches.Add(1), f)
 	sched := SimulateSchedule(d, stats.GroupCost, d.Policy)
 	return &RunResult{Stats: *stats, Sched: sched}
 }
 
 // execGroups is phase A: execute every workgroup, recording costs.
-func (d *Device) execGroups(name string, items int, f KernelFunc) *KernelStats {
+func (d *Device) execGroups(name string, items int, launch uint64, f KernelFunc) *KernelStats {
 	d.check()
 	wg := d.WorkgroupSize
 	width := d.WavefrontWidth
@@ -145,7 +145,11 @@ func (d *Device) execGroups(name string, items int, f KernelFunc) *KernelStats {
 			cache := newSegCache(d.Cost.CacheSegments)
 			for g := range groupCh {
 				cache.reset()
-				stats.GroupCost[g] = d.execOneGroup(g, items, f, acc, cache, local)
+				cost := d.execOneGroupSafe(g, items, launch, f, acc, cache, local)
+				if fi := d.Fault; fi != nil && fi.stallGroup(launch, int32(g)) {
+					cost *= fi.stallFactor()
+				}
+				stats.GroupCost[g] = cost
 			}
 			mu.Lock()
 			stats.merge(local)
@@ -160,9 +164,26 @@ func (d *Device) execGroups(name string, items int, f KernelFunc) *KernelStats {
 	return stats
 }
 
+// execOneGroupSafe dispatches to execOneGroup; with a fault injector armed
+// it additionally absorbs kernel-body panics (corrupted data can produce
+// negative slice lengths and the like), recording the group as aborted.
+// The named return keeps whatever cost had accumulated at zero — the
+// panicked group simply contributes no further work, deterministically.
+func (d *Device) execOneGroupSafe(g, items int, launch uint64, f KernelFunc, acc *wfAcc, cache *segCache, local *KernelStats) (cost int64) {
+	if fi := d.Fault; fi != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				fi.notePanic()
+				cost = 0
+			}
+		}()
+	}
+	return d.execOneGroup(g, items, launch, f, acc, cache, local)
+}
+
 // execOneGroup runs workgroup g's work-items lane by lane, wavefront by
 // wavefront, and returns the group's simulated cost.
-func (d *Device) execOneGroup(g, items int, f KernelFunc, acc *wfAcc, cache *segCache, local *KernelStats) int64 {
+func (d *Device) execOneGroup(g, items int, launch uint64, f KernelFunc, acc *wfAcc, cache *segCache, local *KernelStats) int64 {
 	wg := d.WorkgroupSize
 	width := d.WavefrontWidth
 	base := g * wg
@@ -170,6 +191,9 @@ func (d *Device) execOneGroup(g, items int, f KernelFunc, acc *wfAcc, cache *seg
 	for wfStart := 0; wfStart < wg; wfStart += width {
 		if base+wfStart >= items {
 			break // whole wavefront past the grid tail
+		}
+		if fi := d.Fault; fi != nil && fi.abortWavefront(launch, int32(g), int32(wfStart/width)) {
+			continue // wavefront killed: no work, no writes
 		}
 		acc.reset()
 		for l := 0; l < width; l++ {
@@ -185,6 +209,8 @@ func (d *Device) execOneGroup(g, items int, f KernelFunc, acc *wfAcc, cache *seg
 				cm:      &d.Cost,
 				wf:      acc,
 				laneIdx: l,
+				fi:      d.Fault,
+				launch:  launch,
 			}
 			f(&c)
 		}
