@@ -6,6 +6,7 @@
 //	gcbench                 # run everything at full scale
 //	gcbench -exp F7         # just the headline comparison
 //	gcbench -scale small    # quick pass with small datasets
+//	gcbench -serving        # serving-layer benchmark -> BENCH_PR2.json
 package main
 
 import (
@@ -22,8 +23,22 @@ func main() {
 		id     = flag.String("exp", "all", `experiment id: all, T1, F1..F9, A1..A6, X1`)
 		scale  = flag.String("scale", "full", "dataset scale: full or small")
 		format = flag.String("format", "text", "output format: text or csv")
+
+		serving  = flag.Bool("serving", false, "run the serving-layer benchmark instead of the paper experiments")
+		servOut  = flag.String("json", "BENCH_PR2.json", "output file for -serving")
+		servN    = flag.Int("serving-requests", 60, "request count for -serving")
+		servDevs = flag.Int("serving-devices", 4, "pooled devices for -serving")
+		servConc = flag.Int("serving-conc", 8, "client concurrency for -serving")
 	)
 	flag.Parse()
+
+	if *serving {
+		if err := runServingBench(*servOut, *servN, *servDevs, *servConc); err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := exp.Config{Scale: exp.Full}
 	switch *scale {

@@ -1,0 +1,303 @@
+// Serving benchmark (-serving): measures the gcolord serving layer
+// in-process — a serial no-cache baseline versus a pooled serve.Server on
+// the same workload mix — plus compact kernel numbers, and writes the
+// result as JSON (BENCH_PR2.json by default).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"gcolor/internal/gpucolor"
+	"gcolor/internal/graph"
+	"gcolor/internal/serve"
+	"gcolor/internal/simt"
+)
+
+// servingMix is the default workload: a regular mesh, a uniform random
+// graph, and a scale-free graph, weighted toward repeats so the cache
+// and coalescing layers see realistic duplicate traffic. A fraction of
+// requests get a rewritten seed so some misses always remain.
+var servingMix = []struct {
+	spec   string
+	weight int
+}{
+	{"grid:40:40", 4},
+	{"gnm:2000:8000:1", 3},
+	{"rmat:9:8:1", 3},
+}
+
+const servingUniqueEvery = 5 // every 5th request gets a fresh seed (20% unique)
+
+type latencySummary struct {
+	P50us  int64 `json:"p50_us"`
+	P90us  int64 `json:"p90_us"`
+	P99us  int64 `json:"p99_us"`
+	Meanus int64 `json:"mean_us"`
+	Maxus  int64 `json:"max_us"`
+}
+
+type kernelNumber struct {
+	Graph      string  `json:"graph"`
+	Algorithm  string  `json:"algorithm"`
+	Colors     int     `json:"colors"`
+	Iterations int     `json:"iterations"`
+	Cycles     int64   `json:"cycles"`
+	SIMDUtil   float64 `json:"simd_util"`
+}
+
+type servingReport struct {
+	Bench       string         `json:"bench"`
+	Requests    int            `json:"requests"`
+	Mix         []string       `json:"mix"`
+	Kernels     []kernelNumber `json:"kernels"`
+	Serial      serialSection  `json:"serial"`
+	Serving     servingSection `json:"serving"`
+	SpeedupVsX1 float64        `json:"speedup_vs_serial"`
+}
+
+type serialSection struct {
+	Requests      int            `json:"requests"`
+	Seconds       float64        `json:"seconds"`
+	ThroughputRPS float64        `json:"throughput_rps"`
+	Latency       latencySummary `json:"latency"`
+}
+
+type servingSection struct {
+	Devices           int            `json:"devices"`
+	Concurrency       int            `json:"concurrency"`
+	Requests          int            `json:"requests"`
+	OK                int            `json:"ok"`
+	Failed            int64          `json:"failed"`
+	Cached            int64          `json:"cached"`
+	Coalesced         int64          `json:"coalesced"`
+	Shed              int64          `json:"shed"`
+	QueueFull         int64          `json:"queue_full"`
+	CacheHitRate      float64        `json:"cache_hit_rate"`
+	DeviceUtilization float64        `json:"device_utilization"`
+	Seconds           float64        `json:"seconds"`
+	ThroughputRPS     float64        `json:"throughput_rps"`
+	Latency           latencySummary `json:"latency"`
+}
+
+// servingRequests expands the weighted mix into n (spec, graph) pairs.
+// Every servingUniqueEvery-th request attempts a seed rewrite, matching
+// gcload's reseed semantics: seeded specs (gnm, rmat) become
+// never-before-seen graphs, seedless ones (grid) stay duplicates. The
+// weights interleave so the unique slots land on both kinds.
+func servingRequests(n int) ([]string, map[string]*graph.Graph, error) {
+	var ring []string
+	for i := 0; len(ring) < servingTotalWeight(); i++ {
+		for _, m := range servingMix {
+			if i < m.weight {
+				ring = append(ring, m.spec)
+			}
+		}
+	}
+	specs := make([]string, 0, n)
+	graphs := make(map[string]*graph.Graph)
+	unique := 0
+	for i := 0; i < n; i++ {
+		spec := ring[i%len(ring)]
+		if i%servingUniqueEvery == servingUniqueEvery-1 {
+			unique++
+			switch spec {
+			case "gnm:2000:8000:1":
+				spec = fmt.Sprintf("gnm:2000:8000:%d", 1000+unique)
+			case "rmat:9:8:1":
+				spec = fmt.Sprintf("rmat:9:8:%d", 1000+unique)
+			}
+		}
+		if _, ok := graphs[spec]; !ok {
+			g, err := serve.ParseGraphSpec(spec)
+			if err != nil {
+				return nil, nil, fmt.Errorf("mix spec %q: %w", spec, err)
+			}
+			graphs[spec] = g
+		}
+		specs = append(specs, spec)
+	}
+	return specs, graphs, nil
+}
+
+func servingTotalWeight() int {
+	t := 0
+	for _, m := range servingMix {
+		t += m.weight
+	}
+	return t
+}
+
+func summarizeLatency(us []int64) latencySummary {
+	if len(us) == 0 {
+		return latencySummary{}
+	}
+	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(us)-1))
+		return us[i]
+	}
+	var sum int64
+	for _, v := range us {
+		sum += v
+	}
+	return latencySummary{
+		P50us:  at(0.50),
+		P90us:  at(0.90),
+		P99us:  at(0.99),
+		Meanus: sum / int64(len(us)),
+		Maxus:  us[len(us)-1],
+	}
+}
+
+// kernelNumbers records the core per-kernel evidence the earlier PRs
+// benchmarked, so BENCH_PR2.json is self-contained: colors, iterations,
+// cycles, and SIMD utilization for the baseline and hybrid algorithms.
+func kernelNumbers() ([]kernelNumber, error) {
+	const spec = "rmat:11:16:1"
+	g, err := serve.ParseGraphSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	var out []kernelNumber
+	for _, alg := range []gpucolor.Algorithm{gpucolor.AlgBaseline, gpucolor.AlgHybrid} {
+		dev := simt.NewDevice()
+		res, err := gpucolor.Color(dev, g, alg, gpucolor.Options{Seed: 1})
+		if err != nil {
+			return nil, fmt.Errorf("kernel %s: %w", alg, err)
+		}
+		out = append(out, kernelNumber{
+			Graph:      spec,
+			Algorithm:  alg.String(),
+			Colors:     res.NumColors,
+			Iterations: res.Iterations,
+			Cycles:     res.Cycles,
+			SIMDUtil:   res.SIMDUtilization(),
+		})
+	}
+	return out, nil
+}
+
+// runServingBench executes the benchmark and writes jsonPath.
+func runServingBench(jsonPath string, n, devices, conc int) error {
+	specs, graphs, err := servingRequests(n)
+	if err != nil {
+		return err
+	}
+	mix := make([]string, 0, len(servingMix))
+	for _, m := range servingMix {
+		mix = append(mix, fmt.Sprintf("%s=%d", m.spec, m.weight))
+	}
+
+	kernels, err := kernelNumbers()
+	if err != nil {
+		return err
+	}
+
+	// Serial baseline: one device, one request at a time, no cache — what a
+	// script looping `gcolor` over the same mix would sustain.
+	serial := serialSection{Requests: n}
+	{
+		dev := simt.NewDevice()
+		lat := make([]int64, 0, n)
+		start := time.Now()
+		for _, spec := range specs {
+			t0 := time.Now()
+			if _, err := gpucolor.ColorContext(context.Background(), dev, graphs[spec],
+				gpucolor.AlgHybrid, gpucolor.ResilientOptions{}); err != nil {
+				return fmt.Errorf("serial baseline %q: %w", spec, err)
+			}
+			lat = append(lat, time.Since(t0).Microseconds())
+		}
+		serial.Seconds = time.Since(start).Seconds()
+		serial.ThroughputRPS = float64(n) / serial.Seconds
+		serial.Latency = summarizeLatency(lat)
+	}
+
+	// Pooled server on the identical request stream.
+	sv := servingSection{Devices: devices, Concurrency: conc, Requests: n}
+	{
+		s := serve.NewServer(serve.Config{Devices: devices})
+		var (
+			mu  sync.Mutex
+			lat = make([]int64, 0, n)
+			ok  int
+		)
+		work := make(chan string)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for spec := range work {
+					t0 := time.Now()
+					_, err := s.Submit(context.Background(), &serve.Request{
+						Graph:     graphs[spec],
+						Algorithm: gpucolor.AlgHybrid,
+					})
+					us := time.Since(t0).Microseconds()
+					mu.Lock()
+					if err == nil {
+						ok++
+						lat = append(lat, us)
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		for _, spec := range specs {
+			work <- spec
+		}
+		close(work)
+		wg.Wait()
+		sv.Seconds = time.Since(start).Seconds()
+		s.Stop()
+		st := s.Stats()
+		sv.OK = ok
+		sv.Failed = st.Failed
+		sv.Cached = st.CacheHits
+		sv.Coalesced = st.Coalesced
+		sv.Shed = st.Shed
+		sv.QueueFull = st.QueueFull
+		sv.CacheHitRate = st.CacheHitRate
+		sv.DeviceUtilization = st.Utilization
+		sv.ThroughputRPS = float64(ok) / sv.Seconds
+		sv.Latency = summarizeLatency(lat)
+	}
+
+	rep := servingReport{
+		Bench:    "gcolord-serving",
+		Requests: n,
+		Mix:      mix,
+		Kernels:  kernels,
+		Serial:   serial,
+		Serving:  sv,
+	}
+	if serial.ThroughputRPS > 0 {
+		rep.SpeedupVsX1 = sv.ThroughputRPS / serial.ThroughputRPS
+	}
+
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"gcbench: serving %.1f req/s vs serial %.1f req/s (%.2fx), cache hit rate %.2f, shed %d -> %s\n",
+		sv.ThroughputRPS, serial.ThroughputRPS, rep.SpeedupVsX1, sv.CacheHitRate, sv.Shed+sv.QueueFull, jsonPath)
+	return nil
+}

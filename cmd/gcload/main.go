@@ -1,0 +1,489 @@
+// Command gcload drives a gcolord daemon with a configurable request mix
+// and reports throughput and latency — the serving-side counterpart of
+// gcbench.
+//
+// Closed loop (default): -conc workers each keep one request in flight.
+// Open loop: requests fire at a fixed -rate regardless of completions,
+// which is what pushes the daemon into its shedding regime.
+//
+// Usage:
+//
+//	gcload -addr http://localhost:8421 -conc 8 -duration 10s
+//	gcload -mode open -rate 200 -duration 5s -mix "grid:40:40=3,rmat:9:8:1=1"
+//	gcload -baseline -conc 8 -n 200 -json load.json
+//
+// The mix is spec=weight pairs (specs as in serve.ParseGraphSpec); -unique
+// rewrites the seed of that fraction of requests so they miss every cache,
+// controlling the duplicate share of the workload. With -baseline the tool
+// first measures serial one-at-a-time no-cache throughput on the same mix
+// (the cmd/gcolor regime) and reports the serving speedup over it.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gcolor/internal/serve"
+)
+
+type mixEntry struct {
+	spec   string
+	weight int
+}
+
+type summary struct {
+	Mode        string             `json:"mode"`
+	Concurrency int                `json:"concurrency,omitempty"`
+	RatePerSec  float64            `json:"rate_per_sec,omitempty"`
+	DurationSec float64            `json:"duration_sec"`
+	Requests    int64              `json:"requests"`
+	OK          int64              `json:"ok"`
+	Cached      int64              `json:"cached"`
+	Coalesced   int64              `json:"coalesced"`
+	Errors      map[string]int64   `json:"errors,omitempty"`
+	Throughput  float64            `json:"throughput_rps"`
+	LatencyUS   map[string]int64   `json:"latency_us"`
+	Server      map[string]float64 `json:"server,omitempty"`
+	BaselineRPS float64            `json:"baseline_rps,omitempty"`
+	Speedup     float64            `json:"speedup,omitempty"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8421", "gcolord base URL")
+		mode     = flag.String("mode", "closed", "load mode: closed (fixed concurrency) or open (fixed rate)")
+		conc     = flag.Int("conc", 8, "closed-loop concurrent workers")
+		rate     = flag.Float64("rate", 100, "open-loop request rate (req/s)")
+		duration = flag.Duration("duration", 10*time.Second, "run length (ignored when -n > 0)")
+		count    = flag.Int("n", 0, "total request count (0 = run for -duration)")
+		mixFlag  = flag.String("mix", "grid:40:40=4,gnm:2000:8000:1=3,rmat:9:8:1=3", "workload mix: spec=weight pairs, comma separated")
+		unique   = flag.Float64("unique", 0.2, "fraction of requests rewritten to a unique seed (cache-busting)")
+		alg      = flag.String("alg", "baseline", "algorithm for every request")
+		policy   = flag.String("policy", "static", "scheduling policy for every request")
+		priority = flag.String("priority", "normal", "priority for every request")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		baseline = flag.Bool("baseline", false, "first measure serial no-cache throughput on the same mix and report speedup")
+		jsonOut  = flag.String("json", "", "also write the summary as JSON to this file")
+	)
+	flag.Parse()
+
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if *mode != "closed" && *mode != "open" {
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	client := &http.Client{Timeout: *timeout + 5*time.Second}
+	if err := waitHealthy(client, *addr, 10*time.Second); err != nil {
+		fatal(err)
+	}
+
+	sum := summary{Mode: *mode, Errors: map[string]int64{}}
+	gen := newReqGen(mix, *unique, *alg, *policy, *priority, timeout.Milliseconds(), *seed)
+
+	if *baseline {
+		n := *count
+		if n == 0 {
+			n = 50
+		}
+		if n > 200 {
+			n = 200
+		}
+		base := runClosed(client, *addr, gen.baselineVariant(), 1, n, 0)
+		sum.BaselineRPS = base.Throughput
+		fmt.Printf("baseline: %d serial no-cache requests, %.1f req/s (p50 %s)\n",
+			base.Requests, base.Throughput, us(base.LatencyUS["p50"]))
+	}
+
+	var run summary
+	switch *mode {
+	case "closed":
+		run = runClosed(client, *addr, gen, *conc, *count, *duration)
+		run.Concurrency = *conc
+	case "open":
+		run = runOpen(client, *addr, gen, *rate, *count, *duration)
+		run.RatePerSec = *rate
+	}
+	run.Mode, run.BaselineRPS = sum.Mode, sum.BaselineRPS
+	if run.BaselineRPS > 0 {
+		run.Speedup = run.Throughput / run.BaselineRPS
+	}
+	run.Server = fetchServerMetrics(client, *addr)
+	printSummary(&run)
+
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(&run, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if run.Requests > 0 && run.OK == 0 {
+		os.Exit(1)
+	}
+}
+
+// reqGen produces the request stream: weighted spec choice plus
+// cache-busting unique-seed rewrites. It is safe for concurrent use.
+type reqGen struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	mix      []mixEntry
+	total    int
+	unique   float64
+	uniqueID atomic.Int64
+	body     serve.ColorRequest
+}
+
+func newReqGen(mix []mixEntry, unique float64, alg, policy, priority string, timeoutMS int64, seed int64) *reqGen {
+	total := 0
+	for _, m := range mix {
+		total += m.weight
+	}
+	return &reqGen{
+		rng: rand.New(rand.NewSource(seed)), mix: mix, total: total, unique: unique,
+		body: serve.ColorRequest{Alg: alg, Policy: policy, Priority: priority, TimeoutMS: timeoutMS},
+	}
+}
+
+// baselineVariant returns a generator over the same mix whose requests
+// bypass cache and coalescing — the serial cmd/gcolor regime.
+func (g *reqGen) baselineVariant() *reqGen {
+	b := newReqGen(g.mix, g.unique, g.body.Alg, g.body.Policy, g.body.Priority, g.body.TimeoutMS, g.rng.Int63())
+	b.body.NoCache = true
+	return b
+}
+
+// next returns the JSON body of one request.
+func (g *reqGen) next() []byte {
+	g.mu.Lock()
+	pick := g.rng.Intn(g.total)
+	uniq := g.rng.Float64() < g.unique
+	g.mu.Unlock()
+	spec := ""
+	for _, m := range g.mix {
+		if pick < m.weight {
+			spec = m.spec
+			break
+		}
+		pick -= m.weight
+	}
+	if uniq {
+		spec = reseedSpec(spec, g.uniqueID.Add(1))
+	}
+	body := g.body
+	body.Gen = spec
+	b, _ := json.Marshal(&body)
+	return b
+}
+
+// reseedSpec swaps the trailing seed field of a seeded spec for id, making
+// the graph (and so its fingerprint) unique. Specs without a seed field
+// (grid, complete, ...) are returned unchanged.
+func reseedSpec(spec string, id int64) string {
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "rmat", "gnm", "ba": // kind:a:b[:seed]
+		if len(parts) >= 4 {
+			parts = parts[:3]
+		}
+	case "ws": // ws:n:k:beta[:seed]
+		if len(parts) >= 5 {
+			parts = parts[:4]
+		}
+	default:
+		return spec
+	}
+	return strings.Join(parts, ":") + ":" + strconv.FormatInt(1000+id, 10)
+}
+
+type reqResult struct {
+	lat       time.Duration
+	ok        bool
+	kind      string
+	cached    bool
+	coalesced bool
+}
+
+func doRequest(client *http.Client, addr string, body []byte) reqResult {
+	start := time.Now()
+	resp, err := client.Post(addr+"/color", "application/json", bytes.NewReader(body))
+	r := reqResult{lat: time.Since(start)}
+	if err != nil {
+		r.kind = "transport"
+		return r
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var cr serve.ColorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			r.kind = "decode"
+			return r
+		}
+		r.lat = time.Since(start)
+		r.ok, r.cached, r.coalesced = true, cr.Cached, cr.Coalesced
+		return r
+	}
+	var er struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.Kind == "" {
+		er.Kind = fmt.Sprintf("http_%d", resp.StatusCode)
+	}
+	r.lat = time.Since(start)
+	r.kind = er.Kind
+	return r
+}
+
+// runClosed keeps conc requests in flight until n requests have been sent
+// (n > 0) or d has elapsed.
+func runClosed(client *http.Client, addr string, gen *reqGen, conc, n int, d time.Duration) summary {
+	var sent atomic.Int64
+	results := make(chan reqResult, 1024)
+	stop := time.Now().Add(d)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if n > 0 {
+					if sent.Add(1) > int64(n) {
+						return
+					}
+				} else if !time.Now().Before(stop) {
+					return
+				}
+				results <- doRequest(client, addr, gen.next())
+			}
+		}()
+	}
+	done := make(chan struct{})
+	var sum summary
+	var lats []time.Duration
+	go func() {
+		defer close(done)
+		for r := range results {
+			collect(&sum, &lats, r)
+		}
+	}()
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(results)
+	<-done
+	finalize(&sum, lats, elapsed)
+	return sum
+}
+
+// runOpen fires requests at a fixed rate, never waiting for completions
+// (in-flight count is unbounded up to the daemon's admission control).
+func runOpen(client *http.Client, addr string, gen *reqGen, rate float64, n int, d time.Duration) summary {
+	if rate <= 0 {
+		fatal(fmt.Errorf("open-loop rate must be > 0"))
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	results := make(chan reqResult, 4096)
+	var wg sync.WaitGroup
+	start := time.Now()
+	stop := start.Add(d)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	fired := 0
+	for now := range tick.C {
+		if n > 0 && fired >= n {
+			break
+		}
+		if n == 0 && now.After(stop) {
+			break
+		}
+		fired++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- doRequest(client, addr, gen.next())
+		}()
+	}
+	done := make(chan struct{})
+	var sum summary
+	var lats []time.Duration
+	go func() {
+		defer close(done)
+		for r := range results {
+			collect(&sum, &lats, r)
+		}
+	}()
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(results)
+	<-done
+	finalize(&sum, lats, elapsed)
+	return sum
+}
+
+func collect(sum *summary, lats *[]time.Duration, r reqResult) {
+	sum.Requests++
+	if r.ok {
+		sum.OK++
+		if r.cached {
+			sum.Cached++
+		}
+		if r.coalesced {
+			sum.Coalesced++
+		}
+		*lats = append(*lats, r.lat)
+		return
+	}
+	if sum.Errors == nil {
+		sum.Errors = map[string]int64{}
+	}
+	sum.Errors[r.kind]++
+}
+
+func finalize(sum *summary, lats []time.Duration, elapsed time.Duration) {
+	sum.DurationSec = elapsed.Seconds()
+	if elapsed > 0 {
+		sum.Throughput = float64(sum.OK) / elapsed.Seconds()
+	}
+	sum.LatencyUS = map[string]int64{}
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var total time.Duration
+	for _, l := range lats {
+		total += l
+	}
+	pct := func(p float64) int64 {
+		i := int(p * float64(len(lats)-1))
+		return lats[i].Microseconds()
+	}
+	sum.LatencyUS["p50"] = pct(0.50)
+	sum.LatencyUS["p90"] = pct(0.90)
+	sum.LatencyUS["p99"] = pct(0.99)
+	sum.LatencyUS["mean"] = (total / time.Duration(len(lats))).Microseconds()
+	sum.LatencyUS["max"] = lats[len(lats)-1].Microseconds()
+}
+
+// fetchServerMetrics scrapes the daemon's /metricsz into a flat map.
+func fetchServerMetrics(client *http.Client, addr string) map[string]float64 {
+	resp, err := client.Get(addr + "/metricsz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(b), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+			out[fields[0]] = v
+		}
+	}
+	return out
+}
+
+func parseMix(s string) ([]mixEntry, error) {
+	var mix []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		spec, wstr, found := strings.Cut(part, "=")
+		w := 1
+		if found {
+			var err error
+			w, err = strconv.Atoi(wstr)
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("gcload: bad mix weight in %q", part)
+			}
+		}
+		if _, err := serve.ParseGraphSpec(spec); err != nil {
+			return nil, fmt.Errorf("gcload: bad mix spec %q: %v", spec, err)
+		}
+		mix = append(mix, mixEntry{spec: spec, weight: w})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("gcload: empty mix")
+	}
+	return mix, nil
+}
+
+func waitHealthy(client *http.Client, addr string, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("gcload: %s/healthz not healthy after %v (last error: %v)", addr, d, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func us(v int64) string { return (time.Duration(v) * time.Microsecond).String() }
+
+func printSummary(s *summary) {
+	fmt.Printf("\n%-22s %s\n", "mode", s.Mode)
+	fmt.Printf("%-22s %.2fs\n", "duration", s.DurationSec)
+	fmt.Printf("%-22s %d (%d ok, %d cached, %d coalesced)\n", "requests", s.Requests, s.OK, s.Cached, s.Coalesced)
+	if len(s.Errors) > 0 {
+		keys := make([]string, 0, len(s.Errors))
+		for k := range s.Errors {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%-22s %d\n", "errors."+k, s.Errors[k])
+		}
+	}
+	fmt.Printf("%-22s %.1f req/s\n", "throughput", s.Throughput)
+	for _, q := range []string{"p50", "p90", "p99", "mean", "max"} {
+		if v, ok := s.LatencyUS[q]; ok {
+			fmt.Printf("%-22s %s\n", "latency."+q, us(v))
+		}
+	}
+	for _, k := range []string{"cache_hit_rate", "shed_total", "queue_full_total", "device_utilization", "coalesced_total", "deadline_expired_total"} {
+		if v, ok := s.Server[k]; ok {
+			fmt.Printf("%-22s %g\n", "server."+k, v)
+		}
+	}
+	if s.BaselineRPS > 0 {
+		fmt.Printf("%-22s %.1f req/s\n", "baseline", s.BaselineRPS)
+		fmt.Printf("%-22s %.2fx\n", "speedup", s.Speedup)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gcload: %v\n", err)
+	os.Exit(2)
+}

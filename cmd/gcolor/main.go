@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,12 +42,13 @@ func main() {
 		cpu       = flag.Bool("cpu", false, "also report CPU reference colorings")
 		traceOut  = flag.String("trace", "", "write a chrome://tracing timeline of the run to this file")
 
-		chaos     = flag.Bool("chaos", false, "arm the fault injector (implies -resilient)")
-		faultRate = flag.Float64("fault-rate", 1e-4, "per-event fault probability for -chaos")
-		faultSeed = flag.Uint64("fault-seed", 1, "fault injector seed for -chaos")
-		resilient = flag.Bool("resilient", false, "run through the resilient driver (repair/retry/CPU-fallback ladder)")
-		budget    = flag.Int64("budget", 0, "simulated-cycle budget per attempt for -resilient (0 = unlimited)")
-		timeout   = flag.Duration("timeout", 0, "wall-clock deadline for -resilient (0 = none)")
+		chaos      = flag.Bool("chaos", false, "arm the fault injector (implies -resilient)")
+		faultRate  = flag.Float64("fault-rate", 1e-4, "per-event fault probability for -chaos")
+		faultSeed  = flag.Uint64("fault-seed", 1, "fault injector seed for -chaos")
+		resilient  = flag.Bool("resilient", false, "run through the resilient driver (repair/retry/CPU-fallback ladder)")
+		budget     = flag.Int64("budget", 0, "simulated-cycle budget per attempt for -resilient (0 = unlimited)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock deadline for -resilient (0 = none)")
+		noFallback = flag.Bool("no-fallback", false, "disable the CPU-greedy fallback rung; exhausted GPU attempts exit with a typed failure code (3=watchdog, 4=budget, 5=max-iterations, 6=canceled)")
 	)
 	flag.Parse()
 
@@ -95,11 +97,12 @@ func main() {
 			defer cancel()
 		}
 		out, err := gpucolor.ColorContext(ctx, dev, g, alg, gpucolor.ResilientOptions{
-			Options:     opt,
-			CycleBudget: *budget,
+			Options:       opt,
+			CycleBudget:   *budget,
+			NoCPUFallback: *noFallback,
 		})
 		if err != nil {
-			fatal(err)
+			fatalTyped(err)
 		}
 		fmt.Printf("resilient: recovery=%s attempts=%d", out.Recovery, out.Attempts)
 		if out.Repaired > 0 {
@@ -184,4 +187,37 @@ func readGraph(path string) (*graph.Graph, error) {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "gcolor: %v\n", err)
 	os.Exit(1)
+}
+
+// Exit codes of the resilient path, so scripts and load drivers can
+// classify failures without parsing messages. 1 stays the generic failure
+// code and 2 is flag parsing (the flag package's convention).
+const (
+	exitWatchdog = 3 // livelock: no cross-iteration progress
+	exitBudget   = 4 // simulated-cycle budget exceeded
+	exitMaxIters = 5 // iteration safety cap reached
+	exitCanceled = 6 // context deadline/cancellation (-timeout)
+)
+
+// fatalTyped reports a resilient-run failure with a distinct message and
+// exit code per typed error. A run that exhausted several rungs joins all
+// attempt errors; classification uses the first typed cause found, in
+// severity order.
+func fatalTyped(err error) {
+	switch {
+	case errors.Is(err, gpucolor.ErrWatchdog):
+		fmt.Fprintf(os.Stderr, "gcolor: watchdog: livelock, no cross-iteration progress: %v\n", err)
+		os.Exit(exitWatchdog)
+	case errors.Is(err, gpucolor.ErrBudgetExceeded):
+		fmt.Fprintf(os.Stderr, "gcolor: budget: simulated-cycle budget exceeded: %v\n", err)
+		os.Exit(exitBudget)
+	case errors.Is(err, gpucolor.ErrMaxIterations):
+		fmt.Fprintf(os.Stderr, "gcolor: max-iterations: safety cap reached without converging: %v\n", err)
+		os.Exit(exitMaxIters)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		fmt.Fprintf(os.Stderr, "gcolor: canceled: %v\n", err)
+		os.Exit(exitCanceled)
+	default:
+		fatal(err)
+	}
 }

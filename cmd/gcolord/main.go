@@ -1,0 +1,100 @@
+// Command gcolord is the graph-coloring daemon: it owns a pool of
+// simulated GPU devices and serves coloring requests over HTTP with
+// admission control, request coalescing, and a result cache (see
+// internal/serve).
+//
+// Usage:
+//
+//	gcolord -addr :8421 -devices 4
+//	gcolord -devices 2 -cus 14 -queue 128 -shed 0.5 -cache 1024
+//	gcolord -devices 4 -chaos -fault-rate 1e-4      # chaos serving
+//
+// Endpoints:
+//
+//	POST /color     submit a job; JSON body, see serve.ColorRequest
+//	GET  /healthz   liveness and pool size
+//	GET  /metricsz  queue depth, wait/exec latency, cache hit rate,
+//	                shed counts, device utilization (flat text)
+//
+// Example request:
+//
+//	curl -s localhost:8421/color -d '{"gen":"rmat:10:8:1","alg":"hybrid"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gcolor/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8421", "listen address")
+		devices  = flag.Int("devices", 4, "number of pooled devices")
+		cus      = flag.Int("cus", 28, "compute units per device")
+		wgSize   = flag.Int("wg", 256, "workgroup size per device")
+		wave     = flag.Int("wavefront", 64, "wavefront width per device")
+		devWkrs  = flag.Int("dev-workers", 0, "simulation goroutines per device (0 = split GOMAXPROCS across the pool)")
+		queueCap = flag.Int("queue", 256, "admission queue capacity")
+		shed     = flag.Float64("shed", 0.75, "queue occupancy fraction at which sub-high priority work is shed (>=1 disables)")
+		cacheSz  = flag.Int("cache", 512, "result cache entries (-1 disables)")
+		workers  = flag.Int("workers", 0, "executor goroutines (0 = one per device)")
+
+		chaos     = flag.Bool("chaos", false, "arm a fault injector on every pool device")
+		faultRate = flag.Float64("fault-rate", 1e-4, "per-event fault probability for -chaos")
+		faultSeed = flag.Uint64("fault-seed", 1, "fault injector seed for -chaos")
+	)
+	flag.Parse()
+
+	devCfg := serve.DeviceConfig{
+		NumCUs:         *cus,
+		WorkgroupSize:  *wgSize,
+		WavefrontWidth: *wave,
+		Workers:        *devWkrs,
+	}
+	if *chaos {
+		devCfg.FaultRate = *faultRate
+		devCfg.FaultSeed = *faultSeed
+		log.Printf("chaos: fault injectors armed on all devices, rate %g, seed %d", *faultRate, *faultSeed)
+	}
+	srv := serve.NewServer(serve.Config{
+		Devices:       *devices,
+		Device:        devCfg,
+		QueueCapacity: *queueCap,
+		ShedFraction:  *shed,
+		CacheEntries:  *cacheSz,
+		Workers:       *workers,
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: serve.Handler(srv)}
+	go func() {
+		log.Printf("gcolord: serving on %s (%d devices, queue %d, cache %d)",
+			*addr, *devices, *queueCap, *cacheSz)
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("gcolord: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("gcolord: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("gcolord: http shutdown: %v", err)
+	}
+	srv.Stop()
+	st := srv.Stats()
+	fmt.Printf("gcolord: served %d requests (%d completed, %d cached, %d coalesced, %d shed, %d failed) in %v\n",
+		st.Requests, st.Completed, st.CacheHits, st.Coalesced, st.Shed+st.QueueFull, st.Failed, st.Uptime.Round(time.Millisecond))
+}

@@ -28,6 +28,7 @@ import (
 	"gcolor/internal/gpuapps"
 	"gcolor/internal/gpucolor"
 	"gcolor/internal/graph"
+	"gcolor/internal/serve"
 	"gcolor/internal/simt"
 )
 
@@ -207,6 +208,59 @@ func PageRankScores(dev *Device, g *Graph) []float32 {
 func ComponentLabels(dev *Device, g *Graph) []int32 {
 	return gpuapps.ConnectedComponents(dev, g).Labels
 }
+
+// Serving layer (see internal/serve): the engine behind cmd/gcolord — a
+// pool of simulated devices, a bounded priority queue with admission
+// control, singleflight request coalescing, and an LRU result cache —
+// embeddable in-process without the HTTP surface.
+
+// Server is an in-process coloring service over a device pool.
+type Server = serve.Server
+
+// ServeConfig sizes a Server: pool width, device geometry, queue
+// capacity, shed threshold, cache entries, executor count.
+type ServeConfig = serve.Config
+
+// ServeRequest is one coloring job: the graph plus per-job policy
+// (algorithm, seed, scheduler, resilience knobs, priority, cacheability).
+type ServeRequest = serve.Request
+
+// ServeResponse is a completed job: the coloring plus serving evidence
+// (cache/coalesce flags, device index, queue wait, execution time).
+type ServeResponse = serve.Response
+
+// ServePriority orders jobs in the admission queue.
+type ServePriority = serve.Priority
+
+// Admission priorities. Low and Normal work is shed under load; High
+// work is only refused when the queue is completely full.
+const (
+	PriorityLow    = serve.PriorityLow
+	PriorityNormal = serve.PriorityNormal
+	PriorityHigh   = serve.PriorityHigh
+)
+
+// Typed admission failures of a Server, for errors.Is.
+var (
+	ErrQueueFull    = serve.ErrQueueFull
+	ErrShedding     = serve.ErrShedding
+	ErrServerClosed = serve.ErrClosed
+)
+
+// NewServer starts a Server; call Stop to drain and release it.
+func NewServer(cfg ServeConfig) *Server { return serve.NewServer(cfg) }
+
+// ParseGraphSpec builds a deterministic synthetic graph from a compact
+// spec like "rmat:14:16:1", "gnm:10000:50000", or "grid:64:64".
+func ParseGraphSpec(spec string) (*Graph, error) { return serve.ParseGraphSpec(spec) }
+
+// Fingerprint returns g's stable 64-bit content fingerprint: equal for
+// any two graphs with identical adjacency structure regardless of edge
+// insertion order, across runs and platforms. It keys the result cache.
+func Fingerprint(g *Graph) uint64 { return g.Fingerprint() }
+
+// FingerprintString formats a fingerprint as fixed-width hex.
+func FingerprintString(fp uint64) string { return graph.FingerprintString(fp) }
 
 // RunExperiment executes one of the paper's reconstructed experiments
 // ("T1", "F1".."F9", ablations "A1".."A6", extensions "X1".."X5") at full

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fpOf builds a graph from edges in the given order and fingerprints it.
+func fpOf(n int, edges [][2]int32) uint64 {
+	return FromEdges(n, edges).Fingerprint()
+}
+
+func TestFingerprintInsertionOrderInvariant(t *testing.T) {
+	edges := [][2]int32{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}, {0, 4}, {1, 4}}
+	want := fpOf(5, edges)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		perm := make([][2]int32, len(edges))
+		for i, j := range rng.Perm(len(edges)) {
+			perm[i] = edges[j]
+			if trial%2 == 1 {
+				// Also flip endpoint order: {u,v} and {v,u} are the same
+				// undirected edge.
+				perm[i] = [2]int32{edges[j][1], edges[j][0]}
+			}
+		}
+		if got := fpOf(5, perm); got != want {
+			t.Fatalf("trial %d: fingerprint %016x != %016x under permuted insertion", trial, got, want)
+		}
+	}
+}
+
+func TestFingerprintDuplicateEdgesInvariant(t *testing.T) {
+	base := [][2]int32{{0, 1}, {1, 2}, {2, 0}}
+	withDups := [][2]int32{{0, 1}, {1, 2}, {1, 0}, {2, 0}, {2, 1}, {0, 1}}
+	if a, b := fpOf(3, base), fpOf(3, withDups); a != b {
+		t.Fatalf("duplicate insertions changed fingerprint: %016x != %016x", a, b)
+	}
+}
+
+func TestFingerprintSingleEdgeMutation(t *testing.T) {
+	base := [][2]int32{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}}
+	fp := fpOf(5, base)
+	// Removing any one edge must change the hash.
+	for i := range base {
+		mut := make([][2]int32, 0, len(base)-1)
+		mut = append(mut, base[:i]...)
+		mut = append(mut, base[i+1:]...)
+		if got := fpOf(5, mut); got == fp {
+			t.Errorf("removing edge %v left fingerprint unchanged (%016x)", base[i], fp)
+		}
+	}
+	// Adding one edge must change the hash.
+	if got := fpOf(5, append(append([][2]int32{}, base...), [2]int32{1, 3})); got == fp {
+		t.Errorf("adding edge {1,3} left fingerprint unchanged (%016x)", fp)
+	}
+	// Rewiring one endpoint must change the hash.
+	rewired := append([][2]int32{}, base...)
+	rewired[4] = [2]int32{3, 0}
+	if got := fpOf(5, rewired); got == fp {
+		t.Errorf("rewiring edge left fingerprint unchanged (%016x)", fp)
+	}
+	// Same edge set on a larger vertex set (extra isolated vertex) differs.
+	if got := fpOf(6, base); got == fp {
+		t.Errorf("extra isolated vertex left fingerprint unchanged (%016x)", fp)
+	}
+}
+
+// TestFingerprintGolden pins the hash function itself: these values must
+// never change across runs, platforms, or releases, because result-cache
+// keys and the /color API echo them. If this test fails, the hash changed —
+// that is a breaking change to the serving protocol, not a test to update
+// lightly.
+func TestFingerprintGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int32
+		want  uint64
+	}{
+		{"empty", 0, nil, 0xa8c7f832281a39c5},
+		{"one-vertex", 1, nil, 0x5f242d39c2422be4},
+		{"single-edge", 2, [][2]int32{{0, 1}}, 0xb4973c4ebd4db845},
+		{"triangle", 3, [][2]int32{{0, 1}, {1, 2}, {2, 0}}, 0xb5183eea205acf56},
+		{"path4", 4, [][2]int32{{0, 1}, {1, 2}, {2, 3}}, 0xdb595135de0c0d83},
+	}
+	for _, c := range cases {
+		if got := fpOf(c.n, c.edges); got != c.want {
+			t.Errorf("%s: Fingerprint() = %#016x, want %#016x", c.name, got, c.want)
+		}
+	}
+	if got, want := FingerprintString(0xb4973c4ebd4db845), "b4973c4ebd4db845"; got != want {
+		t.Errorf("FingerprintString = %q, want %q", got, want)
+	}
+}
+
+func TestFingerprintStableAcrossRecomputation(t *testing.T) {
+	g := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	first := g.Fingerprint()
+	for i := 0; i < 5; i++ {
+		if got := g.Fingerprint(); got != first {
+			t.Fatalf("recomputation %d: %016x != %016x", i, got, first)
+		}
+	}
+	if got := g.Clone().Fingerprint(); got != first {
+		t.Fatalf("clone fingerprint %016x != %016x", got, first)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Summary describes the distribution of a non-negative work measure.
@@ -89,8 +90,10 @@ func (s Summary) String() string {
 }
 
 // Histogram buckets non-negative values by power of two: bucket 0 holds
-// value 0, bucket k holds values in [2^(k-1), 2^k).
+// value 0, bucket k holds values in [2^(k-1), 2^k). The zero value is an
+// empty histogram; all methods are safe for concurrent use.
 type Histogram struct {
+	mu     sync.Mutex
 	counts []int64
 	total  int64
 }
@@ -98,11 +101,13 @@ type Histogram struct {
 // Add records one observation.
 func (h *Histogram) Add(v int64) {
 	b := bucketOf(v)
+	h.mu.Lock()
 	for len(h.counts) <= b {
 		h.counts = append(h.counts, 0)
 	}
 	h.counts[b]++
 	h.total++
+	h.mu.Unlock()
 }
 
 func bucketOf(v int64) int {
@@ -122,16 +127,48 @@ func bitsLeadingZeros64(x uint64) int {
 }
 
 // Total returns the number of observations.
-func (h *Histogram) Total() int64 { return h.total }
+func (h *Histogram) Total() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
 
 // Buckets returns (label, count) pairs for all non-empty trailing buckets.
 func (h *Histogram) Buckets() []HistBucket {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	out := make([]HistBucket, 0, len(h.counts))
 	for i, c := range h.counts {
 		lo, hi := bucketBounds(i)
 		out = append(out, HistBucket{Lo: lo, Hi: hi, Count: c})
 	}
 	return out
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1) of the
+// recorded values: the inclusive upper edge of the bucket containing that
+// rank, or 0 for an empty histogram. Power-of-two buckets make this a
+// factor-of-two estimate — good enough for latency reporting.
+func (h *Histogram) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			_, hi := bucketBounds(i)
+			return hi
+		}
+	}
+	_, hi := bucketBounds(len(h.counts) - 1)
+	return hi
 }
 
 // HistBucket is one histogram bucket covering [Lo, Hi].
@@ -150,14 +187,15 @@ func bucketBounds(b int) (lo, hi int64) {
 // String renders an ASCII histogram, one line per bucket, bar scaled to the
 // largest bucket.
 func (h *Histogram) String() string {
+	buckets := h.Buckets()
 	var sb strings.Builder
 	var maxC int64 = 1
-	for _, c := range h.counts {
-		if c > maxC {
-			maxC = c
+	for _, b := range buckets {
+		if b.Count > maxC {
+			maxC = b.Count
 		}
 	}
-	for _, b := range h.Buckets() {
+	for _, b := range buckets {
 		if b.Count == 0 {
 			continue
 		}

@@ -1,0 +1,153 @@
+// Serving-side metrics: cheap atomic counters and gauges plus a named
+// registry that gcolord renders at /metricsz. The distribution tools in
+// metrics.go describe one run after the fact; these types are written on
+// every request from many goroutines at once, so everything here is safe
+// for concurrent use and wait-free on the hot path.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready to
+// use; all methods may be called concurrently.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (delta must be >= 0; counters only go up).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (queue depth, devices busy). The zero
+// value is ready to use; all methods may be called concurrently.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the level by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a named collection of counters, gauges, and histograms with a
+// stable text rendering. Lookup methods create on first use, so callers
+// never need registration boilerplate; all methods are safe for concurrent
+// use.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every scalar metric (counters and gauges) by name, one
+// consistent-enough view for JSON export: each value is read atomically,
+// though not all at the same instant.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counts)+len(r.gauges))
+	for name, c := range r.counts {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// WriteText renders the registry in a flat, sorted, line-oriented format
+// (name value, histograms as name.p50/p90/p99/count) suitable for /metricsz
+// and for grepping in tests.
+func (r *Registry) WriteText(sb *strings.Builder) {
+	scalars := r.Snapshot()
+	names := make([]string, 0, len(scalars))
+	for name := range scalars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(sb, "%s %d\n", name, scalars[name])
+	}
+
+	r.mu.Lock()
+	hnames := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		hnames = append(hnames, name)
+	}
+	hists := make([]*Histogram, len(hnames))
+	sort.Strings(hnames)
+	for i, name := range hnames {
+		hists[i] = r.hists[name]
+	}
+	r.mu.Unlock()
+	for i, name := range hnames {
+		h := hists[i]
+		fmt.Fprintf(sb, "%s.count %d\n", name, h.Total())
+		fmt.Fprintf(sb, "%s.p50 %d\n", name, h.Quantile(0.50))
+		fmt.Fprintf(sb, "%s.p90 %d\n", name, h.Quantile(0.90))
+		fmt.Fprintf(sb, "%s.p99 %d\n", name, h.Quantile(0.99))
+	}
+}
+
+// String renders the registry via WriteText.
+func (r *Registry) String() string {
+	var sb strings.Builder
+	r.WriteText(&sb)
+	return sb.String()
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Counter.Value = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Gauge.Value = %d, want 7", got)
+	}
+}
+
+func TestRegistryLookupIsStable(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("Counter(x) returned different instances")
+	}
+	if r.Gauge("y") != r.Gauge("y") {
+		t.Fatal("Gauge(y) returned different instances")
+	}
+	if r.Histogram("z") != r.Histogram("z") {
+		t.Fatal("Histogram(z) returned different instances")
+	}
+}
+
+func TestRegistryWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total").Add(12)
+	r.Gauge("queue_depth").Set(3)
+	h := r.Histogram("wait_us")
+	for i := int64(1); i <= 100; i++ {
+		h.Add(i)
+	}
+	out := r.String()
+	for _, want := range []string{
+		"requests_total 12\n",
+		"queue_depth 3\n",
+		"wait_us.count 100\n",
+		"wait_us.p50 ",
+		"wait_us.p99 ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram Quantile = %d, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(10) // bucket [8,15]
+	}
+	h.Add(1000) // bucket [512,1023]
+	if got := h.Quantile(0.5); got != 15 {
+		t.Errorf("Quantile(0.5) = %d, want 15", got)
+	}
+	if got := h.Quantile(1.0); got != 1023 {
+		t.Errorf("Quantile(1.0) = %d, want 1023", got)
+	}
+}
+
+// TestMetricsConcurrent hammers every mutable metrics type from parallel
+// goroutines; run under -race (CI does) it proves the package is safe for
+// gcolord's many-worker use.
+func TestMetricsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				r.Counter("reqs").Inc()
+				r.Gauge("depth").Add(1)
+				r.Gauge("depth").Add(-1)
+				r.Histogram("lat").Add(int64(id*perG + j))
+				if j%500 == 0 {
+					_ = r.Histogram("lat").Quantile(0.9)
+					_ = r.Histogram("lat").String()
+					_ = r.Snapshot()
+					_ = r.String()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter("reqs").Value(); got != goroutines*perG {
+		t.Fatalf("reqs = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("depth").Value(); got != 0 {
+		t.Fatalf("depth = %d, want 0", got)
+	}
+	if got := r.Histogram("lat").Total(); got != goroutines*perG {
+		t.Fatalf("lat.count = %d, want %d", got, goroutines*perG)
+	}
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey identifies a (graph content, coloring policy) pair: the graph
+// fingerprint plus the folded request knobs that can change the coloring.
+type cacheKey struct {
+	fp     uint64
+	policy uint64
+}
+
+func keyOf(req *Request, fp uint64) cacheKey {
+	return cacheKey{fp: fp, policy: req.policyKey()}
+}
+
+// resultCache is a fixed-capacity LRU of completed responses. Stored
+// responses are treated as immutable: lookups return the same *Response to
+// every hit, so callers must not mutate the Colors slice.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *cacheEntry
+	byKey map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res *Response
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &resultCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns the cached response for key, refreshing its recency.
+func (c *resultCache) get(key cacheKey) (*Response, bool) {
+	if c.cap == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// beyond capacity.
+func (c *resultCache) put(key cacheKey, res *Response) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.byKey, el.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flight is one in-flight execution that any number of duplicate requests
+// wait on. done is closed exactly once, after res/err are set.
+type flight struct {
+	done chan struct{}
+	res  *Response
+	err  error
+}
+
+// complete publishes the outcome and releases every waiter.
+func (f *flight) complete(res *Response, err error) {
+	f.res = res
+	f.err = err
+	close(f.done)
+}

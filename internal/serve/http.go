@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"gcolor/internal/gpucolor"
+	"gcolor/internal/graph"
+)
+
+// ColorRequest is the JSON body of POST /color. Exactly one of Graph
+// (inline edge-list text) or Gen (generator spec, see ParseGraphSpec) must
+// be set.
+type ColorRequest struct {
+	Graph string `json:"graph,omitempty"` // edge-list text, one "u v" per line
+	Gen   string `json:"gen,omitempty"`   // generator spec, e.g. "rmat:10:8:1"
+
+	Alg       string `json:"alg,omitempty"`       // algorithm name (default baseline)
+	Seed      uint32 `json:"seed,omitempty"`      // vertex priority seed
+	Threshold int    `json:"threshold,omitempty"` // hybrid degree threshold
+	Policy    string `json:"policy,omitempty"`    // static | roundrobin | stealing
+	Priority  string `json:"priority,omitempty"`  // low | normal | high
+
+	CycleBudget   int64 `json:"cycle_budget,omitempty"`
+	MaxRetries    int   `json:"max_retries,omitempty"`
+	NoCPUFallback bool  `json:"no_cpu_fallback,omitempty"`
+	NoCache       bool  `json:"no_cache,omitempty"`
+
+	TimeoutMS     int64 `json:"timeout_ms,omitempty"`     // per-request deadline
+	IncludeColors bool  `json:"include_colors,omitempty"` // echo the full coloring
+}
+
+// ColorResponse is the JSON body of a successful POST /color.
+type ColorResponse struct {
+	Fingerprint string  `json:"fingerprint"`
+	NumColors   int     `json:"num_colors"`
+	Colors      []int32 `json:"colors,omitempty"`
+	Vertices    int     `json:"vertices"`
+	Edges       int     `json:"edges"`
+
+	Cycles     int64  `json:"cycles"`
+	Iterations int    `json:"iterations"`
+	Recovery   string `json:"recovery"`
+	Attempts   int    `json:"attempts"`
+	Repaired   int    `json:"repaired,omitempty"`
+
+	Cached    bool  `json:"cached"`
+	Coalesced bool  `json:"coalesced"`
+	Device    int   `json:"device"`
+	WaitUS    int64 `json:"wait_us"`
+	ExecUS    int64 `json:"exec_us"`
+}
+
+// errorResponse is the JSON body of any non-2xx /color reply.
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"` // bad_request | queue_full | shedding | deadline | closed | failed
+}
+
+// specCache memoizes generator-spec graphs so a hot spec ("rmat:12:8:1"
+// requested by every gcload worker) is generated once, not per request.
+// Inline-uploaded graphs are not memoized — their parse cost is the upload
+// cost.
+type specCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List
+	byKey map[string]*list.Element
+}
+
+type specEntry struct {
+	key string
+	g   *graph.Graph
+}
+
+func newSpecCache(capacity int) *specCache {
+	return &specCache{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+func (c *specCache) get(spec string) (*graph.Graph, error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[spec]; ok {
+		c.order.MoveToFront(el)
+		g := el.Value.(*specEntry).g
+		c.mu.Unlock()
+		return g, nil
+	}
+	c.mu.Unlock()
+	// Generate outside the lock; duplicate generation on a race is
+	// harmless (same deterministic graph) and rarer than lock contention.
+	g, err := ParseGraphSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if _, ok := c.byKey[spec]; !ok {
+		c.byKey[spec] = c.order.PushFront(&specEntry{key: spec, g: g})
+		for c.order.Len() > c.cap {
+			el := c.order.Back()
+			c.order.Remove(el)
+			delete(c.byKey, el.Value.(*specEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	return g, nil
+}
+
+// Handler wraps a Server with the gcolord HTTP API:
+//
+//	POST /color     submit a coloring job (ColorRequest -> ColorResponse)
+//	GET  /healthz   liveness + pool size
+//	GET  /metricsz  flat text metrics (counters, gauges, histograms,
+//	                derived cache_hit_rate / device_utilization)
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	specs := newSpecCache(64)
+	mux.HandleFunc("POST /color", func(w http.ResponseWriter, r *http.Request) {
+		handleColor(s, specs, w, r)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"ok","devices":%d,"uptime_ms":%d}`+"\n",
+			s.pool.Size(), s.Uptime().Milliseconds())
+	})
+	mux.HandleFunc("GET /metricsz", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Stats()
+		var sb strings.Builder
+		s.Metrics().WriteText(&sb)
+		fmt.Fprintf(&sb, "cache_hit_rate %.4f\n", st.CacheHitRate)
+		fmt.Fprintf(&sb, "device_utilization %.4f\n", st.Utilization)
+		fmt.Fprintf(&sb, "uptime_ms %d\n", st.Uptime.Milliseconds())
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, sb.String())
+	})
+	return mux
+}
+
+func handleColor(s *Server, specs *specCache, w http.ResponseWriter, r *http.Request) {
+	var cr ColorRequest
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	if err := json.NewDecoder(body).Decode(&cr); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decode: %v", err))
+		return
+	}
+	req, g, err := buildRequest(&cr, specs)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	ctx := r.Context()
+	if cr.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(cr.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := s.Submit(ctx, req)
+	if err != nil {
+		status, kind := classifyErr(err)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeErr(w, status, kind, err.Error())
+		return
+	}
+	out := ColorResponse{
+		Fingerprint: graph.FingerprintString(res.Fingerprint),
+		NumColors:   res.NumColors,
+		Vertices:    g.NumVertices(),
+		Edges:       g.NumEdges(),
+		Cycles:      res.Cycles,
+		Iterations:  res.Iterations,
+		Recovery:    res.Recovery.String(),
+		Attempts:    res.Attempts,
+		Repaired:    res.Repaired,
+		Cached:      res.Cached,
+		Coalesced:   res.Coalesced,
+		Device:      res.Device,
+		WaitUS:      res.Wait.Microseconds(),
+		ExecUS:      res.Exec.Microseconds(),
+	}
+	if cr.IncludeColors {
+		out.Colors = res.Colors
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(&out); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+// buildRequest converts the wire request to a serve.Request.
+func buildRequest(cr *ColorRequest, specs *specCache) (*Request, *graph.Graph, error) {
+	var g *graph.Graph
+	var err error
+	switch {
+	case cr.Gen != "" && cr.Graph != "":
+		return nil, nil, errors.New("set exactly one of graph and gen")
+	case cr.Gen != "":
+		g, err = specs.get(cr.Gen)
+	case cr.Graph != "":
+		g, err = graph.ReadEdgeList(strings.NewReader(cr.Graph))
+	default:
+		return nil, nil, errors.New("set exactly one of graph and gen")
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	alg := gpucolor.AlgBaseline
+	if cr.Alg != "" {
+		alg, err = gpucolor.ParseAlgorithm(cr.Alg)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	pol, err := ParseSchedPolicy(cr.Policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	prio, ok := ParsePriority(cr.Priority)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown priority %q", cr.Priority)
+	}
+	return &Request{
+		Graph:           g,
+		Algorithm:       alg,
+		Seed:            cr.Seed,
+		HybridThreshold: cr.Threshold,
+		Policy:          pol,
+		Priority:        prio,
+		CycleBudget:     cr.CycleBudget,
+		MaxRetries:      cr.MaxRetries,
+		NoCPUFallback:   cr.NoCPUFallback,
+		NoCache:         cr.NoCache,
+	}, g, nil
+}
+
+// classifyErr maps serve/gpucolor failures to HTTP status + error kind.
+func classifyErr(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, "queue_full"
+	case errors.Is(err, ErrShedding):
+		return http.StatusTooManyRequests, "shedding"
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable, "closed"
+	case isDeadline(err):
+		return http.StatusGatewayTimeout, "deadline"
+	default:
+		return http.StatusInternalServerError, "failed"
+	}
+}
+
+func isDeadline(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+func writeErr(w http.ResponseWriter, status int, kind, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg, Kind: kind})
+}

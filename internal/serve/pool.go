@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"gcolor/internal/simt"
+)
+
+// DeviceConfig describes one pool device. The zero value means "HD 7950
+// defaults" for every field.
+type DeviceConfig struct {
+	// NumCUs, WavefrontWidth, WorkgroupSize mirror simt.Device; zero keeps
+	// the simt.NewDevice default.
+	NumCUs         int
+	WavefrontWidth int
+	WorkgroupSize  int
+	// Workers bounds the host goroutines simulating the device. The pool
+	// default divides GOMAXPROCS across devices so a fully busy pool does
+	// not oversubscribe the host; set explicitly to override.
+	Workers int
+	// FaultRate > 0 arms a deterministic fault injector on the device with
+	// the given per-event probability and FaultSeed (chaos serving).
+	FaultRate float64
+	FaultSeed uint64
+}
+
+func (c DeviceConfig) build() *simt.Device {
+	dev := simt.NewDevice()
+	if c.NumCUs > 0 {
+		dev.NumCUs = c.NumCUs
+	}
+	if c.WavefrontWidth > 0 {
+		dev.WavefrontWidth = c.WavefrontWidth
+	}
+	if c.WorkgroupSize > 0 {
+		dev.WorkgroupSize = c.WorkgroupSize
+	}
+	if c.Workers > 0 {
+		dev.Workers = c.Workers
+	}
+	if c.FaultRate > 0 {
+		seed := c.FaultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		dev.Fault = simt.NewFaultInjector(seed, c.FaultRate)
+	}
+	return dev
+}
+
+// DevicePool owns a fixed set of simulated devices and leases each to one
+// job at a time. Leases are handed out in LIFO order (a recently released
+// device is re-leased first, keeping its host-side caches warm) and the
+// pool tracks per-device busy time for the utilization metric.
+type DevicePool struct {
+	devices []*simt.Device
+	free    chan int
+	busyNS  []atomic.Int64
+	jobs    []atomic.Int64
+}
+
+// NewDevicePool builds a pool from per-device configs (one device per
+// entry). It panics on an empty config list: a pool with no devices is a
+// programming error, not a runtime condition.
+func NewDevicePool(cfgs []DeviceConfig) *DevicePool {
+	if len(cfgs) == 0 {
+		panic("serve: NewDevicePool with no device configs")
+	}
+	p := &DevicePool{
+		devices: make([]*simt.Device, len(cfgs)),
+		free:    make(chan int, len(cfgs)),
+		busyNS:  make([]atomic.Int64, len(cfgs)),
+		jobs:    make([]atomic.Int64, len(cfgs)),
+	}
+	for i, cfg := range cfgs {
+		p.devices[i] = cfg.build()
+		p.free <- i
+	}
+	return p
+}
+
+// UniformPool builds a pool of n identical devices from one config,
+// defaulting each device's simulation workers so the whole pool together
+// uses about GOMAXPROCS host goroutines.
+func UniformPool(n int, cfg DeviceConfig) *DevicePool {
+	if n < 1 {
+		n = 1
+	}
+	if cfg.Workers == 0 {
+		w := runtime.GOMAXPROCS(0) / n
+		if w < 1 {
+			w = 1
+		}
+		cfg.Workers = w
+	}
+	cfgs := make([]DeviceConfig, n)
+	for i := range cfgs {
+		cfgs[i] = cfg
+	}
+	return NewDevicePool(cfgs)
+}
+
+// Size returns the number of devices.
+func (p *DevicePool) Size() int { return len(p.devices) }
+
+// Lease is an exclusive claim on one pool device.
+type Lease struct {
+	pool    *DevicePool
+	idx     int
+	start   time.Time
+	release func()
+}
+
+// Device returns the leased device. The holder has exclusive use until
+// Release.
+func (l *Lease) Device() *simt.Device { return l.pool.devices[l.idx] }
+
+// Index returns the pool index of the leased device.
+func (l *Lease) Index() int { return l.idx }
+
+// Release returns the device to the pool and records its busy time.
+// Release is idempotent.
+func (l *Lease) Release() {
+	if l.release != nil {
+		l.release()
+		l.release = nil
+	}
+}
+
+// Acquire leases a free device, blocking until one is available or ctx is
+// done.
+func (p *DevicePool) Acquire(ctx context.Context) (*Lease, error) {
+	select {
+	case idx := <-p.free:
+		l := &Lease{pool: p, idx: idx, start: time.Now()}
+		l.release = func() {
+			p.busyNS[idx].Add(int64(time.Since(l.start)))
+			p.jobs[idx].Add(1)
+			p.free <- idx
+		}
+		return l, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: device acquire: %w", ctx.Err())
+	}
+}
+
+// TryAcquire leases a free device without blocking; ok is false when every
+// device is busy.
+func (p *DevicePool) TryAcquire() (*Lease, bool) {
+	select {
+	case idx := <-p.free:
+		l := &Lease{pool: p, idx: idx, start: time.Now()}
+		l.release = func() {
+			p.busyNS[idx].Add(int64(time.Since(l.start)))
+			p.jobs[idx].Add(1)
+			p.free <- idx
+		}
+		return l, true
+	default:
+		return nil, false
+	}
+}
+
+// BusyNanos returns the cumulative leased time of device i in nanoseconds
+// (completed leases only).
+func (p *DevicePool) BusyNanos(i int) int64 { return p.busyNS[i].Load() }
+
+// Jobs returns the number of completed leases of device i.
+func (p *DevicePool) Jobs(i int) int64 { return p.jobs[i].Load() }
+
+// Utilization returns the pool-wide fraction of elapsed wall time the
+// devices spent leased, given the pool's age.
+func (p *DevicePool) Utilization(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	var busy int64
+	for i := range p.busyNS {
+		busy += p.busyNS[i].Load()
+	}
+	return float64(busy) / (float64(len(p.devices)) * float64(elapsed))
+}

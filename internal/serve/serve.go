@@ -1,0 +1,149 @@
+// Package serve is the concurrent graph-coloring service: the layer that
+// turns the single-request resilient driver (gpucolor.ColorContext) into a
+// daemon that serves many callers from a fixed pool of simulated devices.
+//
+// The paper's theme — scheduling irregular work onto compute units without
+// letting one hot spot starve the rest — recurs here one level up. The
+// pieces, in request order:
+//
+//   - result cache: completed colorings are kept in an LRU keyed by the
+//     graph's content fingerprint plus the policy knobs that affect the
+//     coloring; a hit answers without touching queue or devices.
+//   - coalescing: duplicate in-flight requests (same key) attach to the
+//     execution already running instead of enqueueing again.
+//   - admission control: a bounded priority queue rejects work outright
+//     when full (ErrQueueFull) and sheds low-priority work early when
+//     occupancy crosses the shed threshold (ErrShedding), so overload
+//     degrades by policy rather than by luck.
+//   - device pool: N independently configured simt devices, leased to one
+//     job at a time; workers dequeue (skipping jobs whose deadline already
+//     passed — they never reach a device), lease, run the full resilient
+//     ladder, and publish the result to every coalesced waiter.
+//
+// Server is the in-process API; http.go wraps it for cmd/gcolord.
+package serve
+
+import (
+	"time"
+
+	"gcolor/internal/gpucolor"
+	"gcolor/internal/graph"
+	"gcolor/internal/simt"
+)
+
+// Priority orders jobs in the admission queue. Higher runs first; within a
+// priority level the queue is FIFO.
+type Priority int
+
+// Priority levels. Under shed pressure (queue occupancy at or above the
+// shed threshold) only PriorityHigh work is admitted.
+const (
+	PriorityLow    Priority = -1
+	PriorityNormal Priority = 0
+	PriorityHigh   Priority = 1
+)
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityNormal:
+		return "normal"
+	case PriorityHigh:
+		return "high"
+	default:
+		return "unknown"
+	}
+}
+
+// ParsePriority converts a name as printed by String.
+func ParsePriority(s string) (Priority, bool) {
+	switch s {
+	case "low":
+		return PriorityLow, true
+	case "normal", "":
+		return PriorityNormal, true
+	case "high":
+		return PriorityHigh, true
+	}
+	return PriorityNormal, false
+}
+
+// Request is one coloring job.
+type Request struct {
+	// Graph is the graph to color. Required.
+	Graph *graph.Graph
+
+	// Algorithm selects the GPU coloring algorithm (default AlgBaseline).
+	Algorithm gpucolor.Algorithm
+	// Seed is the vertex priority seed (0 means 1, as in gpucolor.Options).
+	Seed uint32
+	// HybridThreshold is the hybrid degree split (0 = device workgroup size).
+	HybridThreshold int
+	// Policy selects the workgroup scheduling policy on the leased device.
+	Policy simt.Policy
+
+	// Priority places the job in the admission queue.
+	Priority Priority
+
+	// CycleBudget, MaxRetries, NoCPUFallback configure the resilient
+	// ladder per job; see gpucolor.ResilientOptions.
+	CycleBudget   int64
+	MaxRetries    int
+	NoCPUFallback bool
+
+	// NoCache bypasses both the result cache and request coalescing:
+	// the job always executes on a device.
+	NoCache bool
+}
+
+// policyKey folds every request knob that can change the *coloring* (not
+// just the simulated statistics) into the cache/coalescing key. Device
+// geometry is deliberately excluded: a verified proper coloring of the
+// fingerprinted graph is valid regardless of which pool device produced it.
+func (r *Request) policyKey() uint64 {
+	k := uint64(0x9e3779b97f4a7c15)
+	mix := func(v uint64) {
+		k ^= v
+		k *= 0x100000001b3
+	}
+	mix(uint64(r.Algorithm))
+	mix(uint64(r.Seed))
+	mix(uint64(uint32(r.HybridThreshold)))
+	return k
+}
+
+// Response is the outcome of a served request.
+type Response struct {
+	// Fingerprint identifies the graph content (graph.Fingerprint).
+	Fingerprint uint64
+	// Colors is the verified proper coloring; NumColors the count used.
+	Colors    []int32
+	NumColors int
+
+	// Cycles and Iterations are the simulated-device evidence of the run
+	// that produced the coloring (zero for RecoveryCPU and for cache hits
+	// whose producing run degraded to the CPU).
+	Cycles     int64
+	Iterations int
+
+	// Recovery, Attempts, Repaired echo the resilient driver's Outcome.
+	Recovery gpucolor.RecoveryLevel
+	Attempts int
+	Repaired int
+
+	// Cached reports a result-cache hit (no queue, no device).
+	// Coalesced reports that this request attached to another request's
+	// in-flight execution.
+	Cached    bool
+	Coalesced bool
+
+	// Device is the pool index of the device that ran the job (-1 for
+	// cache hits).
+	Device int
+	// Wait is the time the job spent queued; Exec the device execution
+	// time. Both zero for cache hits.
+	Wait time.Duration
+	Exec time.Duration
+}

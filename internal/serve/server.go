@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gcolor/internal/gpucolor"
+	"gcolor/internal/metrics"
+)
+
+// Config sizes a Server. Zero values take the documented defaults.
+type Config struct {
+	// Devices is the pool size (default 4). Ignored when DeviceConfigs is
+	// set.
+	Devices int
+	// Device is the config template applied to every pool device.
+	Device DeviceConfig
+	// DeviceConfigs, when non-empty, builds a heterogeneous pool with one
+	// device per entry, overriding Devices/Device.
+	DeviceConfigs []DeviceConfig
+	// QueueCapacity bounds the admission queue (default 256).
+	QueueCapacity int
+	// ShedFraction is the queue occupancy fraction at which sub-high
+	// priority work is shed (default 0.75; >= 1 disables early shedding).
+	ShedFraction float64
+	// CacheEntries sizes the result LRU (default 512; negative disables
+	// caching).
+	CacheEntries int
+	// Workers is the number of executor goroutines (default: pool size).
+	// More workers than devices lets dequeue/deadline triage overlap with
+	// execution; jobs still serialize on device leases.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.DeviceConfigs) == 0 {
+		if c.Devices < 1 {
+			c.Devices = 4
+		}
+	} else {
+		c.Devices = len(c.DeviceConfigs)
+	}
+	if c.QueueCapacity < 1 {
+		c.QueueCapacity = 256
+	}
+	if c.ShedFraction == 0 {
+		c.ShedFraction = 0.75
+	}
+	switch {
+	case c.CacheEntries < 0:
+		c.CacheEntries = 0
+	case c.CacheEntries == 0:
+		c.CacheEntries = 512
+	}
+	if c.Workers < 1 {
+		c.Workers = c.Devices
+	}
+	return c
+}
+
+// Server is the concurrent coloring service: admission queue in front,
+// device pool behind, result cache and request coalescing on the side.
+// Create with NewServer; it is immediately serving. All methods are safe
+// for concurrent use.
+type Server struct {
+	cfg   Config
+	pool  *DevicePool
+	queue *jobQueue
+	cache *resultCache
+	reg   *metrics.Registry
+
+	mu       sync.Mutex
+	inflight map[cacheKey]*flight
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	started time.Time
+}
+
+// NewServer builds a serving stack from cfg and starts its workers.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	var pool *DevicePool
+	if len(cfg.DeviceConfigs) > 0 {
+		pool = NewDevicePool(cfg.DeviceConfigs)
+	} else {
+		pool = UniformPool(cfg.Devices, cfg.Device)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		pool:     pool,
+		queue:    newJobQueue(cfg.QueueCapacity, cfg.ShedFraction),
+		cache:    newResultCache(cfg.CacheEntries),
+		reg:      metrics.NewRegistry(),
+		inflight: make(map[cacheKey]*flight),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		started:  time.Now(),
+	}
+	// Pre-register every metric so /metricsz reports zeros rather than
+	// omitting counters that have not fired yet.
+	for _, name := range []string{
+		"requests_total", "completed_total", "failed_total", "recovered_total",
+		"cache_hits", "cache_misses", "coalesced_total",
+		"shed_total", "queue_full_total", "deadline_expired_total",
+	} {
+		s.reg.Counter(name)
+	}
+	s.reg.Gauge("queue_depth")
+	s.reg.Gauge("devices_busy")
+	s.reg.Histogram("wait_us")
+	s.reg.Histogram("exec_us")
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics returns the server's registry (shared, live).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Pool returns the device pool (for inspection; devices remain owned by
+// the server's leases).
+func (s *Server) Pool() *DevicePool { return s.pool }
+
+// Uptime returns the time since the server started.
+func (s *Server) Uptime() time.Duration { return time.Since(s.started) }
+
+// Stop drains the queue and shuts the workers down. In-flight and queued
+// jobs complete; new Submit calls fail with ErrClosed.
+func (s *Server) Stop() {
+	s.queue.close()
+	s.wg.Wait()
+	s.cancel()
+}
+
+// Submit serves one request: result cache, then coalescing, then the
+// admission queue and a pooled device. It returns a verified coloring or a
+// typed error (ErrQueueFull, ErrShedding, ErrClosed, a context error, or a
+// gpucolor failure).
+func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
+	if req == nil || req.Graph == nil {
+		return nil, errors.New("serve: request has no graph")
+	}
+	s.reg.Counter("requests_total").Inc()
+	fp := req.Graph.Fingerprint()
+	key := keyOf(req, fp)
+
+	if !req.NoCache {
+		if res, ok := s.cache.get(key); ok {
+			s.reg.Counter("cache_hits").Inc()
+			hit := *res
+			hit.Cached = true
+			hit.Device = -1
+			hit.Wait, hit.Exec = 0, 0
+			return &hit, nil
+		}
+		s.reg.Counter("cache_misses").Inc()
+
+		s.mu.Lock()
+		if fl, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			s.reg.Counter("coalesced_total").Inc()
+			return s.wait(ctx, fl, true)
+		}
+		fl := &flight{done: make(chan struct{})}
+		s.inflight[key] = fl
+		s.mu.Unlock()
+		return s.enqueue(ctx, req, fp, key, fl, true)
+	}
+
+	// NoCache: always execute; nothing to coalesce with and nothing cached.
+	fl := &flight{done: make(chan struct{})}
+	return s.enqueue(ctx, req, fp, key, fl, false)
+}
+
+// enqueue admits the job (or fails with a typed admission error) and waits
+// for its flight.
+func (s *Server) enqueue(ctx context.Context, req *Request, fp uint64, key cacheKey, fl *flight, tracked bool) (*Response, error) {
+	j := &job{ctx: ctx, req: req, fp: fp, key: key, fl: fl}
+	if err := s.queue.push(j); err != nil {
+		if tracked {
+			s.dropInflight(key)
+		}
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.reg.Counter("queue_full_total").Inc()
+		case errors.Is(err, ErrShedding):
+			s.reg.Counter("shed_total").Inc()
+		}
+		fl.complete(nil, err)
+		return nil, err
+	}
+	s.reg.Gauge("queue_depth").Set(int64(s.queue.depth()))
+	return s.wait(ctx, fl, false)
+}
+
+// wait blocks on a flight, honouring the waiter's own context.
+func (s *Server) wait(ctx context.Context, fl *flight, coalesced bool) (*Response, error) {
+	select {
+	case <-fl.done:
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		res := *fl.res
+		res.Coalesced = coalesced
+		return &res, nil
+	case <-ctx.Done():
+		// The execution (if any) continues for other waiters; this caller
+		// alone gives up.
+		return nil, fmt.Errorf("serve: abandoned wait: %w", ctx.Err())
+	}
+}
+
+func (s *Server) dropInflight(key cacheKey) {
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+}
+
+// worker is one executor: pop a live job, lease a device, run the
+// resilient driver, publish to cache and flight.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, err := s.queue.pop(s.baseCtx, s.expireJob)
+		if err != nil {
+			return
+		}
+		s.reg.Gauge("queue_depth").Set(int64(s.queue.depth()))
+		wait := time.Since(j.enqueued)
+		s.reg.Histogram("wait_us").Add(wait.Microseconds())
+		s.runJob(j, wait)
+	}
+}
+
+// expireJob fails a job whose deadline passed while it was queued; it is
+// called from pop, before any device is involved.
+func (s *Server) expireJob(j *job) {
+	s.reg.Counter("deadline_expired_total").Inc()
+	s.finishJob(j, nil, fmt.Errorf("serve: expired in queue: %w", j.ctx.Err()))
+}
+
+// runJob executes one admitted job on a leased device.
+func (s *Server) runJob(j *job, wait time.Duration) {
+	lease, err := s.pool.Acquire(j.ctx)
+	if err != nil {
+		s.reg.Counter("deadline_expired_total").Inc()
+		s.finishJob(j, nil, err)
+		return
+	}
+	s.reg.Gauge("devices_busy").Add(1)
+	dev := lease.Device()
+	dev.Policy = j.req.Policy
+	opt := gpucolor.ResilientOptions{
+		Options: gpucolor.Options{
+			Seed:            j.req.Seed,
+			HybridThreshold: j.req.HybridThreshold,
+		},
+		CycleBudget:   j.req.CycleBudget,
+		MaxRetries:    j.req.MaxRetries,
+		NoCPUFallback: j.req.NoCPUFallback,
+	}
+	start := time.Now()
+	out, err := gpucolor.ColorContext(j.ctx, dev, j.req.Graph, j.req.Algorithm, opt)
+	exec := time.Since(start)
+	devIdx := lease.Index()
+	s.reg.Gauge("devices_busy").Add(-1)
+	lease.Release()
+	s.reg.Histogram("exec_us").Add(exec.Microseconds())
+
+	if err != nil {
+		s.reg.Counter("failed_total").Inc()
+		s.finishJob(j, nil, err)
+		return
+	}
+	res := &Response{
+		Fingerprint: j.fp,
+		Colors:      out.Colors,
+		NumColors:   out.NumColors,
+		Cycles:      out.Cycles,
+		Iterations:  out.Iterations,
+		Recovery:    out.Recovery,
+		Attempts:    out.Attempts,
+		Repaired:    out.Repaired,
+		Device:      devIdx,
+		Wait:        wait,
+		Exec:        exec,
+	}
+	s.reg.Counter("completed_total").Inc()
+	if out.Recovery != gpucolor.RecoveryNone {
+		s.reg.Counter("recovered_total").Inc()
+	}
+	if !j.req.NoCache {
+		// Publish to the cache before releasing the flight so a request
+		// arriving between the two sees either the flight or the cache.
+		s.cache.put(j.key, res)
+	}
+	s.finishJob(j, res, nil)
+}
+
+// finishJob removes the job's flight from the coalescing map (when
+// tracked) and releases every waiter.
+func (s *Server) finishJob(j *job, res *Response, err error) {
+	if !j.req.NoCache {
+		s.dropInflight(j.key)
+	}
+	j.fl.complete(res, err)
+}
+
+// Stats is a point-in-time serving summary, the programmatic form of
+// /metricsz.
+type Stats struct {
+	Uptime          time.Duration
+	Requests        int64
+	Completed       int64
+	Failed          int64
+	CacheHits       int64
+	CacheMisses     int64
+	CacheHitRate    float64 // hits / (hits + misses); 0 when no lookups
+	Coalesced       int64
+	Shed            int64 // ErrShedding rejections
+	QueueFull       int64 // ErrQueueFull rejections
+	DeadlineExpired int64
+	QueueDepth      int64
+	Devices         int
+	Utilization     float64 // fraction of device-time leased since start
+	WaitP50us       int64
+	WaitP99us       int64
+	ExecP50us       int64
+	ExecP99us       int64
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	snap := s.reg.Snapshot()
+	st := Stats{
+		Uptime:          s.Uptime(),
+		Requests:        snap["requests_total"],
+		Completed:       snap["completed_total"],
+		Failed:          snap["failed_total"],
+		CacheHits:       snap["cache_hits"],
+		CacheMisses:     snap["cache_misses"],
+		Coalesced:       snap["coalesced_total"],
+		Shed:            snap["shed_total"],
+		QueueFull:       snap["queue_full_total"],
+		DeadlineExpired: snap["deadline_expired_total"],
+		QueueDepth:      snap["queue_depth"],
+		Devices:         s.pool.Size(),
+		Utilization:     s.pool.Utilization(s.Uptime()),
+		WaitP50us:       s.reg.Histogram("wait_us").Quantile(0.50),
+		WaitP99us:       s.reg.Histogram("wait_us").Quantile(0.99),
+		ExecP50us:       s.reg.Histogram("exec_us").Quantile(0.50),
+		ExecP99us:       s.reg.Histogram("exec_us").Quantile(0.99),
+	}
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		st.CacheHitRate = float64(st.CacheHits) / float64(lookups)
+	}
+	return st
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gcolor/internal/gen"
+	"gcolor/internal/graph"
+	"gcolor/internal/simt"
+)
+
+// ParseGraphSpec builds a graph from a compact generator spec, the form
+// gcolord's /color endpoint and gcload's workload mixes use to reference
+// graphs without uploading them. Specs are colon-separated:
+//
+//	rmat:<scale>:<edgefactor>[:seed]   Graph500 R-MAT
+//	gnm:<n>:<m>[:seed]                 uniform Erdős–Rényi G(n,m)
+//	grid:<rows>:<cols>                 2-D 4-point mesh
+//	ws:<n>:<k>:<beta100>[:seed]        Watts–Strogatz (beta in percent)
+//	ba:<n>:<m>[:seed]                  Barabási–Albert
+//	complete:<n>  star:<n>  path:<n>  cycle:<n>
+//
+// The same spec always yields the same graph (generators are seeded and
+// deterministic), which is what makes spec-addressed requests cacheable.
+func ParseGraphSpec(spec string) (*graph.Graph, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	kind := parts[0]
+	argv := parts[1:]
+	atoi := func(i int, name string) (int, error) {
+		if i >= len(argv) {
+			return 0, fmt.Errorf("serve: graph spec %q missing %s", spec, name)
+		}
+		v, err := strconv.Atoi(argv[i])
+		if err != nil {
+			return 0, fmt.Errorf("serve: graph spec %q: bad %s: %v", spec, name, err)
+		}
+		return v, nil
+	}
+	opt := func(i, def int) int {
+		if i >= len(argv) {
+			return def
+		}
+		if v, err := strconv.Atoi(argv[i]); err == nil {
+			return v
+		}
+		return def
+	}
+	switch kind {
+	case "rmat":
+		scale, err := atoi(0, "scale")
+		if err != nil {
+			return nil, err
+		}
+		ef, err := atoi(1, "edgefactor")
+		if err != nil {
+			return nil, err
+		}
+		if scale < 0 || scale > 22 {
+			return nil, fmt.Errorf("serve: rmat scale %d out of range [0,22]", scale)
+		}
+		return gen.RMAT(scale, ef, gen.Graph500, int64(opt(2, 1))), nil
+	case "gnm":
+		n, err := atoi(0, "n")
+		if err != nil {
+			return nil, err
+		}
+		m, err := atoi(1, "m")
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n > 1<<22 {
+			return nil, fmt.Errorf("serve: gnm n %d out of range", n)
+		}
+		return gen.GNM(n, m, int64(opt(2, 1))), nil
+	case "grid":
+		rows, err := atoi(0, "rows")
+		if err != nil {
+			return nil, err
+		}
+		cols, err := atoi(1, "cols")
+		if err != nil {
+			return nil, err
+		}
+		if rows < 0 || cols < 0 || rows*cols > 1<<22 {
+			return nil, fmt.Errorf("serve: grid %dx%d out of range", rows, cols)
+		}
+		return gen.Grid2D(rows, cols), nil
+	case "ws":
+		n, err := atoi(0, "n")
+		if err != nil {
+			return nil, err
+		}
+		k, err := atoi(1, "k")
+		if err != nil {
+			return nil, err
+		}
+		beta, err := atoi(2, "beta100")
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n > 1<<22 {
+			return nil, fmt.Errorf("serve: ws n %d out of range", n)
+		}
+		return gen.WattsStrogatz(n, k, float64(beta)/100, int64(opt(3, 1))), nil
+	case "ba":
+		n, err := atoi(0, "n")
+		if err != nil {
+			return nil, err
+		}
+		m, err := atoi(1, "m")
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n > 1<<22 {
+			return nil, fmt.Errorf("serve: ba n %d out of range", n)
+		}
+		return gen.BarabasiAlbert(n, m, int64(opt(2, 1))), nil
+	case "complete", "star", "path", "cycle":
+		n, err := atoi(0, "n")
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n > 1<<22 {
+			return nil, fmt.Errorf("serve: %s n %d out of range", kind, n)
+		}
+		switch kind {
+		case "complete":
+			if n > 4096 {
+				return nil, fmt.Errorf("serve: complete n %d too large (max 4096)", n)
+			}
+			return gen.Complete(n), nil
+		case "star":
+			return gen.Star(n), nil
+		case "path":
+			return gen.Path(n), nil
+		default:
+			return gen.Cycle(n), nil
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown graph spec kind %q", kind)
+	}
+}
+
+// ParseSchedPolicy converts a scheduling-policy name (static, roundrobin /
+// round-robin, stealing) to a simt.Policy.
+func ParseSchedPolicy(s string) (simt.Policy, error) {
+	switch s {
+	case "static", "":
+		return simt.Static, nil
+	case "roundrobin", "round-robin":
+		return simt.RoundRobin, nil
+	case "stealing":
+		return simt.Stealing, nil
+	}
+	return simt.Static, fmt.Errorf("serve: unknown scheduling policy %q", s)
+}
