@@ -7,6 +7,7 @@
 //	gcbench -exp F7         # just the headline comparison
 //	gcbench -scale small    # quick pass with small datasets
 //	gcbench -serving        # serving-layer benchmark -> BENCH_PR2.json
+//	gcbench -hostperf       # hot-path host benchmark -> BENCH_PR3.json
 package main
 
 import (
@@ -29,11 +30,23 @@ func main() {
 		servN    = flag.Int("serving-requests", 60, "request count for -serving")
 		servDevs = flag.Int("serving-devices", 4, "pooled devices for -serving")
 		servConc = flag.Int("serving-conc", 8, "client concurrency for -serving")
+
+		hostperf  = flag.Bool("hostperf", false, "run the hot-path host benchmark (arena/pooling/fusion) instead of the paper experiments")
+		hostOut   = flag.String("hostperf-json", "BENCH_PR3.json", "output file for -hostperf")
+		hostN     = flag.Int("hostperf-requests", 20, "steady-state request count per section for -hostperf")
+		budgetArg = flag.String("budget", "", "allocation budget file (BENCH_BUDGET.json); -hostperf fails if the pooled path exceeds it")
 	)
 	flag.Parse()
 
 	if *serving {
 		if err := runServingBench(*servOut, *servN, *servDevs, *servConc); err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *hostperf {
+		if err := runHostperfBench(*hostOut, *budgetArg, *hostN); err != nil {
 			fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"gcolor/internal/color"
@@ -144,8 +145,13 @@ func main() {
 
 	if *verbose {
 		fmt.Println("per-kernel cycles:")
-		for name, c := range res.KernelCycles {
-			fmt.Printf("  %-18s %14d\n", name, c)
+		names := make([]string, 0, len(res.KernelCycles))
+		for name := range res.KernelCycles {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-18s %14d\n", name, res.KernelCycles[name])
 		}
 		wf := metrics.SummarizeInt64(res.WavefrontWork)
 		fmt.Printf("wavefront work: %v\n", wf)

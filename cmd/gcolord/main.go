@@ -8,6 +8,7 @@
 //	gcolord -addr :8421 -devices 4
 //	gcolord -devices 2 -cus 14 -queue 128 -shed 0.5 -cache 1024
 //	gcolord -devices 4 -chaos -fault-rate 1e-4      # chaos serving
+//	gcolord -pprof                                  # + /debug/pprof/ endpoints
 //
 // Endpoints:
 //
@@ -28,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,6 +54,8 @@ func main() {
 		chaos     = flag.Bool("chaos", false, "arm a fault injector on every pool device")
 		faultRate = flag.Float64("fault-rate", 1e-4, "per-event fault probability for -chaos")
 		faultSeed = flag.Uint64("fault-seed", 1, "fault injector seed for -chaos")
+
+		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (heap and CPU profiling of the serving hot path)")
 	)
 	flag.Parse()
 
@@ -75,7 +79,22 @@ func main() {
 		Workers:       *workers,
 	})
 
-	hs := &http.Server{Addr: *addr, Handler: serve.Handler(srv)}
+	handler := serve.Handler(srv)
+	if *pprofOn {
+		// Mount the profiling endpoints next to the API so `go tool pprof
+		// http://host/debug/pprof/heap` can watch the hot path live; off by
+		// default since they expose internals.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Print("pprof: profiling endpoints enabled at /debug/pprof/")
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		log.Printf("gcolord: serving on %s (%d devices, queue %d, cache %d)",
 			*addr, *devices, *queueCap, *cacheSz)

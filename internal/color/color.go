@@ -43,10 +43,17 @@ func PriorityGreater(pu uint32, u int32, pv uint32, v int32) bool {
 // as int32 bit patterns so the slice can be bound directly as a GPU buffer.
 func Priorities(g *graph.Graph, seed uint32) []int32 {
 	p := make([]int32, g.NumVertices())
-	for v := range p {
-		p[v] = int32(Priority(int32(v), seed))
-	}
+	PrioritiesInto(g, seed, p)
 	return p
+}
+
+// PrioritiesInto fills dst[0:NumVertices] with the vertex priorities under
+// seed — Priorities without the allocation, for callers that reuse a
+// buffer across runs.
+func PrioritiesInto(g *graph.Graph, seed uint32, dst []int32) {
+	for v := range dst[:g.NumVertices()] {
+		dst[v] = int32(Priority(int32(v), seed))
+	}
 }
 
 // Verify checks that colors is a proper coloring of g: every vertex is

@@ -71,23 +71,43 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	return 0, fmt.Errorf("gpucolor: unknown algorithm %q (want baseline, maxmin, jp, speculative or hybrid)", s)
 }
 
-// Color runs the named algorithm on dev.
+// Color runs the named algorithm on dev with a transient runner: device
+// buffers are drawn from dev's arena for the run and returned when it
+// ends. Callers that color repeatedly should hold a Runner, which keeps
+// the buffers bound across runs.
 func Color(dev *simt.Device, g *graph.Graph, a Algorithm, opt Options) (*Result, error) {
+	if err := checkAlgorithm(a); err != nil {
+		return nil, err
+	}
+	r := newRunner(dev, g, opt)
+	defer r.close()
+	return r.color(a)
+}
+
+func checkAlgorithm(a Algorithm) error {
+	if a < AlgBaseline || a > AlgHybridJP {
+		return fmt.Errorf("gpucolor: unknown algorithm %d", int(a))
+	}
+	return nil
+}
+
+// color dispatches one run on an already-bound runner.
+func (r *runner) color(a Algorithm) (*Result, error) {
 	switch a {
 	case AlgBaseline:
-		return Baseline(dev, g, opt)
+		return r.runIterative(modeMax)
 	case AlgMaxMin:
-		return MaxMin(dev, g, opt)
+		return r.runIterative(modeMaxMin)
 	case AlgSpeculative:
-		return Speculative(dev, g, opt)
+		return r.runSpeculative()
 	case AlgHybrid:
-		return Hybrid(dev, g, opt)
+		return r.runHybrid(modeMax)
 	case AlgJP:
-		return JPColor(dev, g, opt)
+		return r.runIterative(modeJP)
 	case AlgHybridMaxMin:
-		return HybridMaxMin(dev, g, opt)
+		return r.runHybrid(modeMaxMin)
 	case AlgHybridJP:
-		return HybridJP(dev, g, opt)
+		return r.runHybrid(modeJP)
 	default:
 		return nil, fmt.Errorf("gpucolor: unknown algorithm %d", int(a))
 	}

@@ -16,7 +16,7 @@ import (
 // driven and thread-per-vertex, so wavefronts containing high-degree
 // vertices serialize on them — the load imbalance the paper characterizes.
 func Baseline(dev *simt.Device, g *graph.Graph, opt Options) (*Result, error) {
-	return runIterative(dev, g, opt, modeMax)
+	return Color(dev, g, AlgBaseline, opt)
 }
 
 // MaxMin is the colorMaxMin variant: each iteration colors both the local
@@ -24,7 +24,7 @@ func Baseline(dev *simt.Device, g *graph.Graph, opt Options) (*Result, error) {
 // halving the iteration count at the price of a second comparison per
 // neighbour.
 func MaxMin(dev *simt.Device, g *graph.Graph, opt Options) (*Result, error) {
-	return runIterative(dev, g, opt, modeMaxMin)
+	return Color(dev, g, AlgMaxMin, opt)
 }
 
 // JPColor is the Jones–Plassmann assignment variant: the independent set is
@@ -33,7 +33,7 @@ func MaxMin(dev *simt.Device, g *graph.Graph, opt Options) (*Result, error) {
 // instead of the iteration number. Same convergence profile as the
 // baseline, first-fit color quality, and a costlier assign kernel.
 func JPColor(dev *simt.Device, g *graph.Graph, opt Options) (*Result, error) {
-	return runIterative(dev, g, opt, modeJP)
+	return Color(dev, g, AlgJP, opt)
 }
 
 // iterMode selects the flavour of the iterative independent-set loop.
@@ -62,12 +62,15 @@ const (
 	winMin  = int32(2)
 )
 
-func runIterative(dev *simt.Device, g *graph.Graph, opt Options, mode iterMode) (*Result, error) {
-	r := newRunner(dev, g, opt)
+func (r *runner) runIterative(mode iterMode) (*Result, error) {
+	// Jones–Plassmann cannot fuse: a first-fit color written mid-launch is
+	// indistinguishable from a color assigned iterations ago, so readers
+	// could not reconstruct the launch-time active set.
+	fused := r.opt.Fused && mode != modeJP
 	count := int(r.n)
 	cur, next := r.wlA, r.wlB
 	for iter := 0; count > 0; iter++ {
-		if iter >= opt.maxIters(int(r.n)) {
+		if iter >= r.opt.maxIters(int(r.n)) {
 			return nil, fmt.Errorf("gpucolor: no convergence after %d iterations: %w", iter, ErrMaxIterations)
 		}
 		if err := r.checkIter(iter, count); err != nil {
@@ -76,8 +79,12 @@ func runIterative(dev *simt.Device, g *graph.Graph, opt Options, mode iterMode) 
 		r.res.ActivePerIter = append(r.res.ActivePerIter, count)
 		r.res.Iterations++
 
-		r.launch(r.candidateKernel("candidate"+mode.suffix(), cur, count, mode), true)
-		count = r.assignAndCompact(cur, next, count, int32(iter), mode)
+		if fused {
+			count = r.fuseAndCompact(cur, next, count, int32(iter), mode)
+		} else {
+			r.launch(r.candidateKernel("candidate"+mode.suffix(), cur, count, mode), true)
+			count = r.assignAndCompact(cur, next, count, int32(iter), mode)
+		}
 		cur, next = next, cur
 	}
 	return r.finish()

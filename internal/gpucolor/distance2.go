@@ -18,11 +18,16 @@ import (
 // paper's techniques.
 func SpeculativeD2(dev *simt.Device, g *graph.Graph, opt Options) (*Result, error) {
 	r := newRunner(dev, g, opt)
-	snap := dev.AllocInt32(g.NumVertices())
+	defer r.close()
+	return r.runSpeculativeD2()
+}
+
+func (r *runner) runSpeculativeD2() (*Result, error) {
+	snap := r.snapBuf()
 	count := int(r.n)
 	cur, next := r.wlA, r.wlB
 	for round := 0; count > 0; round++ {
-		if round >= opt.maxIters(int(r.n)) {
+		if round >= r.opt.maxIters(int(r.n)) {
 			return nil, fmt.Errorf("gpucolor: speculative-d2 did not converge after %d rounds: %w", round, ErrMaxIterations)
 		}
 		if err := r.checkIter(round, count); err != nil {
@@ -41,12 +46,12 @@ func SpeculativeD2(dev *simt.Device, g *graph.Graph, opt Options) (*Result, erro
 		}
 		cur, next = next, cur
 	}
+	r.sealColors()
 	res := r.res
-	res.Colors = r.col.Data()
 	if err := color.VerifyD2(r.g, res.Colors); err != nil {
 		return nil, fmt.Errorf("gpucolor: produced invalid distance-2 coloring: %w", err)
 	}
-	res.NumColors = countDistinct(res.Colors)
+	res.NumColors = r.countDistinct(res.Colors)
 	return res, nil
 }
 

@@ -58,6 +58,17 @@ type Options struct {
 	MaxIterations int
 	// Compaction selects the worklist rebuild strategy.
 	Compaction CompactionMode
+	// Fused merges each iteration's candidate and assign kernels into one
+	// launch for the iterative max/maxmin algorithms: winners publish
+	// their colors through relaxed-atomic stores and every lane resolves
+	// its neighbours' launch-time activity locally, so the coloring is
+	// bit-identical to the two-kernel run while spending strictly fewer
+	// simulated cycles (one launch overhead and the second kernel's
+	// redundant loads disappear). Jones–Plassmann assignment cannot fuse —
+	// its first-fit colors are indistinguishable from earlier iterations'
+	// colors mid-launch — and the hybrid big-vertex path keeps the
+	// two-kernel snapshot semantics; both ignore the flag. Off by default.
+	Fused bool
 	// Trace records the per-launch timeline in Result.Timeline (for
 	// chrome-trace export); off by default to keep memory flat.
 	Trace bool
@@ -130,14 +141,21 @@ func (r *Result) SIMDUtilization() float64 {
 	return float64(r.busySum) / float64(int64(r.width)*r.busyMaxSum)
 }
 
-// runner holds the device-resident state shared by all algorithms.
+// runner holds the device-resident state shared by all algorithms. A
+// runner is either transient — built by one package-level call, its arena
+// buffers handed back when the run ends — or pooled, owned by an exported
+// Runner that rebinds it to a new graph per job via reset. Every buffer is
+// held at exactly the length the current graph needs (pooled reuse at a
+// stale length would change out-of-bounds behaviour under fault injection)
+// and re-initialized to the state a fresh allocation would have, so a warm
+// runner is bit-identical to a cold one.
 type runner struct {
 	dev  *simt.Device
 	g    *graph.Graph
 	opt  Options
 	n    int32
-	off  *simt.BufInt32 // CSR offsets
-	adj  *simt.BufInt32 // CSR adjacency
+	off  *simt.BufInt32 // CSR offsets (bound view, rebound per graph)
+	adj  *simt.BufInt32 // CSR adjacency (bound view, rebound per graph)
 	prio *simt.BufInt32 // vertex priorities (uint32 bit patterns)
 	col  *simt.BufInt32 // colors; -1 = uncolored
 	win  *simt.BufInt32 // per-vertex candidate flag
@@ -147,34 +165,123 @@ type runner struct {
 	keep *simt.BufInt32 // per-position survivor flags (scan compaction mode)
 	scr  *simt.BufInt32 // scan scratch (scan compaction mode)
 
+	// Algorithm-specific temporaries, acquired on first use and retained
+	// (pooled) or released with the rest (transient).
+	snap *simt.BufInt32 // speculative round snapshot
+	bigA *simt.BufInt32 // hybrid high-degree worklist ping
+	bigB *simt.BufInt32 // hybrid high-degree worklist pong
+
+	ss     *gpuprim.ScanScratch
+	seen   []bool // countDistinct scratch, grown monotonically
+	pooled bool   // owned by a Runner: buffers survive across jobs
+
 	res *Result
 }
 
 func newRunner(dev *simt.Device, g *graph.Graph, opt Options) *runner {
-	n := g.NumVertices()
-	r := &runner{
-		dev: dev, g: g, opt: opt, n: int32(n),
-		off:  dev.BindInt32(g.Offsets()),
-		adj:  dev.BindInt32(g.Adj()),
-		prio: dev.BindInt32(color.Priorities(g, opt.seed())),
-		col:  dev.AllocInt32(n),
-		win:  dev.AllocInt32(n),
-		wlA:  dev.AllocInt32(n),
-		wlB:  dev.AllocInt32(n),
-		cnt:  dev.AllocInt32(4),
-		keep: dev.AllocInt32(n),
-		scr:  dev.AllocInt32(n),
-		res: &Result{
-			KernelCycles: make(map[string]int64),
-			CUBusy:       make([]int64, dev.NumCUs),
-			width:        dev.WavefrontWidth,
-		},
-	}
-	r.col.Fill(color.Uncolored)
-	for v := 0; v < n; v++ {
-		r.wlA.Data()[v] = int32(v)
-	}
+	r := &runner{dev: dev, ss: gpuprim.NewScanScratch(dev)}
+	r.reset(g, opt)
 	return r
+}
+
+// fit returns *pb at exactly sz elements, releasing and re-acquiring from
+// the device arena when the length differs. The returned buffer's contents
+// are unspecified — reset and the temp getters re-initialize as needed.
+func (r *runner) fit(pb **simt.BufInt32, sz int) *simt.BufInt32 {
+	if b := *pb; b != nil {
+		if b.Len() == sz {
+			return b
+		}
+		r.dev.Release(b)
+	}
+	*pb = r.dev.AllocInt32(sz)
+	return *pb
+}
+
+// reset rebinds the runner to a new graph and run configuration, reusing
+// every buffer whose length still fits. After reset the device-visible
+// state is indistinguishable from a freshly built runner's.
+func (r *runner) reset(g *graph.Graph, opt Options) {
+	n := g.NumVertices()
+	r.g, r.opt, r.n = g, opt, int32(n)
+	if r.off == nil {
+		r.off = r.dev.BindInt32(g.Offsets())
+		r.adj = r.dev.BindInt32(g.Adj())
+	} else {
+		r.dev.Rebind(r.off, g.Offsets())
+		r.dev.Rebind(r.adj, g.Adj())
+	}
+	color.PrioritiesInto(g, opt.seed(), r.fit(&r.prio, n).Data())
+	r.fit(&r.col, n).Fill(color.Uncolored)
+	r.fit(&r.win, n).Fill(0)
+	wlA := r.fit(&r.wlA, n)
+	for v := 0; v < n; v++ {
+		wlA.Data()[v] = int32(v)
+	}
+	r.fit(&r.wlB, n).Fill(0)
+	r.fit(&r.cnt, 4).Fill(0)
+	r.fit(&r.keep, n).Fill(0)
+	r.fit(&r.scr, n).Fill(0)
+	r.res = &Result{
+		KernelCycles: make(map[string]int64),
+		CUBusy:       make([]int64, r.dev.NumCUs),
+		width:        r.dev.WavefrontWidth,
+	}
+}
+
+// snapBuf returns the speculative snapshot temp, zeroed as a fresh
+// allocation would be.
+func (r *runner) snapBuf() *simt.BufInt32 {
+	b := r.fit(&r.snap, int(r.n))
+	b.Fill(0)
+	return b
+}
+
+// bigBufs returns the hybrid high-degree worklist pair, zeroed.
+func (r *runner) bigBufs() (cur, next *simt.BufInt32) {
+	cur = r.fit(&r.bigA, int(r.n))
+	next = r.fit(&r.bigB, int(r.n))
+	cur.Fill(0)
+	next.Fill(0)
+	return cur, next
+}
+
+// release hands b back to the device arena if held.
+func (r *runner) release(pb **simt.BufInt32) {
+	if *pb != nil {
+		r.dev.Release(*pb)
+		*pb = nil
+	}
+}
+
+// close ends a transient run: every arena buffer except col goes back to
+// the device pool. col stays out because the returned Result (including
+// the partial Result inside an InvalidColoringError) aliases its backing
+// array. Pooled runners keep everything — their owner releases via
+// releaseAll when retiring the runner.
+func (r *runner) close() {
+	if r.pooled {
+		return
+	}
+	r.release(&r.prio)
+	r.release(&r.win)
+	r.release(&r.wlA)
+	r.release(&r.wlB)
+	r.release(&r.cnt)
+	r.release(&r.keep)
+	r.release(&r.scr)
+	r.release(&r.snap)
+	r.release(&r.bigA)
+	r.release(&r.bigB)
+	r.ss.Release()
+}
+
+// releaseAll retires a pooled runner, returning every buffer — col
+// included, which is safe because pooled runs copy colors out.
+func (r *runner) releaseAll() {
+	r.pooled = false
+	r.close()
+	r.release(&r.col)
 }
 
 // launch folds one kernel's results into the run totals. keepWavefronts
@@ -206,6 +313,9 @@ func (r *runner) launch(rr *simt.RunResult, keepWavefronts bool) {
 			CUBusy: busy,
 		})
 	}
+	// Everything above copied what it needed; the launch record goes back
+	// to the device pools so steady-state kernels allocate nothing.
+	r.dev.Recycle(rr)
 }
 
 // checkIter runs the iteration-boundary guard, if any (see Options.guard).
@@ -216,25 +326,48 @@ func (r *runner) checkIter(iter, active int) error {
 	return r.opt.guard(iter, active, r.res.Cycles)
 }
 
+// sealColors publishes the coloring into the run's Result. Transient
+// runners alias the device buffer — it is never released, exactly the
+// pre-pooling behaviour. Pooled runners copy, because the col buffer will
+// be re-initialized for the next job while the caller still holds the
+// Result (and the repair pass may still be mutating it).
+func (r *runner) sealColors() {
+	if !r.pooled {
+		r.res.Colors = r.col.Data()
+		return
+	}
+	colors := make([]int32, r.n)
+	copy(colors, r.col.Data())
+	r.res.Colors = colors
+}
+
 // finish validates and seals the result. Colors are counted as distinct
 // values because colorMaxMin can leave gaps in the color range (a final
 // iteration may produce max winners but no min winners). A verification
 // failure returns an *InvalidColoringError carrying the partial result so
 // the resilient driver can hand it to the repair pass.
 func (r *runner) finish() (*Result, error) {
-	r.res.Colors = r.col.Data()
+	r.sealColors()
 	if err := color.Verify(r.g, r.res.Colors); err != nil {
 		return nil, &InvalidColoringError{Result: r.res, Err: err}
 	}
-	r.res.NumColors = countDistinct(r.res.Colors)
+	r.res.NumColors = r.countDistinct(r.res.Colors)
 	return r.res, nil
 }
 
-func countDistinct(colors []int32) int {
+// countDistinct counts the distinct colors in use against a runner-owned
+// bitmap that grows to the largest color range seen and is reused across
+// runs (it used to be allocated per finish).
+func (r *runner) countDistinct(colors []int32) int {
 	if len(colors) == 0 {
 		return 0
 	}
-	seen := make([]bool, color.NumColors(colors))
+	need := color.NumColors(colors)
+	if cap(r.seen) < need {
+		r.seen = make([]bool, need)
+	}
+	seen := r.seen[:need]
+	clear(seen)
 	n := 0
 	for _, c := range colors {
 		if !seen[c] {
@@ -268,9 +401,10 @@ func clampCount(k, max int) int {
 
 // compactInto rebuilds a worklist under scan compaction: src[0:count]
 // entries whose r.keep flag is set move to dst, order preserved; returns
-// the kept count.
+// the kept count. The scan's intermediate buffers come from the runner's
+// retained scratch.
 func (r *runner) compactInto(src, dst *simt.BufInt32, count int) int {
-	return clampCount(gpuprim.Compact(r.dev, src, r.keep, dst, r.scr, count, r.charger()), dst.Len())
+	return clampCount(gpuprim.CompactWith(r.dev, src, r.keep, dst, r.scr, count, r.ss, r.charger()), dst.Len())
 }
 
 // flagAndCompact runs a flag/append kernel (kern receives a nil next buffer
@@ -297,5 +431,8 @@ func (r *runner) flagAndCompact(cur, next *simt.BufInt32, count int,
 // memory-access behaviour being modelled and makes every run bit-identical
 // regardless of host parallelism.
 func sortWorklist(wl *simt.BufInt32, count int) {
+	if count <= 1 {
+		return // already sorted; skip the sort machinery on the long tail
+	}
 	slices.Sort(wl.Data()[:count])
 }

@@ -18,7 +18,7 @@ import (
 // worklists; once the high-degree list drains, the iteration degenerates to
 // the baseline kernels over the low-degree survivors.
 func Hybrid(dev *simt.Device, g *graph.Graph, opt Options) (*Result, error) {
-	return runHybrid(dev, g, opt, modeMax)
+	return Color(dev, g, AlgHybrid, opt)
 }
 
 // HybridMaxMin combines the hybrid degree split with colorMaxMin selection:
@@ -26,35 +26,34 @@ func Hybrid(dev *simt.Device, g *graph.Graph, opt Options) (*Result, error) {
 // (no early exit — both verdicts need the full scan), and winners take two
 // colors per iteration.
 func HybridMaxMin(dev *simt.Device, g *graph.Graph, opt Options) (*Result, error) {
-	return runHybrid(dev, g, opt, modeMaxMin)
+	return Color(dev, g, AlgHybridMaxMin, opt)
 }
 
 // HybridJP combines the hybrid degree split with Jones–Plassmann
 // assignment: selection is identical to Hybrid, but winners take their
 // smallest available color.
 func HybridJP(dev *simt.Device, g *graph.Graph, opt Options) (*Result, error) {
-	return runHybrid(dev, g, opt, modeJP)
+	return Color(dev, g, AlgHybridJP, opt)
 }
 
-func runHybrid(dev *simt.Device, g *graph.Graph, opt Options, mode iterMode) (*Result, error) {
+func (r *runner) runHybrid(mode iterMode) (*Result, error) {
+	opt := r.opt
 	threshold := int32(opt.HybridThreshold)
 	if threshold <= 0 {
-		threshold = int32(dev.WavefrontWidth)
+		threshold = int32(r.dev.WavefrontWidth)
 	}
 	// The host sees the CSR offsets, so checking whether any vertex crosses
 	// the threshold is free — when none does (meshes, road networks), the
 	// hybrid is exactly the baseline and the partition pass would be pure
 	// overhead.
-	if int32(g.MaxDegree()) < threshold {
-		return runIterative(dev, g, opt, mode)
+	if int32(r.g.MaxDegree()) < threshold {
+		return r.runIterative(mode)
 	}
-	r := newRunner(dev, g, opt)
 
 	// One-time partition by static degree: re-partitioning per iteration
 	// would be pure overhead (an earlier design did exactly that and spent
 	// a quarter of its cycles there).
-	bigCur := dev.AllocInt32(g.NumVertices())
-	bigNext := dev.AllocInt32(g.NumVertices())
+	bigCur, bigNext := r.bigBufs()
 	var smallCur, smallNext *simt.BufInt32
 	var nSmall, nBig int
 	if opt.Compaction == CompactionAtomic {

@@ -175,6 +175,17 @@ type Outcome struct {
 // bit-identical (colors, cycles, counters) to Color's: the guard hooks add
 // no kernels and no cost.
 func ColorContext(ctx context.Context, dev *simt.Device, g *graph.Graph, a Algorithm, opt ResilientOptions) (*Outcome, error) {
+	if err := checkAlgorithm(a); err != nil {
+		return nil, err
+	}
+	return colorResilient(ctx, dev, g, opt, func(o Options) (*Result, error) {
+		return Color(dev, g, a, o)
+	})
+}
+
+// colorResilient is the recovery ladder over an arbitrary single-attempt
+// run function (a transient Color or a pooled Runner.Color).
+func colorResilient(ctx context.Context, dev *simt.Device, g *graph.Graph, opt ResilientOptions, run func(Options) (*Result, error)) (*Outcome, error) {
 	out := &Outcome{}
 	baseSeed := opt.Options.seed()
 	for attempt := 0; attempt <= opt.retries(); attempt++ {
@@ -184,7 +195,7 @@ func ColorContext(ctx context.Context, dev *simt.Device, g *graph.Graph, a Algor
 		o := opt.Options
 		o.Seed = reseed(baseSeed, attempt)
 		o.guard = newGuard(ctx, opt)
-		res, err := runAttempt(dev, g, a, o)
+		res, err := runAttempt(dev, run, o)
 		out.Attempts++
 		out.Faults = faultStats(dev)
 		if err == nil {
@@ -234,7 +245,7 @@ func ColorContext(ctx context.Context, dev *simt.Device, g *graph.Graph, a Algor
 // runAttempt is one GPU run. With a fault injector armed, host-side panics
 // on corrupted control data (the device already absorbs kernel-side ones)
 // are converted to errors instead of crashing the caller.
-func runAttempt(dev *simt.Device, g *graph.Graph, a Algorithm, o Options) (res *Result, err error) {
+func runAttempt(dev *simt.Device, run func(Options) (*Result, error), o Options) (res *Result, err error) {
 	if dev.Fault != nil {
 		defer func() {
 			if p := recover(); p != nil {
@@ -242,7 +253,7 @@ func runAttempt(dev *simt.Device, g *graph.Graph, a Algorithm, o Options) (res *
 			}
 		}()
 	}
-	return Color(dev, g, a, o)
+	return run(o)
 }
 
 // newGuard builds the iteration-boundary hook enforcing cancellation, the

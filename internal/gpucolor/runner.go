@@ -1,0 +1,99 @@
+package gpucolor
+
+import (
+	"context"
+
+	"gcolor/internal/gpuprim"
+	"gcolor/internal/graph"
+	"gcolor/internal/simt"
+)
+
+// Runner is a reusable coloring engine bound to one device. Where the
+// package-level Color builds and tears down its device buffers per call, a
+// Runner keeps them bound across calls: each run rebinds the CSR views to
+// the new graph, refills the priority/color/worklist state in place, and
+// only touches the device arena when the graph size actually changes. On a
+// steady stream of same-shaped jobs — the serving hot path — that makes
+// coloring allocation-free on the device side.
+//
+// Results are identical to the transient path bit for bit (colors, cycles,
+// counters): buffers are held at exactly the current graph's length and
+// re-initialized to fresh-allocation state on every run. The one
+// observable difference is ownership — a Runner's Result carries a copy of
+// the colors, so the caller's Result stays valid after the Runner moves on
+// to its next job.
+//
+// A Runner is not safe for concurrent use; serve's device pool leases one
+// per device.
+type Runner struct {
+	dev *simt.Device
+	r   *runner
+}
+
+// NewRunner returns a Runner for dev. Buffers are acquired lazily on the
+// first run.
+func NewRunner(dev *simt.Device) *Runner {
+	return &Runner{dev: dev}
+}
+
+// Device returns the device the Runner is bound to.
+func (rn *Runner) Device() *simt.Device { return rn.dev }
+
+// bind points the runner state at a new job, creating it on first use.
+func (rn *Runner) bind(g *graph.Graph, opt Options) {
+	if rn.r == nil {
+		rn.r = &runner{dev: rn.dev, pooled: true, ss: gpuprim.NewScanScratch(rn.dev)}
+	}
+	rn.r.reset(g, opt)
+}
+
+// Color runs the named algorithm on the Runner's warm state.
+func (rn *Runner) Color(g *graph.Graph, a Algorithm, opt Options) (*Result, error) {
+	if err := checkAlgorithm(a); err != nil {
+		return nil, err
+	}
+	rn.bind(g, opt)
+	return rn.r.color(a)
+}
+
+// ColorContext runs the resilient recovery ladder (see the package-level
+// ColorContext) with every GPU attempt executing on the Runner's warm
+// state.
+func (rn *Runner) ColorContext(ctx context.Context, g *graph.Graph, a Algorithm, opt ResilientOptions) (*Outcome, error) {
+	if err := checkAlgorithm(a); err != nil {
+		return nil, err
+	}
+	return colorResilient(ctx, rn.dev, g, opt, func(o Options) (*Result, error) {
+		return rn.Color(g, a, o)
+	})
+}
+
+// Scrub overwrites every held state buffer with the device arena's poison
+// pattern. It is defense in depth for multi-tenant serving: between jobs
+// no caller data survives in the Runner, and a job that somehow read state
+// the next run failed to re-initialize would see poison, not another
+// tenant's graph. The next run re-initializes everything, so Scrub never
+// changes results.
+func (rn *Runner) Scrub() {
+	if rn.r == nil {
+		return
+	}
+	p := simt.PoisonValue()
+	for _, b := range []*simt.BufInt32{
+		rn.r.prio, rn.r.col, rn.r.win, rn.r.wlA, rn.r.wlB,
+		rn.r.cnt, rn.r.keep, rn.r.scr, rn.r.snap, rn.r.bigA, rn.r.bigB,
+	} {
+		if b != nil {
+			b.Fill(p)
+		}
+	}
+}
+
+// Release returns every held buffer to the device arena. The Runner
+// remains usable — the next run re-acquires from the (now warm) arena.
+func (rn *Runner) Release() {
+	if rn.r != nil {
+		rn.r.releaseAll()
+		rn.r = nil
+	}
+}

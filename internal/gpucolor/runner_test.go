@@ -1,0 +1,311 @@
+package gpucolor
+
+import (
+	"context"
+	"slices"
+	"testing"
+
+	"gcolor/internal/gen"
+	"gcolor/internal/graph"
+	"gcolor/internal/simt"
+)
+
+// TestPooledRunnerDeterminism: a Runner cycling through a mixed stream of
+// jobs returns bit-identical colors and cycles to a fresh transient run of
+// each job — across every algorithm, both compaction modes, and graphs of
+// different sizes (which forces buffer release/re-acquire between jobs).
+func TestPooledRunnerDeterminism(t *testing.T) {
+	graphs := suite()
+	names := make([]string, 0, len(graphs))
+	for name := range graphs {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+
+	for _, mode := range []CompactionMode{CompactionScan, CompactionAtomic} {
+		dev := testDev()
+		rn := NewRunner(dev)
+		for _, alg := range Algorithms() {
+			for _, name := range names {
+				g := graphs[name]
+				opt := Options{Compaction: mode}
+				want, werr := Color(testDev(), g, alg, opt)
+				got, gerr := rn.Color(g, alg, opt)
+				if (werr == nil) != (gerr == nil) {
+					t.Fatalf("%s/%v/%v: fresh err %v, pooled err %v", name, alg, mode, werr, gerr)
+				}
+				if werr != nil {
+					continue
+				}
+				if !slices.Equal(want.Colors, got.Colors) {
+					t.Errorf("%s/%v/%v: pooled colors differ from fresh", name, alg, mode)
+				}
+				if want.Cycles != got.Cycles {
+					t.Errorf("%s/%v/%v: pooled cycles %d, fresh %d", name, alg, mode, got.Cycles, want.Cycles)
+				}
+				if want.NumColors != got.NumColors || want.Iterations != got.Iterations {
+					t.Errorf("%s/%v/%v: pooled (colors=%d iters=%d), fresh (colors=%d iters=%d)",
+						name, alg, mode, got.NumColors, got.Iterations, want.NumColors, want.Iterations)
+				}
+			}
+		}
+		rn.Release()
+	}
+}
+
+// TestPooledRunnerResultOwnership: a pooled Result survives the Runner
+// moving on to another job — the colors are a copy, not a view of the
+// runner's buffer.
+func TestPooledRunnerResultOwnership(t *testing.T) {
+	dev := testDev()
+	rn := NewRunner(dev)
+	g1 := gen.GNM(300, 1500, 4)
+	res1, err := rn.Color(g1, AlgBaseline, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := slices.Clone(res1.Colors)
+
+	if _, err := rn.Color(gen.Star(200), AlgMaxMin, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(res1.Colors, snapshot) {
+		t.Fatalf("first job's colors changed after the runner took another job")
+	}
+}
+
+// TestRunnerScrubLeavesNoJobData: after Scrub, every byte of the runner's
+// held state buffers is the arena poison pattern — no residue of the
+// previous job — and the next job still colors correctly.
+func TestRunnerScrubLeavesNoJobData(t *testing.T) {
+	dev := testDev()
+	rn := NewRunner(dev)
+	if _, err := rn.Color(gen.GNM(300, 1500, 4), AlgBaseline, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	rn.Scrub()
+	p := simt.PoisonValue()
+	bufs := map[string]*simt.BufInt32{
+		"prio": rn.r.prio, "col": rn.r.col, "win": rn.r.win,
+		"wlA": rn.r.wlA, "wlB": rn.r.wlB, "cnt": rn.r.cnt,
+		"keep": rn.r.keep, "scr": rn.r.scr,
+	}
+	for name, b := range bufs {
+		if b == nil {
+			t.Fatalf("runner buffer %s not held after a run", name)
+		}
+		for i, v := range b.Data() {
+			if v != p {
+				t.Fatalf("buffer %s[%d] = %#x after Scrub, want poison", name, i, v)
+			}
+		}
+	}
+	g := gen.Grid2D(12, 11)
+	got, err := rn.Color(g, AlgBaseline, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Color(testDev(), g, AlgBaseline, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got.Colors, want.Colors) || got.Cycles != want.Cycles {
+		t.Fatalf("post-Scrub run differs from fresh run")
+	}
+}
+
+// TestRunnerReleaseReturnsBuffers: Release empties the runner and feeds
+// the device arena; the next run reuses the pooled memory.
+func TestRunnerReleaseReturnsBuffers(t *testing.T) {
+	dev := testDev()
+	rn := NewRunner(dev)
+	g := gen.GNM(300, 1500, 4)
+	if _, err := rn.Color(g, AlgBaseline, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	rn.Release()
+	st := dev.ArenaStats()
+	if st.PooledBufs == 0 {
+		t.Fatalf("Release pooled no buffers: %+v", st)
+	}
+	if _, err := rn.Color(g, AlgBaseline, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	st2 := dev.ArenaStats()
+	if st2.Reuses <= st.Reuses {
+		t.Fatalf("run after Release did not reuse arena memory: before %+v after %+v", st, st2)
+	}
+}
+
+// TestRunnerColorContextMatchesTransient: the pooled resilient ladder is
+// bit-identical to the transient one on healthy runs.
+func TestRunnerColorContextMatchesTransient(t *testing.T) {
+	g := gen.RMAT(9, 8, gen.Graph500, 3)
+	opt := ResilientOptions{}
+	want, err := ColorContext(context.Background(), testDev(), g, AlgHybrid, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := NewRunner(testDev())
+	got, err := rn.ColorContext(context.Background(), g, AlgHybrid, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(want.Colors, got.Colors) || want.Cycles != got.Cycles {
+		t.Fatalf("pooled resilient run differs: cycles %d vs %d", got.Cycles, want.Cycles)
+	}
+	if want.Recovery != got.Recovery || want.Attempts != got.Attempts {
+		t.Fatalf("recovery evidence differs: %v/%d vs %v/%d",
+			got.Recovery, got.Attempts, want.Recovery, want.Attempts)
+	}
+}
+
+// TestFusedBitIdenticalAndFaster: for every seed dataset and both
+// compaction modes, the fused kernel produces exactly the two-kernel run's
+// coloring in strictly fewer simulated cycles (for any graph that launches
+// at least one iteration).
+func TestFusedBitIdenticalAndFaster(t *testing.T) {
+	graphs := suite()
+	names := make([]string, 0, len(graphs))
+	for name := range graphs {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+
+	for _, alg := range []Algorithm{AlgBaseline, AlgMaxMin} {
+		for _, mode := range []CompactionMode{CompactionScan, CompactionAtomic} {
+			for _, name := range names {
+				g := graphs[name]
+				plain, err := Color(testDev(), g, alg, Options{Compaction: mode})
+				if err != nil {
+					t.Fatalf("%s/%v/%v: %v", name, alg, mode, err)
+				}
+				fused, err := Color(testDev(), g, alg, Options{Compaction: mode, Fused: true})
+				if err != nil {
+					t.Fatalf("%s/%v/%v fused: %v", name, alg, mode, err)
+				}
+				if !slices.Equal(plain.Colors, fused.Colors) {
+					t.Errorf("%s/%v/%v: fused colors differ", name, alg, mode)
+				}
+				if plain.Iterations != fused.Iterations {
+					t.Errorf("%s/%v/%v: fused iterations %d, plain %d",
+						name, alg, mode, fused.Iterations, plain.Iterations)
+				}
+				if g.NumVertices() == 0 {
+					continue
+				}
+				if fused.Cycles >= plain.Cycles {
+					t.Errorf("%s/%v/%v: fused cycles %d, want < plain %d",
+						name, alg, mode, fused.Cycles, plain.Cycles)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedIgnoredWhereUnsound: Jones–Plassmann and the hybrid big-vertex
+// path ignore the Fused flag and stay identical to their unfused runs.
+func TestFusedIgnoredWhereUnsound(t *testing.T) {
+	g := gen.Star(200) // forces the hybrid big-vertex path
+	for _, alg := range []Algorithm{AlgJP, AlgHybridJP} {
+		plain, err := Color(testDev(), g, alg, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused, err := Color(testDev(), g, alg, Options{Fused: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(plain.Colors, fused.Colors) || plain.Cycles != fused.Cycles {
+			t.Errorf("%v: Fused changed an algorithm that cannot fuse", alg)
+		}
+	}
+}
+
+// TestFusedKernelCyclesConsistent: fused runs keep the per-kernel
+// breakdown invariant (sum of KernelCycles == Cycles).
+func TestFusedKernelCyclesConsistent(t *testing.T) {
+	g := gen.GNM(300, 1500, 4)
+	res, err := Color(testDev(), g, AlgMaxMin, Options{Fused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, c := range res.KernelCycles {
+		sum += c
+	}
+	if sum != res.Cycles {
+		t.Fatalf("kernel cycles sum %d != total %d", sum, res.Cycles)
+	}
+	if _, ok := res.KernelCycles["fused-maxmin"]; !ok {
+		t.Fatalf("fused run missing fused kernel entry: %v", res.KernelCycles)
+	}
+	if _, ok := res.KernelCycles["candidate-maxmin"]; ok {
+		t.Fatalf("fused run still launched the candidate kernel")
+	}
+}
+
+// TestFusedUnderFaultInjection: with an armed injector the fused path must
+// not panic or return unverified colorings (the resilient ladder handles
+// failures), mirroring the chaos guarantees of the unfused path.
+func TestFusedUnderFaultInjection(t *testing.T) {
+	g := gen.GNM(300, 1500, 4)
+	for seed := uint64(1); seed <= 3; seed++ {
+		dev := testDev()
+		dev.Fault = simt.NewFaultInjector(seed, 0.001)
+		out, err := ColorContext(context.Background(), dev, g, AlgBaseline,
+			ResilientOptions{Options: Options{Fused: true}})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if out.Result == nil || len(out.Colors) != g.NumVertices() {
+			t.Fatalf("seed %d: missing result", seed)
+		}
+	}
+}
+
+func benchGraph() *graph.Graph { return gen.RMAT(9, 8, gen.Graph500, 3) }
+
+// BenchmarkColorTransient measures the per-run cost of the legacy path: a
+// transient runner built and torn down per call (buffers still flow
+// through the device arena).
+func BenchmarkColorTransient(b *testing.B) {
+	dev := testDev()
+	g := benchGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Color(dev, g, AlgBaseline, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColorPooled measures the warm-runner hot path.
+func BenchmarkColorPooled(b *testing.B) {
+	dev := testDev()
+	rn := NewRunner(dev)
+	g := benchGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rn.Color(g, AlgBaseline, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColorPooledFused is the full PR3 hot path: warm runner plus
+// fused kernels.
+func BenchmarkColorPooledFused(b *testing.B) {
+	dev := testDev()
+	rn := NewRunner(dev)
+	g := benchGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rn.Color(g, AlgBaseline, Options{Fused: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

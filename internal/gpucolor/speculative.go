@@ -23,12 +23,15 @@ import (
 // still looks uncolored) and keeps runs deterministic. The snapshot copy is
 // charged as a kernel.
 func Speculative(dev *simt.Device, g *graph.Graph, opt Options) (*Result, error) {
-	r := newRunner(dev, g, opt)
-	snap := dev.AllocInt32(g.NumVertices())
+	return Color(dev, g, AlgSpeculative, opt)
+}
+
+func (r *runner) runSpeculative() (*Result, error) {
+	snap := r.snapBuf()
 	count := int(r.n)
 	cur, next := r.wlA, r.wlB
 	for round := 0; count > 0; round++ {
-		if round >= opt.maxIters(int(r.n)) {
+		if round >= r.opt.maxIters(int(r.n)) {
 			return nil, fmt.Errorf("gpucolor: speculative did not converge after %d rounds: %w", round, ErrMaxIterations)
 		}
 		if err := r.checkIter(round, count); err != nil {

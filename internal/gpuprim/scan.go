@@ -16,14 +16,82 @@ import (
 // can fold the costs into its own accounting.
 type Charger func(*simt.RunResult)
 
+// ScanScratch owns the intermediate block-sum buffers a scan needs, one
+// pair per recursion level, so repeated scans by a long-lived caller (the
+// coloring runner compacts its worklist every iteration) allocate nothing.
+// Buffers are kept at the exact length each level needs and re-acquired
+// from the device arena when the length changes, which keeps a warm
+// scratch bit-identical to a cold one — including under fault injection,
+// where buffer bounds are observable. A ScanScratch belongs to one device
+// and must not be used concurrently.
+type ScanScratch struct {
+	dev    *simt.Device
+	levels []scanLevel
+}
+
+type scanLevel struct {
+	sums, offs *simt.BufInt32
+}
+
+// NewScanScratch returns an empty scratch for dev; buffers are acquired
+// lazily on first use.
+func NewScanScratch(dev *simt.Device) *ScanScratch {
+	return &ScanScratch{dev: dev}
+}
+
+// Release hands every held buffer back to the device arena. The scratch
+// remains usable and will re-acquire on next use.
+func (s *ScanScratch) Release() {
+	for _, l := range s.levels {
+		if l.sums != nil {
+			s.dev.Release(l.sums)
+		}
+		if l.offs != nil {
+			s.dev.Release(l.offs)
+		}
+	}
+	s.levels = s.levels[:0]
+}
+
+// fit returns *pb resized to exactly n elements, zeroed, acquiring or
+// re-acquiring from the device arena as needed.
+func (s *ScanScratch) fit(pb **simt.BufInt32, n int) *simt.BufInt32 {
+	if b := *pb; b != nil {
+		if b.Len() == n {
+			b.Fill(0)
+			return b
+		}
+		s.dev.Release(b)
+	}
+	*pb = s.dev.AllocInt32(n)
+	return *pb
+}
+
+func (s *ScanScratch) level(depth int) *scanLevel {
+	for len(s.levels) <= depth {
+		s.levels = append(s.levels, scanLevel{})
+	}
+	return &s.levels[depth]
+}
+
 // ExclusiveScan computes the exclusive prefix sum of src[0:n] into dst[0:n]
 // on the device and returns the total sum. dst must not alias src. Kernel
-// launches are reported to charge (which may be nil).
+// launches are reported to charge (which may be nil). Intermediate buffers
+// are drawn from and returned to the device arena per call; callers that
+// scan repeatedly should hold a ScanScratch and use ExclusiveScanWith.
 //
 // The implementation is the classic three-phase approach: block-level
 // Blelloch scans in LDS, a recursive scan of the per-block totals, and a
 // uniform add of the block offsets.
 func ExclusiveScan(dev *simt.Device, src, dst *simt.BufInt32, n int, charge Charger) int32 {
+	ss := NewScanScratch(dev)
+	defer ss.Release()
+	return ExclusiveScanWith(dev, src, dst, n, ss, charge)
+}
+
+// ExclusiveScanWith is ExclusiveScan drawing its intermediate buffers from
+// scratch, which retains them for the next call.
+func ExclusiveScanWith(dev *simt.Device, src, dst *simt.BufInt32, n int, scratch *ScanScratch, charge Charger) int32 {
 	if n < 0 || n > src.Len() || n > dst.Len() {
 		panic(fmt.Sprintf("gpuprim: scan length %d out of range (src %d, dst %d)", n, src.Len(), dst.Len()))
 	}
@@ -33,16 +101,20 @@ func ExclusiveScan(dev *simt.Device, src, dst *simt.BufInt32, n int, charge Char
 	if charge == nil {
 		charge = func(*simt.RunResult) {}
 	}
-	return scan(dev, src, dst, n, charge)
+	if scratch == nil || scratch.dev != dev {
+		panic("gpuprim: scan scratch missing or bound to another device")
+	}
+	return scan(dev, src, dst, n, 0, scratch, charge)
 }
 
-func scan(dev *simt.Device, src, dst *simt.BufInt32, n int, charge Charger) int32 {
+func scan(dev *simt.Device, src, dst *simt.BufInt32, n, depth int, scratch *ScanScratch, charge Charger) int32 {
 	if n == 0 {
 		return 0
 	}
 	block := dev.WorkgroupSize
 	numBlocks := (n + block - 1) / block
-	blockSums := dev.AllocInt32(numBlocks)
+	lv := scratch.level(depth)
+	blockSums := scratch.fit(&lv.sums, numBlocks)
 
 	charge(blockScanKernel(dev, src, dst, blockSums, n))
 
@@ -51,8 +123,8 @@ func scan(dev *simt.Device, src, dst *simt.BufInt32, n int, charge Charger) int3
 	}
 	// Scan the block sums (recursively; one level suffices for millions of
 	// elements) and add each block's offset to its elements.
-	sumOffsets := dev.AllocInt32(numBlocks)
-	total := scan(dev, blockSums, sumOffsets, numBlocks, charge)
+	sumOffsets := scratch.fit(&lv.offs, numBlocks)
+	total := scan(dev, blockSums, sumOffsets, numBlocks, depth+1, scratch, charge)
 	charge(uniformAddKernel(dev, dst, sumOffsets, n))
 	return total
 }
@@ -128,16 +200,29 @@ func uniformAddKernel(dev *simt.Device, dst, offsets *simt.BufInt32, n int) *sim
 // preserving order, and returns the number kept. scratch must hold at least
 // n elements and not alias the other buffers; it receives the scanned
 // offsets. Kernel launches are reported to charge (which may be nil).
+// Intermediate scan buffers are drawn from and returned to the device
+// arena per call; repeated callers should hold a ScanScratch and use
+// CompactWith.
 func Compact(dev *simt.Device, items, flags, out, scratch *simt.BufInt32, n int, charge Charger) int {
+	if n == 0 {
+		return 0
+	}
+	ss := NewScanScratch(dev)
+	defer ss.Release()
+	return CompactWith(dev, items, flags, out, scratch, n, ss, charge)
+}
+
+// CompactWith is Compact drawing the scan's intermediate buffers from ss,
+// which retains them for the next call.
+func CompactWith(dev *simt.Device, items, flags, out, scratch *simt.BufInt32, n int, ss *ScanScratch, charge Charger) int {
 	if n == 0 {
 		return 0
 	}
 	if charge == nil {
 		charge = func(*simt.RunResult) {}
 	}
-	// Normalize flags to 0/1 into scratch? Flags are documented 0/1; scan
-	// them directly.
-	kept := ExclusiveScan(dev, flags, scratch, n, charge)
+	// Flags are documented 0/1; scan them directly.
+	kept := ExclusiveScanWith(dev, flags, scratch, n, ss, charge)
 	charge(dev.Run("compact-scatter", n, func(c *simt.Ctx) {
 		if c.Ld(flags, c.Global) != 0 {
 			c.St(out, c.Ld(scratch, c.Global), c.Ld(items, c.Global))

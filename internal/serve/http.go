@@ -25,6 +25,7 @@ type ColorRequest struct {
 	Alg       string `json:"alg,omitempty"`       // algorithm name (default baseline)
 	Seed      uint32 `json:"seed,omitempty"`      // vertex priority seed
 	Threshold int    `json:"threshold,omitempty"` // hybrid degree threshold
+	Fused     bool   `json:"fused,omitempty"`     // fused assign+flag kernels
 	Policy    string `json:"policy,omitempty"`    // static | roundrobin | stealing
 	Priority  string `json:"priority,omitempty"`  // low | normal | high
 
@@ -136,6 +137,12 @@ func Handler(s *Server) http.Handler {
 		fmt.Fprintf(&sb, "cache_hit_rate %.4f\n", st.CacheHitRate)
 		fmt.Fprintf(&sb, "device_utilization %.4f\n", st.Utilization)
 		fmt.Fprintf(&sb, "uptime_ms %d\n", st.Uptime.Milliseconds())
+		ar := s.pool.ArenaStats()
+		fmt.Fprintf(&sb, "arena_allocs %d\n", ar.Allocs)
+		fmt.Fprintf(&sb, "arena_reuses %d\n", ar.Reuses)
+		fmt.Fprintf(&sb, "arena_releases %d\n", ar.Releases)
+		fmt.Fprintf(&sb, "arena_pooled_bufs %d\n", ar.PooledBufs)
+		fmt.Fprintf(&sb, "arena_pooled_bytes %d\n", ar.PooledBytes)
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, sb.String())
 	})
@@ -232,6 +239,7 @@ func buildRequest(cr *ColorRequest, specs *specCache) (*Request, *graph.Graph, e
 		Algorithm:       alg,
 		Seed:            cr.Seed,
 		HybridThreshold: cr.Threshold,
+		Fused:           cr.Fused,
 		Policy:          pol,
 		Priority:        prio,
 		CycleBudget:     cr.CycleBudget,

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gcolor/internal/gpucolor"
 	"gcolor/internal/simt"
 )
 
@@ -56,8 +57,16 @@ func (c DeviceConfig) build() *simt.Device {
 // job at a time. Leases are handed out in LIFO order (a recently released
 // device is re-leased first, keeping its host-side caches warm) and the
 // pool tracks per-device busy time for the utilization metric.
+//
+// Each device carries a persistent gpucolor.Runner: the lease holder runs
+// jobs on Runner(), which keeps the device-arena buffers bound across
+// jobs so steady-state serving does not allocate per request. Release
+// scrubs the runner (poison over every held buffer) before the device
+// goes back on the free list, so no job data survives into the next
+// tenant's lease.
 type DevicePool struct {
 	devices []*simt.Device
+	runners []*gpucolor.Runner
 	free    chan int
 	busyNS  []atomic.Int64
 	jobs    []atomic.Int64
@@ -72,12 +81,14 @@ func NewDevicePool(cfgs []DeviceConfig) *DevicePool {
 	}
 	p := &DevicePool{
 		devices: make([]*simt.Device, len(cfgs)),
+		runners: make([]*gpucolor.Runner, len(cfgs)),
 		free:    make(chan int, len(cfgs)),
 		busyNS:  make([]atomic.Int64, len(cfgs)),
 		jobs:    make([]atomic.Int64, len(cfgs)),
 	}
 	for i, cfg := range cfgs {
 		p.devices[i] = cfg.build()
+		p.runners[i] = gpucolor.NewRunner(p.devices[i])
 		p.free <- i
 	}
 	return p
@@ -119,6 +130,11 @@ type Lease struct {
 // Release.
 func (l *Lease) Device() *simt.Device { return l.pool.devices[l.idx] }
 
+// Runner returns the device's persistent coloring runner. The holder has
+// exclusive use until Release; results are bit-identical to a transient
+// gpucolor run but the warm arena makes them allocation-free.
+func (l *Lease) Runner() *gpucolor.Runner { return l.pool.runners[l.idx] }
+
 // Index returns the pool index of the leased device.
 func (l *Lease) Index() int { return l.idx }
 
@@ -131,18 +147,26 @@ func (l *Lease) Release() {
 	}
 }
 
+// lease wraps a claimed device index in a Lease whose release scrubs the
+// runner (still under exclusive use) before the device rejoins the free
+// list.
+func (p *DevicePool) lease(idx int) *Lease {
+	l := &Lease{pool: p, idx: idx, start: time.Now()}
+	l.release = func() {
+		p.runners[idx].Scrub()
+		p.busyNS[idx].Add(int64(time.Since(l.start)))
+		p.jobs[idx].Add(1)
+		p.free <- idx
+	}
+	return l
+}
+
 // Acquire leases a free device, blocking until one is available or ctx is
 // done.
 func (p *DevicePool) Acquire(ctx context.Context) (*Lease, error) {
 	select {
 	case idx := <-p.free:
-		l := &Lease{pool: p, idx: idx, start: time.Now()}
-		l.release = func() {
-			p.busyNS[idx].Add(int64(time.Since(l.start)))
-			p.jobs[idx].Add(1)
-			p.free <- idx
-		}
-		return l, nil
+		return p.lease(idx), nil
 	case <-ctx.Done():
 		return nil, fmt.Errorf("serve: device acquire: %w", ctx.Err())
 	}
@@ -153,16 +177,26 @@ func (p *DevicePool) Acquire(ctx context.Context) (*Lease, error) {
 func (p *DevicePool) TryAcquire() (*Lease, bool) {
 	select {
 	case idx := <-p.free:
-		l := &Lease{pool: p, idx: idx, start: time.Now()}
-		l.release = func() {
-			p.busyNS[idx].Add(int64(time.Since(l.start)))
-			p.jobs[idx].Add(1)
-			p.free <- idx
-		}
-		return l, true
+		return p.lease(idx), true
 	default:
 		return nil, false
 	}
+}
+
+// ArenaStats sums the device arenas' counters across the pool: the
+// steady-state serving evidence (Reuses growing, Allocs flat) for
+// /metricsz.
+func (p *DevicePool) ArenaStats() simt.ArenaStats {
+	var total simt.ArenaStats
+	for _, dev := range p.devices {
+		st := dev.ArenaStats()
+		total.Allocs += st.Allocs
+		total.Reuses += st.Reuses
+		total.Releases += st.Releases
+		total.PooledBufs += st.PooledBufs
+		total.PooledBytes += st.PooledBytes
+	}
+	return total
 }
 
 // BusyNanos returns the cumulative leased time of device i in nanoseconds

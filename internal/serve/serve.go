@@ -81,6 +81,10 @@ type Request struct {
 	Seed uint32
 	// HybridThreshold is the hybrid degree split (0 = device workgroup size).
 	HybridThreshold int
+	// Fused runs the iterative algorithms with the fused assign+flag
+	// kernel: bit-identical colorings in strictly fewer simulated cycles
+	// (see gpucolor.Options.Fused).
+	Fused bool
 	// Policy selects the workgroup scheduling policy on the leased device.
 	Policy simt.Policy
 
@@ -111,6 +115,9 @@ func (r *Request) policyKey() uint64 {
 	mix(uint64(r.Algorithm))
 	mix(uint64(r.Seed))
 	mix(uint64(uint32(r.HybridThreshold)))
+	// Fused is deliberately excluded: fused and unfused runs produce
+	// bit-identical colorings, so their results are interchangeable in the
+	// cache and coalescable with each other.
 	return k
 }
 

@@ -256,19 +256,22 @@ func (s *Server) runJob(j *job, wait time.Duration) {
 		return
 	}
 	s.reg.Gauge("devices_busy").Add(1)
-	dev := lease.Device()
-	dev.Policy = j.req.Policy
+	lease.Device().Policy = j.req.Policy
 	opt := gpucolor.ResilientOptions{
 		Options: gpucolor.Options{
 			Seed:            j.req.Seed,
 			HybridThreshold: j.req.HybridThreshold,
+			Fused:           j.req.Fused,
 		},
 		CycleBudget:   j.req.CycleBudget,
 		MaxRetries:    j.req.MaxRetries,
 		NoCPUFallback: j.req.NoCPUFallback,
 	}
 	start := time.Now()
-	out, err := gpucolor.ColorContext(j.ctx, dev, j.req.Graph, j.req.Algorithm, opt)
+	// The lease's persistent runner keeps the device-arena buffers bound
+	// across jobs: same results as the transient path, no per-request
+	// allocations on the device side.
+	out, err := lease.Runner().ColorContext(j.ctx, j.req.Graph, j.req.Algorithm, opt)
 	exec := time.Since(start)
 	devIdx := lease.Index()
 	s.reg.Gauge("devices_busy").Add(-1)

@@ -1,5 +1,7 @@
 package simt
 
+import "sync/atomic"
+
 // Per-wavefront cost accounting. Lanes of one wavefront execute in lockstep,
 // so the wavefront pays for its busiest lane's ALU work, and each memory
 // access ordinal (the k-th access issued by each lane) becomes one
@@ -27,6 +29,14 @@ type wfAcc struct {
 	nOrds    int
 	ldsOrds  []ldsOrd
 	nLdsOrds int
+
+	// ctx is the reusable lane context for data-parallel execution: one
+	// Ctx per wavefront accumulator instead of one per work-item, rebuilt
+	// by field assignment each lane. Bodies must not retain it past their
+	// invocation (the documented Ctx contract).
+	ctx Ctx
+	// bankCounts is ldsCost's per-bank scratch, reused across cost-outs.
+	bankCounts []int
 }
 
 func newWfAcc(width int) *wfAcc {
@@ -166,4 +176,30 @@ func (c *Ctx) St(b *BufInt32, i int32, v int32) {
 		return
 	}
 	b.data[i] = v
+}
+
+// LdShared is Ld for memory that another work-item may be writing with
+// StShared in the same launch: the host access is a relaxed atomic so the
+// race is well-defined, but the simulated cost is that of an ordinary
+// load — on GCN-class hardware relaxed atomic loads are plain VMEM
+// operations, unlike the read-modify-write atomics AtomicAdd et al. model
+// (which pay the AtomicOp serialization charge). The fused coloring
+// kernels use this to read the live color array while winners publish
+// their colors in the same pass.
+func (c *Ctx) LdShared(b *BufInt32, i int32) int32 {
+	c.wf.record(c.laneIdx, b.id, i, c.cm.SegmentElems)
+	if c.fi != nil {
+		return c.fi.ldShared(c.launch, c.Global, c.wf.lanes[c.laneIdx].nAccess, b, i)
+	}
+	return atomic.LoadInt32(&b.data[i])
+}
+
+// StShared is St with a relaxed-atomic host store, the writer side of the
+// LdShared contract. Cost accounting is identical to St.
+func (c *Ctx) StShared(b *BufInt32, i int32, v int32) {
+	c.wf.record(c.laneIdx, b.id, i, c.cm.SegmentElems)
+	if c.fi != nil && !c.fi.stOK(b, i) {
+		return
+	}
+	atomic.StoreInt32(&b.data[i], v)
 }

@@ -1,0 +1,218 @@
+package simt
+
+import (
+	"testing"
+)
+
+// TestArenaReuse: a released buffer's backing array serves the next
+// allocation of any size that fits its capacity class, zeroed.
+func TestArenaReuse(t *testing.T) {
+	d := NewDevice()
+	b := d.AllocInt32(100)
+	b.Data()[0] = 42
+	first := &b.Data()[:cap(b.Data())][0]
+	d.Release(b)
+
+	b2 := d.AllocInt32(80) // smaller, same capacity class (128)
+	if &b2.Data()[:cap(b2.Data())][0] != first {
+		t.Fatalf("AllocInt32 after Release did not reuse the backing array")
+	}
+	if b2.Len() != 80 {
+		t.Fatalf("reused buffer Len = %d, want 80", b2.Len())
+	}
+	for i, v := range b2.Data() {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed: [%d] = %d", i, v)
+		}
+	}
+	st := d.ArenaStats()
+	if st.Allocs != 1 || st.Reuses != 1 || st.Releases != 1 {
+		t.Fatalf("ArenaStats = %+v, want Allocs=1 Reuses=1 Releases=1", st)
+	}
+	if st.PooledBufs != 0 || st.PooledBytes != 0 {
+		t.Fatalf("ArenaStats pool = %+v, want empty after reuse", st)
+	}
+}
+
+// TestArenaFreshIDs: reused buffers get fresh ids, so the coalescing model
+// cannot alias a reused buffer with its previous life.
+func TestArenaFreshIDs(t *testing.T) {
+	d := NewDevice()
+	b := d.AllocInt32(64)
+	id1 := b.id
+	d.Release(b)
+	b2 := d.AllocInt32(64)
+	if b2.id == id1 {
+		t.Fatalf("reused buffer kept stale id %d", id1)
+	}
+}
+
+// TestArenaPoison: Release fills the entire capacity with the poison
+// pattern, so any use-after-release read is loudly wrong.
+func TestArenaPoison(t *testing.T) {
+	d := NewDevice()
+	b := d.AllocInt32(10)
+	data := b.Data()
+	for i := range data {
+		data[i] = int32(i + 1)
+	}
+	d.Release(b)
+	full := data[:cap(data)]
+	for i, v := range full {
+		if v != PoisonValue() {
+			t.Fatalf("released buffer [%d] = %#x, want poison %#x", i, v, PoisonValue())
+		}
+	}
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+// TestArenaMisuse: double release, releasing bound buffers, and rebinding
+// arena buffers are all programming errors and panic.
+func TestArenaMisuse(t *testing.T) {
+	d := NewDevice()
+	b := d.AllocInt32(8)
+	d.Release(b)
+	mustPanic(t, "double Release", func() { d.Release(b) })
+
+	bound := d.BindInt32(make([]int32, 8))
+	mustPanic(t, "Release of bound buffer", func() { d.Release(bound) })
+
+	pooled := d.AllocInt32(8)
+	mustPanic(t, "Rebind of arena buffer", func() { d.Rebind(pooled, make([]int32, 8)) })
+}
+
+// TestRebind retargets a bound buffer and refreshes its id.
+func TestRebind(t *testing.T) {
+	d := NewDevice()
+	b := d.BindInt32([]int32{1, 2, 3})
+	id1 := b.id
+	d.Rebind(b, []int32{4, 5})
+	if b.id == id1 {
+		t.Fatalf("Rebind kept stale id")
+	}
+	if b.Len() != 2 || b.Data()[0] != 4 {
+		t.Fatalf("Rebind did not retarget data: %v", b.Data())
+	}
+}
+
+// TestResetArena drops pooled memory without touching live buffers.
+func TestResetArena(t *testing.T) {
+	d := NewDevice()
+	live := d.AllocInt32(16)
+	dead := d.AllocInt32(16)
+	d.Release(dead)
+	d.ResetArena()
+	st := d.ArenaStats()
+	if st.PooledBufs != 0 || st.PooledBytes != 0 {
+		t.Fatalf("ResetArena left pool %+v", st)
+	}
+	live.Data()[0] = 7 // still usable
+	b := d.AllocInt32(16)
+	if got := d.ArenaStats().Allocs; got != 3 {
+		t.Fatalf("alloc after reset should hit the heap: Allocs = %d, want 3", got)
+	}
+	_ = b
+}
+
+// TestRecycleRoundTrip: a recycled RunResult's slices serve the next launch
+// without growing the heap, and results stay correct.
+func TestRecycleRoundTrip(t *testing.T) {
+	d := NewDevice()
+	d.Workers = 1
+	buf := d.AllocInt32(1024)
+	run := func() int64 {
+		rr := d.Run("touch", 1024, func(c *Ctx) {
+			c.St(buf, c.Global, c.Global)
+		})
+		cycles := rr.Cycles()
+		if len(rr.Stats.GroupCost) != rr.Stats.Groups {
+			t.Fatalf("GroupCost len %d, want %d", len(rr.Stats.GroupCost), rr.Stats.Groups)
+		}
+		d.Recycle(rr)
+		return cycles
+	}
+	first := run()
+	for i := 0; i < 10; i++ {
+		if got := run(); got != first {
+			t.Fatalf("recycled launch %d: cycles %d, want %d", i, got, first)
+		}
+	}
+}
+
+// TestSharedAccessCost: LdShared/StShared cost exactly what Ld/St cost —
+// no AtomicOp charge — so fusing kernels onto shared color arrays is never
+// penalised by the cost model for using well-defined host atomics.
+func TestSharedAccessCost(t *testing.T) {
+	d := NewDevice()
+	d.Workers = 1
+	n := 512
+	a := d.AllocInt32(n)
+	b := d.AllocInt32(n)
+
+	plain := d.Run("plain", n, func(c *Ctx) {
+		c.St(b, c.Global, c.Ld(a, c.Global)+1)
+	})
+	shared := d.Run("shared", n, func(c *Ctx) {
+		c.StShared(b, c.Global, c.LdShared(a, c.Global)+1)
+	})
+	if plain.Cycles() != shared.Cycles() {
+		t.Fatalf("shared access cycles = %d, plain = %d; want equal", shared.Cycles(), plain.Cycles())
+	}
+	if plain.Stats.Atomics != 0 || shared.Stats.Atomics != 0 {
+		t.Fatalf("atomics counted: plain %d shared %d, want 0",
+			plain.Stats.Atomics, shared.Stats.Atomics)
+	}
+	for i, v := range b.Data() {
+		if v != 1 { // a is zeroed, so every element is 0+1
+			t.Fatalf("shared store lost write at %d: %d", i, v)
+		}
+	}
+}
+
+// TestSharedAccessFaults: LdShared under an armed injector keys bit flips
+// identically to Ld, and OOB shared accesses follow permissive semantics.
+func TestSharedAccessFaults(t *testing.T) {
+	da := NewDevice()
+	db := NewDevice()
+	da.Workers, db.Workers = 1, 1
+	fa := NewFaultInjector(7, 0)
+	fb := NewFaultInjector(7, 0)
+	fa.BitFlipRate, fb.BitFlipRate = 0.5, 0.5
+	da.Fault, db.Fault = fa, fb
+
+	n := 256
+	srcA, dstA := da.AllocInt32(n), da.AllocInt32(n)
+	srcB, dstB := db.AllocInt32(n), db.AllocInt32(n)
+	for i := 0; i < n; i++ {
+		srcA.Data()[i] = int32(i)
+		srcB.Data()[i] = int32(i)
+	}
+	da.Run("plain", n, func(c *Ctx) { c.St(dstA, c.Global, c.Ld(srcA, c.Global)) })
+	db.Run("shared", n, func(c *Ctx) { c.StShared(dstB, c.Global, c.LdShared(srcB, c.Global)) })
+	for i := 0; i < n; i++ {
+		if dstA.Data()[i] != dstB.Data()[i] {
+			t.Fatalf("fault divergence at %d: plain %d shared %d", i, dstA.Data()[i], dstB.Data()[i])
+		}
+	}
+
+	// OOB shared accesses: poison reads, dropped writes, no panic.
+	small := da.AllocInt32(4)
+	out := da.AllocInt32(n)
+	da.Run("oob", n, func(c *Ctx) {
+		c.StShared(out, c.Global, c.LdShared(small, c.Global+1000))
+		c.StShared(small, c.Global+1000, 1)
+	})
+	st := fa.Stats()
+	if st.OOBReads == 0 || st.OOBWrites == 0 {
+		t.Fatalf("OOB shared accesses not counted: %+v", st)
+	}
+}

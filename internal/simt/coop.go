@@ -1,6 +1,9 @@
 package simt
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // CoopFunc is the body of a cooperative kernel: it is invoked once per
 // workgroup, and the whole workgroup processes one task together (the
@@ -17,10 +20,17 @@ type GroupCtx struct {
 	wfs    []*wfAcc
 	fi     *FaultInjector
 	launch uint64
+	lds    *ldsArena // worker-owned LDS backing store, reset per group
 
 	extraCost   int64 // barrier + collective charges
 	barriers    int64
 	collectives int64
+
+	// ctx is the single lane context handed to kernel bodies, rebuilt per
+	// lane by ctxFor. Sharing one keeps the per-lane dispatch
+	// allocation-free; bodies must not retain it past their invocation
+	// (the documented Ctx contract).
+	ctx Ctx
 }
 
 // ID returns the workgroup id (which cooperative kernels use as the task
@@ -30,11 +40,11 @@ func (g *GroupCtx) ID() int32 { return g.id }
 // Size returns the number of work-items in the group.
 func (g *GroupCtx) Size() int { return g.size }
 
-func (g *GroupCtx) ctxFor(lane int) Ctx {
+func (g *GroupCtx) ctxFor(lane int) *Ctx {
 	wf := lane / g.width
 	l := lane % g.width
 	g.wfs[wf].lanes[l].active = true
-	return Ctx{
+	g.ctx = Ctx{
 		Global:  g.id*int32(g.size) + int32(lane),
 		Local:   int32(lane),
 		Group:   g.id,
@@ -44,6 +54,7 @@ func (g *GroupCtx) ctxFor(lane int) Ctx {
 		fi:      g.fi,
 		launch:  g.launch,
 	}
+	return &g.ctx
 }
 
 // ForEach runs body for every i in [0, n), striding the iterations across
@@ -52,8 +63,7 @@ func (g *GroupCtx) ctxFor(lane int) Ctx {
 func (g *GroupCtx) ForEach(n int32, body func(c *Ctx, i int32)) {
 	for chunk := int32(0); chunk < n; chunk += int32(g.size) {
 		for lane := 0; lane < g.size && chunk+int32(lane) < n; lane++ {
-			c := g.ctxFor(lane)
-			body(&c, chunk+int32(lane))
+			body(g.ctxFor(lane), chunk+int32(lane))
 		}
 	}
 }
@@ -66,8 +76,7 @@ func (g *GroupCtx) Any(n int32, pred func(c *Ctx, i int32) bool) bool {
 	for chunk := int32(0); chunk < n; chunk += int32(g.size) {
 		found := false
 		for lane := 0; lane < g.size && chunk+int32(lane) < n; lane++ {
-			c := g.ctxFor(lane)
-			if pred(&c, chunk+int32(lane)) {
+			if pred(g.ctxFor(lane), chunk+int32(lane)) {
 				found = true
 			}
 		}
@@ -94,8 +103,7 @@ func (g *GroupCtx) reduceCharge(chunk, n int32) {
 
 // One runs body on lane 0 only (the "if (tid == 0)" idiom).
 func (g *GroupCtx) One(body func(c *Ctx)) {
-	c := g.ctxFor(0)
-	body(&c)
+	body(g.ctxFor(0))
 }
 
 // Barrier charges a workgroup barrier.
@@ -105,76 +113,104 @@ func (g *GroupCtx) Barrier() {
 }
 
 // RunCoop executes a cooperative kernel with the given number of workgroups,
-// each of the device's workgroup size.
+// each of the device's workgroup size. Like Run, the result comes from the
+// device pools and may be handed back with Device.Recycle.
 func (d *Device) RunCoop(name string, groups int, f CoopFunc) *RunResult {
-	stats := d.execCoopGroups(name, groups, d.launches.Add(1), f)
-	sched := SimulateSchedule(d, stats.GroupCost, d.Policy)
-	return &RunResult{Stats: *stats, Sched: sched}
+	rr := d.getRunResult()
+	d.execCoopGroups(&rr.Stats, name, groups, d.launches.Add(1), f)
+	rr.Sched = SimulateSchedule(d, rr.Stats.GroupCost, d.Policy)
+	return rr
 }
 
-func (d *Device) execCoopGroups(name string, groups int, launch uint64, f CoopFunc) *KernelStats {
+// coopLaunchState mirrors launchState for cooperative kernels.
+type coopLaunchState struct {
+	d      *Device
+	stats  *KernelStats
+	size   int
+	nWfs   int
+	launch uint64
+	f      CoopFunc
+	next   atomic.Int64
+	mu     sync.Mutex
+	wgrp   sync.WaitGroup
+}
+
+func (st *coopLaunchState) work() {
+	defer st.wgrp.Done()
+	d := st.d
+	ws := d.getWorkerScratch(st.nWfs)
+	wfs, cache, local := ws.wfs[:st.nWfs], ws.cache, &ws.local
+	groups := st.stats.Groups
+	for {
+		gi := int(st.next.Add(1)) - 1
+		if gi >= groups {
+			break
+		}
+		cache.reset()
+		for _, wf := range wfs {
+			wf.reset()
+		}
+		ws.lds.reset()
+		// The GroupCtx lives in the worker scratch and is rebuilt per group
+		// by assignment: a stack value would escape into the kernel body and
+		// allocate per group.
+		gc := &ws.gctx
+		*gc = GroupCtx{
+			id:     int32(gi),
+			size:   st.size,
+			width:  ws.width,
+			cm:     &d.Cost,
+			wfs:    wfs,
+			fi:     d.Fault,
+			launch: st.launch,
+			lds:    &ws.lds,
+		}
+		cost := d.execCoopGroup(gc, st.launch, st.f, cache, local)
+		if fi := d.Fault; fi != nil && fi.stallGroup(st.launch, gc.id) {
+			cost *= fi.stallFactor()
+		}
+		st.stats.GroupCost[gi] = cost
+	}
+	st.mu.Lock()
+	st.stats.merge(local)
+	st.mu.Unlock()
+	d.putWorkerScratch(ws)
+}
+
+func (d *Device) execCoopGroups(stats *KernelStats, name string, groups int, launch uint64, f CoopFunc) {
 	d.check()
 	width := d.WavefrontWidth
 	size := d.WorkgroupSize
 	nWfs := size / width
-	stats := &KernelStats{
+	*stats = KernelStats{
 		Name:      name,
 		Items:     groups * size,
 		Groups:    groups,
-		GroupCost: make([]int64, groups),
+		GroupCost: d.i64s.get(groups),
 		width:     width,
 	}
 	if groups == 0 {
-		return stats
+		return
 	}
+	stats.WavefrontCost = d.i64s.getCap(groups * nWfs)
 	workers := d.workers()
 	if workers > groups {
 		workers = groups
 	}
-	var mu sync.Mutex
-	var wgrp sync.WaitGroup
-	groupCh := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wgrp.Add(1)
-		go func() {
-			defer wgrp.Done()
-			local := &KernelStats{width: width}
-			wfs := make([]*wfAcc, nWfs)
-			for i := range wfs {
-				wfs[i] = newWfAcc(width)
-			}
-			cache := newSegCache(d.Cost.CacheSegments)
-			for gi := range groupCh {
-				cache.reset()
-				for _, wf := range wfs {
-					wf.reset()
-				}
-				gc := &GroupCtx{
-					id:     int32(gi),
-					size:   size,
-					width:  width,
-					cm:     &d.Cost,
-					wfs:    wfs,
-					fi:     d.Fault,
-					launch: launch,
-				}
-				cost := d.execCoopGroup(gc, launch, f, cache, local)
-				if fi := d.Fault; fi != nil && fi.stallGroup(launch, gc.id) {
-					cost *= fi.stallFactor()
-				}
-				stats.GroupCost[gi] = cost
-			}
-			mu.Lock()
-			stats.merge(local)
-			mu.Unlock()
-		}()
+	st, _ := d.coopSt.Get().(*coopLaunchState)
+	if st == nil {
+		st = &coopLaunchState{}
 	}
-	for g := 0; g < groups; g++ {
-		groupCh <- g
+	st.d, st.stats, st.size, st.nWfs, st.launch, st.f = d, stats, size, nWfs, launch, f
+	st.next.Store(0)
+	st.wgrp.Add(workers)
+	for w := 1; w < workers; w++ {
+		go st.work()
 	}
-	close(groupCh)
-	wgrp.Wait()
-	return stats
+	st.work()
+	st.wgrp.Wait()
+	st.stats, st.f = nil, nil
+	d.coopSt.Put(st)
 }
 
 // execCoopGroup runs one cooperative workgroup and costs it out. With a

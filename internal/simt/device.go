@@ -3,6 +3,7 @@ package simt
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
@@ -34,6 +35,16 @@ type Device struct {
 
 	nextBuf  atomic.Int32
 	launches atomic.Uint64
+
+	// arena pools released device buffers (see arena.go); the remaining
+	// pools recycle per-launch statistics slices and phase-A worker
+	// scratch. All are concurrency-safe and cost nothing until used.
+	arena      arena
+	i64s       i64pool
+	runResults sync.Pool
+	workers_   sync.Pool
+	launchSt   sync.Pool // *launchState
+	coopSt     sync.Pool // *coopLaunchState
 }
 
 // NewDevice returns a device with HD 7950-like defaults.
@@ -75,11 +86,29 @@ func (d *Device) workers() int {
 type BufInt32 struct {
 	id   int32
 	data []int32
+	// pooled marks arena-allocated buffers (the only ones Release accepts);
+	// released guards against use of the arena's double-release panic.
+	pooled   bool
+	released bool
 }
 
-// AllocInt32 allocates a zeroed device buffer of n elements.
+// AllocInt32 allocates a zeroed device buffer of n elements. Allocation is
+// served from the device arena when a previously Released buffer fits;
+// otherwise it falls back to the heap. Either way the caller sees a zeroed
+// buffer of exactly n elements, and may later hand it back with Release.
 func (d *Device) AllocInt32(n int) *BufInt32 {
-	return d.BindInt32(make([]int32, n))
+	if b := d.arena.take(n); b != nil {
+		b.id = d.nextBuf.Add(1)
+		b.data = b.data[:cap(b.data)][:n]
+		for i := range b.data {
+			b.data[i] = 0
+		}
+		b.released = false
+		return b
+	}
+	b := d.BindInt32(make([]int32, n, 1<<bucketFor(n)))
+	b.pooled = true
+	return b
 }
 
 // BindInt32 wraps an existing slice as a device buffer without copying.

@@ -183,6 +183,24 @@ func (f *FaultInjector) ld(launch uint64, global, ordinal int32, b *BufInt32, i 
 	return v
 }
 
+// ldShared is ld with a relaxed-atomic host read (the LdShared path); the
+// fault decision is keyed identically, so arming an injector perturbs
+// fused and unfused kernels the same way.
+func (f *FaultInjector) ldShared(launch uint64, global, ordinal int32, b *BufInt32, i int32) int32 {
+	if i < 0 || int(i) >= len(b.data) {
+		f.oobReads.Add(1)
+		return 0
+	}
+	v := atomic.LoadInt32(&b.data[i])
+	if f.BitFlipRate > 0 {
+		if h := f.roll(saltFlip, launch, int64(global), int64(ordinal)); h < threshold(f.BitFlipRate) {
+			f.bitFlips.Add(1)
+			v ^= 1 << ((h >> 56) & 7)
+		}
+	}
+	return v
+}
+
 // stOK reports whether a plain store may proceed (permissive OOB: dropped).
 func (f *FaultInjector) stOK(b *BufInt32, i int32) bool {
 	if i < 0 || int(i) >= len(b.data) {

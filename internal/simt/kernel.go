@@ -1,6 +1,9 @@
 package simt
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // KernelFunc is the body of a data-parallel kernel, invoked once per
 // work-item. Bodies must be safe to run concurrently across workgroups and
@@ -106,62 +109,95 @@ func (r *RunResult) Cycles() int64 { return r.Sched.Cycles }
 
 // Run executes a data-parallel kernel over items work-items using the
 // device's workgroup size and scheduling policy.
+//
+// The returned RunResult (and its slices) come from per-device pools;
+// callers that fold the numbers into their own accounting can hand the
+// result back with Device.Recycle to make steady-state launches
+// allocation-free. Callers that retain results just keep them and the GC
+// takes over, exactly as before.
 func (d *Device) Run(name string, items int, f KernelFunc) *RunResult {
-	stats := d.execGroups(name, items, d.launches.Add(1), f)
-	sched := SimulateSchedule(d, stats.GroupCost, d.Policy)
-	return &RunResult{Stats: *stats, Sched: sched}
+	rr := d.getRunResult()
+	d.execGroups(&rr.Stats, name, items, d.launches.Add(1), f)
+	rr.Sched = SimulateSchedule(d, rr.Stats.GroupCost, d.Policy)
+	return rr
 }
 
-// execGroups is phase A: execute every workgroup, recording costs.
-func (d *Device) execGroups(name string, items int, launch uint64, f KernelFunc) *KernelStats {
+// launchState carries one launch's shared state between the phase-A
+// workers, avoiding a per-launch closure and channel.
+type launchState struct {
+	d      *Device
+	stats  *KernelStats
+	items  int
+	launch uint64
+	f      KernelFunc
+	next   atomic.Int64 // workgroup grab cursor
+	mu     sync.Mutex
+	wgrp   sync.WaitGroup
+}
+
+func (st *launchState) work() {
+	defer st.wgrp.Done()
+	d := st.d
+	ws := d.getWorkerScratch(1)
+	acc, cache, local := ws.wfs[0], ws.cache, &ws.local
+	groups := st.stats.Groups
+	for {
+		g := int(st.next.Add(1)) - 1
+		if g >= groups {
+			break
+		}
+		cache.reset()
+		cost := d.execOneGroupSafe(g, st.items, st.launch, st.f, acc, cache, local)
+		if fi := d.Fault; fi != nil && fi.stallGroup(st.launch, int32(g)) {
+			cost *= fi.stallFactor()
+		}
+		st.stats.GroupCost[g] = cost
+	}
+	st.mu.Lock()
+	st.stats.merge(local)
+	st.mu.Unlock()
+	d.putWorkerScratch(ws)
+}
+
+// execGroups is phase A: execute every workgroup, recording costs into
+// stats (which is overwritten).
+func (d *Device) execGroups(stats *KernelStats, name string, items int, launch uint64, f KernelFunc) {
 	d.check()
 	wg := d.WorkgroupSize
 	width := d.WavefrontWidth
 	groups := (items + wg - 1) / wg
-	stats := &KernelStats{
+	*stats = KernelStats{
 		Name:      name,
 		Items:     items,
 		Groups:    groups,
-		GroupCost: make([]int64, groups),
+		GroupCost: d.i64s.get(groups),
 		width:     width,
 	}
 	if groups == 0 {
-		return stats
+		return
 	}
+	// Every wavefront contributes one WavefrontCost entry; pre-sizing the
+	// slice keeps the worker merges from reallocating it.
+	stats.WavefrontCost = d.i64s.getCap((items + width - 1) / width)
 
 	workers := d.workers()
 	if workers > groups {
 		workers = groups
 	}
-	var mu sync.Mutex
-	var wgrp sync.WaitGroup
-	groupCh := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wgrp.Add(1)
-		go func() {
-			defer wgrp.Done()
-			local := &KernelStats{width: width}
-			acc := newWfAcc(width)
-			cache := newSegCache(d.Cost.CacheSegments)
-			for g := range groupCh {
-				cache.reset()
-				cost := d.execOneGroupSafe(g, items, launch, f, acc, cache, local)
-				if fi := d.Fault; fi != nil && fi.stallGroup(launch, int32(g)) {
-					cost *= fi.stallFactor()
-				}
-				stats.GroupCost[g] = cost
-			}
-			mu.Lock()
-			stats.merge(local)
-			mu.Unlock()
-		}()
+	st, _ := d.launchSt.Get().(*launchState)
+	if st == nil {
+		st = &launchState{}
 	}
-	for g := 0; g < groups; g++ {
-		groupCh <- g
+	st.d, st.stats, st.items, st.launch, st.f = d, stats, items, launch, f
+	st.next.Store(0)
+	st.wgrp.Add(workers)
+	for w := 1; w < workers; w++ {
+		go st.work()
 	}
-	close(groupCh)
-	wgrp.Wait()
-	return stats
+	st.work() // the caller is worker 0
+	st.wgrp.Wait()
+	st.stats, st.f = nil, nil
+	d.launchSt.Put(st)
 }
 
 // execOneGroupSafe dispatches to execOneGroup; with a fault injector armed
@@ -196,23 +232,19 @@ func (d *Device) execOneGroup(g, items int, launch uint64, f KernelFunc, acc *wf
 			continue // wavefront killed: no work, no writes
 		}
 		acc.reset()
+		// One reusable Ctx per wavefront accumulator, rebuilt per lane by
+		// field assignment: per-work-item Ctx values would escape into the
+		// (unknown) kernel body and dominate heap allocations.
+		c := &acc.ctx
+		c.cm, c.wf, c.fi, c.launch = &d.Cost, acc, d.Fault, launch
 		for l := 0; l < width; l++ {
 			gid := base + wfStart + l
 			if gid >= items {
 				break
 			}
 			acc.lanes[l].active = true
-			c := Ctx{
-				Global:  int32(gid),
-				Local:   int32(wfStart + l),
-				Group:   int32(g),
-				cm:      &d.Cost,
-				wf:      acc,
-				laneIdx: l,
-				fi:      d.Fault,
-				launch:  launch,
-			}
-			f(&c)
+			c.Global, c.Local, c.Group, c.laneIdx = int32(gid), int32(wfStart+l), int32(g), l
+			f(c)
 		}
 		wc := acc.cost(&d.Cost, cache)
 		groupCost += wc.cycles

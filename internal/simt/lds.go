@@ -20,9 +20,51 @@ func (b *LDSBuf) Data() []int32 { return b.data }
 // Len returns the element count.
 func (b *LDSBuf) Len() int { return len(b.data) }
 
-// AllocLDS allocates a zeroed workgroup-local buffer of n elements.
+// AllocLDS allocates a zeroed workgroup-local buffer of n elements. The
+// backing memory comes from the executing worker's LDS arena and is
+// recycled after the group finishes, so steady-state cooperative kernels
+// allocate no LDS on the heap.
 func (g *GroupCtx) AllocLDS(n int) *LDSBuf {
-	return &LDSBuf{data: make([]int32, n)}
+	if g.lds == nil {
+		return &LDSBuf{data: make([]int32, n)}
+	}
+	return g.lds.alloc(n)
+}
+
+// ldsArena is a worker-owned bump allocator backing AllocLDS. Buffers are
+// group-private and dead once the group finishes, so reset() between
+// groups recycles everything. Buf headers are recycled too; when the
+// header slice grows, previously returned pointers stay valid (they point
+// into the old array, whose data slices remain group-private).
+type ldsArena struct {
+	mem  []int32
+	bufs []*LDSBuf
+	used int // elements of mem handed out this group
+	nb   int // headers handed out this group
+}
+
+func (a *ldsArena) reset() { a.used, a.nb = 0, 0 }
+
+func (a *ldsArena) alloc(n int) *LDSBuf {
+	if len(a.mem)-a.used < n {
+		grown := make([]int32, a.used+n+len(a.mem))
+		// Old buffers keep their slices into the old array; only the
+		// unhanded-out tail moves.
+		a.mem = grown
+		a.used = 0
+	}
+	s := a.mem[a.used : a.used+n]
+	for i := range s {
+		s[i] = 0
+	}
+	a.used += n
+	if a.nb == len(a.bufs) {
+		a.bufs = append(a.bufs, &LDSBuf{})
+	}
+	b := a.bufs[a.nb]
+	a.nb++
+	b.data = s
+	return b
 }
 
 // ldsOrd records the k-th LDS access of a wavefront: which (bank, address)
@@ -61,13 +103,18 @@ func (w *wfAcc) recordLDS(l int, idx int32, banks int32) {
 // LDSOp times the worst bank's distinct-address count.
 func (w *wfAcc) ldsCost(cm *CostModel) (cycles int64, accesses int64) {
 	banks := int(cm.LDSBanks)
-	counts := make(map[uint64]int, banks)
+	if cap(w.bankCounts) < banks {
+		w.bankCounts = make([]int, banks)
+	}
+	counts := w.bankCounts[:banks]
 	for k := 0; k < w.nLdsOrds; k++ {
 		o := &w.ldsOrds[k]
-		clear(counts)
+		for i := range counts {
+			counts[i] = 0
+		}
 		worst := 1
 		for _, p := range o.pairs {
-			b := p >> 32
+			b := p >> 32 // bank index, already reduced mod banks
 			counts[b]++
 			if counts[b] > worst {
 				worst = counts[b]

@@ -58,8 +58,8 @@ func SimulateSchedule(d *Device, groupCost []int64, p Policy) ScheduleResult {
 	n := d.NumCUs
 	res := ScheduleResult{
 		Policy:   p,
-		CUBusy:   make([]int64, n),
-		CUFinish: make([]int64, n),
+		CUBusy:   d.i64s.get(n),
+		CUFinish: d.i64s.get(n),
 	}
 	switch p {
 	case Static:
