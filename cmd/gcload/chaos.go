@@ -1,0 +1,279 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gcolor/internal/serve"
+)
+
+// chaosSoakConfig parameterizes the self-healing soak. Durations are per
+// phase; the whole soak runs in bounded time (roughly 4 phases plus the
+// quarantine/re-admission waits, each capped at 10 phases).
+type chaosSoakConfig struct {
+	devices   int
+	conc      int
+	faultRate float64
+	phase     time.Duration
+	mix       string
+	outPath   string
+}
+
+// soakReport is the JSON written to -json (default BENCH_PR4.json): the
+// evidence that the fleet self-heals around a sick device.
+type soakReport struct {
+	Devices   int     `json:"devices"`
+	Victim    int     `json:"victim"`
+	FaultRate float64 `json:"fault_rate"`
+	PhaseSec  float64 `json:"phase_sec"`
+
+	BaselineRPS     float64 `json:"baseline_rps"`
+	BaselineErrRate float64 `json:"baseline_err_rate"`
+	FaultRPS        float64 `json:"fault_rps"`
+	FaultErrRate    float64 `json:"fault_err_rate"`
+	RecoveryRPS     float64 `json:"recovery_rps"`
+	RecoveryErrRate float64 `json:"recovery_err_rate"`
+	ThroughputRatio float64 `json:"throughput_ratio"` // fault / baseline
+
+	QuarantineMS int64 `json:"time_to_quarantine_ms"`
+	ReadmitMS    int64 `json:"time_to_readmit_ms"`
+
+	Quarantines int64 `json:"quarantines_total"`
+	Readmitted  int64 `json:"readmitted_total"`
+	Probes      int64 `json:"probes_total"`
+	ProbeFails  int64 `json:"probe_failures_total"`
+	Hedges      int64 `json:"hedges_total"`
+	HedgeWins   int64 `json:"hedge_wins_total"`
+
+	VictimHealthSick      float64 `json:"victim_health_sick"`
+	VictimHealthRecovered float64 `json:"victim_health_recovered"`
+
+	Pass     bool     `json:"pass"`
+	Failures []string `json:"failures,omitempty"`
+}
+
+// soakCounters is one phase's windowed tally; workers add to the current
+// window, phases snapshot-and-reset.
+type soakCounters struct {
+	ok  atomic.Int64
+	err atomic.Int64
+}
+
+func (c *soakCounters) reset() (ok, errs int64) {
+	return c.ok.Swap(0), c.err.Swap(0)
+}
+
+// runChaosSoak stands up an in-process 4-device server behind a real HTTP
+// listener, drives closed-loop load through it, then sickens one device
+// mid-run and asserts the fleet heals: the victim is quarantined, the
+// survivors keep throughput at >= 70% of baseline, and after the fault
+// clears the victim is re-admitted through half-open probes with the
+// error rate back at baseline. Returns the process exit code.
+func runChaosSoak(cfg chaosSoakConfig) int {
+	if cfg.devices < 2 {
+		cfg.devices = 4
+	}
+	victim := 1 % cfg.devices
+
+	devCfgs := make([]serve.DeviceConfig, cfg.devices)
+	for i := range devCfgs {
+		devCfgs[i] = serve.DeviceConfig{
+			// Small devices keep per-request sim time low so phases see
+			// hundreds of requests.
+			NumCUs:        8,
+			FaultRate:     cfg.faultRate,
+			FaultSeed:     uint64(i + 1),
+			FaultDisarmed: true,
+		}
+	}
+	srv := serve.NewServer(serve.Config{
+		DeviceConfigs: devCfgs,
+		QueueCapacity: 256,
+		ShedFraction:  1, // no early shedding; the soak measures healing, not admission
+		CacheEntries:  -1,
+		SelfHeal: serve.SelfHealConfig{
+			// Fast-reacting tuning so the soak converges in seconds: trip
+			// after 3 consecutive failures, half-open after 500ms, re-admit
+			// after 3 clean probes.
+			Alpha:            0.35,
+			FailureThreshold: 3,
+			OpenBelow:        0.30,
+			Cooldown:         500 * time.Millisecond,
+			MaxCooldown:      2 * time.Second,
+			ProbeSuccesses:   3,
+			HedgeMinSamples:  32,
+			HedgeFloor:       time.Millisecond,
+		},
+	})
+	defer srv.Stop()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: serve.Handler(srv)}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	addr := "http://" + ln.Addr().String()
+
+	mix, err := parseMix(cfg.mix)
+	if err != nil {
+		fatal(err)
+	}
+	gen := newReqGen(mix, 0, "baseline", "static", "normal", 2000, 1)
+	// Every request executes (no cache), and a faulted run fails fast (no
+	// retries, no CPU fallback) so the sick device's outcomes reach its
+	// breaker undiluted.
+	gen.body.NoCache = true
+	gen.body.NoCPUFallback = true
+	gen.body.MaxRetries = -1
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var counters soakCounters
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				r := doRequest(client, addr, gen.next())
+				if r.ok {
+					counters.ok.Add(1)
+				} else {
+					counters.err.Add(1)
+				}
+			}
+		}()
+	}
+	defer wg.Wait()
+	defer cancel()
+
+	rep := soakReport{
+		Devices:   cfg.devices,
+		Victim:    victim,
+		FaultRate: cfg.faultRate,
+		PhaseSec:  cfg.phase.Seconds(),
+	}
+	measure := func(d time.Duration) (rps, errRate float64) {
+		counters.reset()
+		time.Sleep(d)
+		ok, errs := counters.reset()
+		total := ok + errs
+		if total > 0 {
+			errRate = float64(errs) / float64(total)
+		}
+		return float64(ok) / d.Seconds(), errRate
+	}
+	waitBreaker := func(want serve.BreakerState, deadline time.Duration) (time.Duration, bool) {
+		start := time.Now()
+		for time.Since(start) < deadline {
+			if srv.Pool().BreakerState(victim) == want {
+				return time.Since(start), true
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		return deadline, false
+	}
+
+	fmt.Printf("chaos-soak: %d devices, victim %d, fault rate %g, phase %v\n",
+		cfg.devices, victim, cfg.faultRate, cfg.phase)
+
+	// Phase A: healthy baseline.
+	rep.BaselineRPS, rep.BaselineErrRate = measure(cfg.phase)
+	fmt.Printf("chaos-soak: baseline %.1f req/s (err rate %.3f)\n", rep.BaselineRPS, rep.BaselineErrRate)
+
+	// Phase B: sicken the victim mid-run and wait for quarantine.
+	srv.Pool().FaultInjector(victim).Arm()
+	fmt.Printf("chaos-soak: fault injector armed on device %d\n", victim)
+	quarantineWait, quarantined := waitBreaker(serve.BreakerOpen, 10*cfg.phase)
+	rep.QuarantineMS = quarantineWait.Milliseconds()
+	rep.VictimHealthSick = srv.Pool().HealthScore(victim)
+	if quarantined {
+		fmt.Printf("chaos-soak: device %d quarantined after %v (health %.3f)\n",
+			victim, quarantineWait.Round(time.Millisecond), rep.VictimHealthSick)
+	}
+
+	// Fault-phase throughput: measured with the victim quarantined, the
+	// regime the fleet settles into while the fault persists.
+	rep.FaultRPS, rep.FaultErrRate = measure(cfg.phase)
+	fmt.Printf("chaos-soak: faulted fleet %.1f req/s (err rate %.3f)\n", rep.FaultRPS, rep.FaultErrRate)
+
+	// Phase C: clear the fault and wait for re-admission via probes.
+	srv.Pool().FaultInjector(victim).Disarm()
+	fmt.Printf("chaos-soak: fault injector disarmed on device %d\n", victim)
+	readmitWait, readmitted := waitBreaker(serve.BreakerClosed, 10*cfg.phase)
+	rep.ReadmitMS = readmitWait.Milliseconds()
+	if readmitted {
+		fmt.Printf("chaos-soak: device %d re-admitted after %v\n", victim, readmitWait.Round(time.Millisecond))
+	}
+
+	// Phase D: post-recovery window.
+	rep.RecoveryRPS, rep.RecoveryErrRate = measure(cfg.phase)
+	rep.VictimHealthRecovered = srv.Pool().HealthScore(victim)
+	fmt.Printf("chaos-soak: recovered fleet %.1f req/s (err rate %.3f, victim health %.3f)\n",
+		rep.RecoveryRPS, rep.RecoveryErrRate, rep.VictimHealthRecovered)
+
+	cancel()
+	wg.Wait()
+
+	st := srv.Stats()
+	rep.Quarantines = st.Quarantines
+	rep.Readmitted = st.Readmitted
+	rep.Probes = st.Probes
+	rep.ProbeFails = st.ProbeFailures
+	rep.Hedges = st.Hedges
+	rep.HedgeWins = st.HedgeWins
+	if rep.BaselineRPS > 0 {
+		rep.ThroughputRatio = rep.FaultRPS / rep.BaselineRPS
+	}
+
+	// Assertions: the acceptance criteria of the soak.
+	check := func(ok bool, format string, a ...any) {
+		if !ok {
+			rep.Failures = append(rep.Failures, fmt.Sprintf(format, a...))
+		}
+	}
+	check(quarantined, "victim was never quarantined (breaker open) within %v", 10*cfg.phase)
+	check(readmitted, "victim was never re-admitted (breaker closed) within %v", 10*cfg.phase)
+	check(rep.ThroughputRatio >= 0.70,
+		"faulted-fleet throughput %.1f req/s is %.0f%% of baseline %.1f (need >= 70%%)",
+		rep.FaultRPS, rep.ThroughputRatio*100, rep.BaselineRPS)
+	check(st.Readmitted >= 1, "readmitted_total = %d, want >= 1", st.Readmitted)
+	check(st.Probes >= 1, "probes_total = %d, want >= 1", st.Probes)
+	// Post-recovery error rate must return to baseline (allow 1% absolute
+	// slack for requests that straddled the re-admission boundary).
+	check(rep.RecoveryErrRate <= rep.BaselineErrRate+0.01,
+		"post-recovery error rate %.3f above baseline %.3f", rep.RecoveryErrRate, rep.BaselineErrRate)
+	rep.Pass = len(rep.Failures) == 0
+
+	if cfg.outPath != "" {
+		b, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(cfg.outPath, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chaos-soak: wrote %s\n", cfg.outPath)
+	}
+	if !rep.Pass {
+		for _, f := range rep.Failures {
+			fmt.Fprintf(os.Stderr, "chaos-soak: FAIL: %s\n", f)
+		}
+		return 1
+	}
+	fmt.Printf("chaos-soak: PASS (quarantine %v, readmit %v, throughput ratio %.2f, %d hedges)\n",
+		time.Duration(rep.QuarantineMS)*time.Millisecond,
+		time.Duration(rep.ReadmitMS)*time.Millisecond,
+		rep.ThroughputRatio, rep.Hedges)
+	return 0
+}

@@ -77,8 +77,29 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		baseline = flag.Bool("baseline", false, "first measure serial no-cache throughput on the same mix and report speedup")
 		jsonOut  = flag.String("json", "", "also write the summary as JSON to this file")
+
+		chaosSoak     = flag.Bool("chaos-soak", false, "run the self-healing chaos soak against an in-process server (ignores -addr) and exit")
+		soakFaultRate = flag.Float64("soak-fault-rate", 0.02, "per-event fault probability armed on the chaos-soak victim")
+		soakPhase     = flag.Duration("soak-phase", 3*time.Second, "chaos-soak phase length (baseline / fault / recovery windows)")
+		soakDevices   = flag.Int("soak-devices", 4, "chaos-soak pool size")
+		soakMix       = flag.String("soak-mix", "grid:24:24=2,rmat:8:8:1=1", "chaos-soak workload mix (small graphs keep phases dense)")
 	)
 	flag.Parse()
+
+	if *chaosSoak {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_PR4.json"
+		}
+		os.Exit(runChaosSoak(chaosSoakConfig{
+			devices:   *soakDevices,
+			conc:      *conc,
+			faultRate: *soakFaultRate,
+			phase:     *soakPhase,
+			mix:       *soakMix,
+			outPath:   out,
+		}))
+	}
 
 	mix, err := parseMix(*mixFlag)
 	if err != nil {
@@ -472,15 +493,41 @@ func printSummary(s *summary) {
 			fmt.Printf("%-22s %s\n", "latency."+q, us(v))
 		}
 	}
-	for _, k := range []string{"cache_hit_rate", "shed_total", "queue_full_total", "device_utilization", "coalesced_total", "deadline_expired_total"} {
+	for _, k := range []string{
+		"cache_hit_rate", "shed_total", "queue_full_total", "device_utilization",
+		"coalesced_total", "deadline_expired_total", "shed_expired",
+		"hedges_total", "hedge_wins_total", "hedge_losses_total",
+		"quarantines_total", "readmitted_total", "probes_total", "quarantined",
+	} {
 		if v, ok := s.Server[k]; ok {
 			fmt.Printf("%-22s %g\n", "server."+k, v)
 		}
+	}
+	// Per-device self-healing lines, in device order.
+	for i := 0; ; i++ {
+		h, ok := s.Server[fmt.Sprintf("device_health_%d", i)]
+		if !ok {
+			break
+		}
+		b := s.Server[fmt.Sprintf("device_breaker_%d", i)]
+		fmt.Printf("%-22s %.3f (breaker %s)\n", fmt.Sprintf("server.device_%d", i), h, breakerName(int(b)))
 	}
 	if s.BaselineRPS > 0 {
 		fmt.Printf("%-22s %.1f req/s\n", "baseline", s.BaselineRPS)
 		fmt.Printf("%-22s %.2fx\n", "speedup", s.Speedup)
 	}
+}
+
+func breakerName(v int) string {
+	switch v {
+	case 0:
+		return "closed"
+	case 1:
+		return "open"
+	case 2:
+		return "half-open"
+	}
+	return "unknown"
 }
 
 func fatal(err error) {

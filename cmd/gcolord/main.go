@@ -9,13 +9,21 @@
 //	gcolord -devices 2 -cus 14 -queue 128 -shed 0.5 -cache 1024
 //	gcolord -devices 4 -chaos -fault-rate 1e-4      # chaos serving
 //	gcolord -pprof                                  # + /debug/pprof/ endpoints
+//	gcolord -drain-timeout 30s                      # graceful-drain deadline
 //
 // Endpoints:
 //
 //	POST /color     submit a job; JSON body, see serve.ColorRequest
 //	GET  /healthz   liveness and pool size
 //	GET  /metricsz  queue depth, wait/exec latency, cache hit rate,
-//	                shed counts, device utilization (flat text)
+//	                shed counts, device utilization, per-device health
+//	                and breaker state (flat text)
+//	GET  /drainz    drain status; POST /drainz requests a graceful drain
+//
+// Shutdown: SIGTERM/SIGINT (or POST /drainz) stops admission, lets queued
+// and in-flight jobs finish, and logs a structured summary. If the drain
+// exceeds -drain-timeout, still-queued jobs are handed back to their
+// callers and gcolord exits with status 7 (drain timeout).
 //
 // Example request:
 //
@@ -56,6 +64,9 @@ func main() {
 		faultSeed = flag.Uint64("fault-seed", 1, "fault injector seed for -chaos")
 
 		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (heap and CPU profiling of the serving hot path)")
+
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on shutdown (0 waits forever)")
+		noSelfHeal   = flag.Bool("no-self-heal", false, "disable health scoring, circuit breakers, and hedged re-dispatch")
 	)
 	flag.Parse()
 
@@ -77,6 +88,7 @@ func main() {
 		ShedFraction:  *shed,
 		CacheEntries:  *cacheSz,
 		Workers:       *workers,
+		SelfHeal:      serve.SelfHealConfig{Disabled: *noSelfHeal},
 	})
 
 	handler := serve.Handler(srv)
@@ -105,15 +117,35 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Print("gcolord: shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	select {
+	case s := <-sig:
+		log.Printf("gcolord: %v received, draining (timeout %v)", s, *drainTimeout)
+	case <-srv.DrainRequested():
+		log.Printf("gcolord: drain requested via /drainz, draining (timeout %v)", *drainTimeout)
+	}
+
+	// Drain first: admission stops immediately, so in-flight HTTP handlers
+	// either finish with their job or fail fast with a draining error —
+	// then the HTTP shutdown below has nothing left to wait for.
+	sum, drainErr := srv.Drain(*drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("gcolord: http shutdown: %v", err)
 	}
-	srv.Stop()
+
 	st := srv.Stats()
-	fmt.Printf("gcolord: served %d requests (%d completed, %d cached, %d coalesced, %d shed, %d failed) in %v\n",
-		st.Requests, st.Completed, st.CacheHits, st.Coalesced, st.Shed+st.QueueFull, st.Failed, st.Uptime.Round(time.Millisecond))
+	log.Printf("gcolord: drain summary: finished=%d failed=%d handed_off=%d timed_out=%v elapsed=%v",
+		sum.Finished, sum.Failed, sum.HandedOff, sum.TimedOut, sum.Elapsed.Round(time.Millisecond))
+	fmt.Printf("gcolord: served %d requests (%d completed, %d cached, %d coalesced, %d shed, %d failed, %d hedged, %d quarantines) in %v\n",
+		st.Requests, st.Completed, st.CacheHits, st.Coalesced, st.Shed+st.QueueFull, st.Failed, st.Hedges, st.Quarantines, st.Uptime.Round(time.Millisecond))
+
+	var dte *serve.DrainTimeoutError
+	if errors.As(drainErr, &dte) {
+		log.Printf("gcolord: drain timeout: %v", dte)
+		os.Exit(7)
+	} else if drainErr != nil {
+		log.Printf("gcolord: drain: %v", drainErr)
+		os.Exit(1)
+	}
 }

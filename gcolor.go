@@ -245,7 +245,26 @@ var (
 	ErrQueueFull    = serve.ErrQueueFull
 	ErrShedding     = serve.ErrShedding
 	ErrServerClosed = serve.ErrClosed
+	// ErrServerDraining wraps ErrServerClosed: new work refused while
+	// queued work finishes.
+	ErrServerDraining = serve.ErrDraining
+	// ErrDeadlineInQueue marks a job whose context expired before any
+	// device picked it up; it wraps the context's own error.
+	ErrDeadlineInQueue = serve.ErrDeadlineInQueue
 )
+
+// SelfHealConfig tunes per-device health scoring, circuit breakers,
+// and hedged re-dispatch. The zero value enables self-healing with
+// defaults; set Disabled to opt out.
+type SelfHealConfig = serve.SelfHealConfig
+
+// DrainSummary reports what happened during a graceful drain.
+type DrainSummary = serve.DrainSummary
+
+// DrainTimeoutError is returned by Server.Drain when queued work could
+// not finish within the timeout; unfinished jobs are handed back to
+// their callers with ErrServerDraining.
+type DrainTimeoutError = serve.DrainTimeoutError
 
 // NewServer starts a Server; call Stop to drain and release it.
 func NewServer(cfg ServeConfig) *Server { return serve.NewServer(cfg) }

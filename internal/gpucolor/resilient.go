@@ -104,6 +104,91 @@ func (l RecoveryLevel) String() string {
 	}
 }
 
+// OutcomeKind is the typed classification of one resilient run, the form
+// the serving layer's device-health scorer consumes. It collapses the
+// (Outcome, error) pair of ColorContext into a single discriminant: how
+// well did the device behave, regardless of whether the request as a whole
+// was rescued.
+type OutcomeKind int
+
+const (
+	// OutcomeSuccess: first GPU attempt verified clean.
+	OutcomeSuccess OutcomeKind = iota
+	// OutcomeRepaired: the GPU coloring was damaged but repaired host-side.
+	OutcomeRepaired
+	// OutcomeRetried: a reseeded GPU re-run succeeded after failures.
+	OutcomeRetried
+	// OutcomeCPUFallback: every GPU attempt failed; the CPU produced the
+	// coloring. The request succeeded but the device contributed nothing.
+	OutcomeCPUFallback
+	// OutcomeWatchdog: the run failed with the livelock watchdog.
+	OutcomeWatchdog
+	// OutcomeBudget: the run failed by exhausting its cycle budget.
+	OutcomeBudget
+	// OutcomeCanceled: the caller's context ended the run; says nothing
+	// about device health (hedge losers and drained jobs land here).
+	OutcomeCanceled
+	// OutcomeFailed: any other failure (invalid coloring past repair,
+	// iteration cap, fault-wrapped errors).
+	OutcomeFailed
+)
+
+// String implements fmt.Stringer.
+func (k OutcomeKind) String() string {
+	switch k {
+	case OutcomeSuccess:
+		return "success"
+	case OutcomeRepaired:
+		return "repaired"
+	case OutcomeRetried:
+		return "retried"
+	case OutcomeCPUFallback:
+		return "cpu-fallback"
+	case OutcomeWatchdog:
+		return "watchdog"
+	case OutcomeBudget:
+		return "budget-exhausted"
+	case OutcomeCanceled:
+		return "canceled"
+	case OutcomeFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(k))
+	}
+}
+
+// Classify maps a ColorContext result pair to its OutcomeKind.
+// Cancellation is checked first so a run whose joined attempt errors mix a
+// watchdog with a context error is neutral rather than damning: the caller
+// gave up, the device was not proven sick.
+func Classify(out *Outcome, err error) OutcomeKind {
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			return OutcomeCanceled
+		case errors.Is(err, ErrWatchdog):
+			return OutcomeWatchdog
+		case errors.Is(err, ErrBudgetExceeded):
+			return OutcomeBudget
+		default:
+			return OutcomeFailed
+		}
+	}
+	if out == nil {
+		return OutcomeFailed
+	}
+	switch out.Recovery {
+	case RecoveryRepair:
+		return OutcomeRepaired
+	case RecoveryRetry:
+		return OutcomeRetried
+	case RecoveryCPU:
+		return OutcomeCPUFallback
+	default:
+		return OutcomeSuccess
+	}
+}
+
 // ResilientOptions configures ColorContext. The embedded Options configure
 // each GPU attempt exactly as for Color.
 type ResilientOptions struct {

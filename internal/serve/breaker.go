@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-device circuit breaker. Each pooled device carries one; together
+// with the health score it is the quarantine mechanism:
+//
+//	closed ──(consecutive failures ≥ threshold, or health < OpenBelow)──▶ open
+//	open ──(cooldown elapsed, next lease request)──▶ half-open
+//	half-open ──(ProbeSuccesses consecutive clean probes)──▶ closed
+//	half-open ──(any probe failure)──▶ open (cooldown doubled, capped)
+//
+// While open the device is quarantined: the lease path skips it entirely
+// (except for the all-devices-open fail-open rule, see pool.go). In
+// half-open the device is on probation: real jobs trickle onto it one at
+// a time as probe leases, and only a run of clean probes re-admits it.
+// Re-admission boosts the health score to probation level so the stale
+// quarantine-era EWMA cannot immediately re-trip the breaker.
+//
+// The clock is injectable (now func) so the state machine is table-testable
+// without sleeping.
+
+// BreakerState is the circuit state of one pooled device.
+type BreakerState int
+
+const (
+	// BreakerClosed: healthy, serving normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: quarantined, receiving no work until cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: on probation, served only by sequential probe jobs.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breakerConfig holds the resolved thresholds (see SelfHealConfig for the
+// user-facing knobs and defaults).
+type breakerConfig struct {
+	failureThreshold int           // consecutive failures tripping closed → open
+	openBelow        float64       // health score below which closed trips
+	cooldown         time.Duration // open → half-open delay (base)
+	maxCooldown      time.Duration // backoff cap after repeated probe failures
+	probeSuccesses   int           // consecutive clean probes to close
+}
+
+// breakerEvent reports a state-machine transition caused by one recorded
+// outcome, so the pool can count quarantines and re-admissions.
+type breakerEvent int
+
+const (
+	breakerNoEvent    breakerEvent = iota
+	breakerTripped                 // entered open (from closed or half-open)
+	breakerReadmitted              // half-open probation completed, now closed
+)
+
+type breaker struct {
+	cfg breakerConfig
+	now func() time.Time
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecFails int
+	openedAt    time.Time
+	cooldown    time.Duration // current (possibly backed-off) cooldown
+	probeOK     int
+	probeBusy   bool // a probe lease is outstanding
+}
+
+func newBreaker(cfg breakerConfig, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	if cfg.failureThreshold < 1 {
+		cfg.failureThreshold = 5
+	}
+	if cfg.openBelow <= 0 {
+		cfg.openBelow = 0.25
+	}
+	if cfg.cooldown <= 0 {
+		cfg.cooldown = 2 * time.Second
+	}
+	if cfg.maxCooldown < cfg.cooldown {
+		cfg.maxCooldown = 8 * cfg.cooldown
+	}
+	if cfg.probeSuccesses < 1 {
+		cfg.probeSuccesses = 3
+	}
+	return &breaker{cfg: cfg, now: now, cooldown: cfg.cooldown}
+}
+
+// State returns the current state, applying the time-based open → half-open
+// transition lazily.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tickLocked()
+	return b.state
+}
+
+// tickLocked advances open → half-open once the cooldown has elapsed.
+func (b *breaker) tickLocked() {
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		b.state = BreakerHalfOpen
+		b.probeOK = 0
+		b.probeBusy = false
+	}
+}
+
+// allowNormal reports whether the device may take a regular lease.
+func (b *breaker) allowNormal() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tickLocked()
+	return b.state == BreakerClosed
+}
+
+// tryProbe reserves the (single) probe slot of a half-open device,
+// advancing open → half-open first if the cooldown has elapsed. The
+// reservation is released by recordProbe or releaseProbe.
+func (b *breaker) tryProbe() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tickLocked()
+	if b.state != BreakerHalfOpen || b.probeBusy {
+		return false
+	}
+	b.probeBusy = true
+	return true
+}
+
+// releaseProbe frees the probe slot without judging the device (the probe
+// job was canceled, not failed).
+func (b *breaker) releaseProbe() {
+	b.mu.Lock()
+	b.probeBusy = false
+	b.mu.Unlock()
+}
+
+// record folds one normal (non-probe) job outcome into the breaker.
+// score is the device's post-observation health score.
+func (b *breaker) record(good bool, score float64) breakerEvent {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tickLocked()
+	if b.state != BreakerClosed {
+		// A fail-open lease finished on a quarantined device; it carries no
+		// probation weight.
+		return breakerNoEvent
+	}
+	if good {
+		b.consecFails = 0
+	} else {
+		b.consecFails++
+	}
+	if b.consecFails >= b.cfg.failureThreshold || score < b.cfg.openBelow {
+		b.openLocked()
+		return breakerTripped
+	}
+	return breakerNoEvent
+}
+
+// recordProbe folds one probe outcome into a half-open breaker. A clean
+// run counts toward probation; any failure re-opens with a doubled
+// (capped) cooldown.
+func (b *breaker) recordProbe(good bool) breakerEvent {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probeBusy = false
+	if b.state != BreakerHalfOpen {
+		return breakerNoEvent
+	}
+	if !good {
+		b.cooldown *= 2
+		if b.cooldown > b.cfg.maxCooldown {
+			b.cooldown = b.cfg.maxCooldown
+		}
+		b.openLocked()
+		return breakerTripped
+	}
+	b.probeOK++
+	if b.probeOK >= b.cfg.probeSuccesses {
+		b.state = BreakerClosed
+		b.consecFails = 0
+		b.cooldown = b.cfg.cooldown
+		return breakerReadmitted
+	}
+	return breakerNoEvent
+}
+
+// openLocked enters the open state. Called with b.mu held.
+func (b *breaker) openLocked() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.consecFails = 0
+	b.probeOK = 0
+	b.probeBusy = false
+}

@@ -86,16 +86,23 @@ func (c *resultCache) len() int {
 }
 
 // flight is one in-flight execution that any number of duplicate requests
-// wait on. done is closed exactly once, after res/err are set.
+// wait on. done is closed exactly once, after res/err are set; the once
+// guard makes completion idempotent, so the several paths that can end a
+// job (worker, queue expiry, drain hand-off, hedged attempts) never race
+// a double close.
 type flight struct {
+	once sync.Once
 	done chan struct{}
 	res  *Response
 	err  error
 }
 
-// complete publishes the outcome and releases every waiter.
+// complete publishes the outcome and releases every waiter. Only the
+// first call takes effect.
 func (f *flight) complete(res *Response, err error) {
-	f.res = res
-	f.err = err
-	close(f.done)
+	f.once.Do(func() {
+		f.res = res
+		f.err = err
+		close(f.done)
+	})
 }

@@ -54,6 +54,7 @@ type ColorResponse struct {
 
 	Cached    bool  `json:"cached"`
 	Coalesced bool  `json:"coalesced"`
+	Hedged    bool  `json:"hedged,omitempty"`
 	Device    int   `json:"device"`
 	WaitUS    int64 `json:"wait_us"`
 	ExecUS    int64 `json:"exec_us"`
@@ -62,7 +63,7 @@ type ColorResponse struct {
 // errorResponse is the JSON body of any non-2xx /color reply.
 type errorResponse struct {
 	Error string `json:"error"`
-	Kind  string `json:"kind"` // bad_request | queue_full | shedding | deadline | closed | failed
+	Kind  string `json:"kind"` // bad_request | queue_full | shedding | deadline | draining | closed | failed
 }
 
 // specCache memoizes generator-spec graphs so a hot spec ("rmat:12:8:1"
@@ -118,7 +119,12 @@ func (c *specCache) get(spec string) (*graph.Graph, error) {
 //	POST /color     submit a coloring job (ColorRequest -> ColorResponse)
 //	GET  /healthz   liveness + pool size
 //	GET  /metricsz  flat text metrics (counters, gauges, histograms,
-//	                derived cache_hit_rate / device_utilization)
+//	                derived cache_hit_rate / device_utilization, per-device
+//	                health and breaker state)
+//	GET  /drainz    drain status (draining flag, queue depth, per-device
+//	                breaker states)
+//	POST /drainz    request a graceful drain; the daemon observes
+//	                Server.DrainRequested and shuts down as if SIGTERMed
 func Handler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	specs := newSpecCache(64)
@@ -143,10 +149,52 @@ func Handler(s *Server) http.Handler {
 		fmt.Fprintf(&sb, "arena_releases %d\n", ar.Releases)
 		fmt.Fprintf(&sb, "arena_pooled_bufs %d\n", ar.PooledBufs)
 		fmt.Fprintf(&sb, "arena_pooled_bytes %d\n", ar.PooledBytes)
+		// Self-healing: fleet counters, then one health/breaker pair per
+		// device (breaker state encoded 0=closed 1=open 2=half-open so the
+		// text stays machine-parsable).
+		fmt.Fprintf(&sb, "quarantines_total %d\n", st.Quarantines)
+		fmt.Fprintf(&sb, "readmitted_total %d\n", st.Readmitted)
+		fmt.Fprintf(&sb, "probes_total %d\n", st.Probes)
+		fmt.Fprintf(&sb, "probe_failures_total %d\n", st.ProbeFailures)
+		fmt.Fprintf(&sb, "quarantined %d\n", st.Quarantined)
+		fmt.Fprintf(&sb, "draining %d\n", boolToInt(st.Draining))
+		for i, d := range st.PerDevice {
+			fmt.Fprintf(&sb, "device_health_%d %.4f\n", i, d.Health)
+			fmt.Fprintf(&sb, "device_breaker_%d %d\n", i, int(s.pool.BreakerState(i)))
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, sb.String())
 	})
+	drainStatus := func(w http.ResponseWriter) {
+		st := s.Stats()
+		states := make([]string, len(st.PerDevice))
+		for i, d := range st.PerDevice {
+			states[i] = d.Breaker
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"draining":    st.Draining,
+			"queue_depth": st.QueueDepth,
+			"quarantined": st.Quarantined,
+			"breakers":    states,
+		})
+	}
+	mux.HandleFunc("GET /drainz", func(w http.ResponseWriter, r *http.Request) {
+		drainStatus(w)
+	})
+	mux.HandleFunc("POST /drainz", func(w http.ResponseWriter, r *http.Request) {
+		s.RequestDrain()
+		w.WriteHeader(http.StatusAccepted)
+		drainStatus(w)
+	})
 	return mux
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func handleColor(s *Server, specs *specCache, w http.ResponseWriter, r *http.Request) {
@@ -188,6 +236,7 @@ func handleColor(s *Server, specs *specCache, w http.ResponseWriter, r *http.Req
 		Repaired:    res.Repaired,
 		Cached:      res.Cached,
 		Coalesced:   res.Coalesced,
+		Hedged:      res.Hedged,
 		Device:      res.Device,
 		WaitUS:      res.Wait.Microseconds(),
 		ExecUS:      res.Exec.Microseconds(),
@@ -256,6 +305,16 @@ func classifyErr(err error) (int, string) {
 		return http.StatusTooManyRequests, "queue_full"
 	case errors.Is(err, ErrShedding):
 		return http.StatusTooManyRequests, "shedding"
+	case errors.Is(err, ErrDeadlineInQueue):
+		// Expired while queued: to the caller it is the same deadline
+		// failure as expiring mid-execution. Checked before ErrClosed
+		// because the wrapped context error never matches it, and before
+		// isDeadline only for clarity — both land on the same reply.
+		return http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, ErrDraining):
+		// Before ErrClosed: ErrDraining wraps it, and "retry elsewhere,
+		// this instance is going away" is the more useful signal.
+		return http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable, "closed"
 	case isDeadline(err):

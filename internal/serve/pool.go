@@ -3,7 +3,9 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -27,6 +29,10 @@ type DeviceConfig struct {
 	// the given per-event probability and FaultSeed (chaos serving).
 	FaultRate float64
 	FaultSeed uint64
+	// FaultDisarmed attaches the injector disarmed: the device behaves as
+	// fault-free until FaultInjector.Arm is called. The chaos soak uses
+	// this to sicken a chosen device mid-run.
+	FaultDisarmed bool
 }
 
 func (c DeviceConfig) build() *simt.Device {
@@ -49,14 +55,24 @@ func (c DeviceConfig) build() *simt.Device {
 			seed = 1
 		}
 		dev.Fault = simt.NewFaultInjector(seed, c.FaultRate)
+		if c.FaultDisarmed {
+			dev.Fault.Disarm()
+		}
 	}
 	return dev
 }
 
 // DevicePool owns a fixed set of simulated devices and leases each to one
-// job at a time. Leases are handed out in LIFO order (a recently released
-// device is re-leased first, keeping its host-side caches warm) and the
-// pool tracks per-device busy time for the utilization metric.
+// job at a time. Lease selection is the pool's contribution to
+// self-healing: among free devices whose circuit breaker is closed, the
+// pool picks randomly weighted by health score, so a degraded-but-alive
+// device sheds load in proportion to how sick it looks instead of flapping
+// between fully-in and fully-out. Quarantined (breaker-open) devices are
+// skipped entirely; half-open devices receive only sequential probe
+// leases, which is how they earn re-admission. If every device in the pool
+// is quarantined at once the pool fails open — the best-scored free device
+// is leased anyway — because a self-inflicted total outage is strictly
+// worse than serving from the least-bad device.
 //
 // Each device carries a persistent gpucolor.Runner: the lease holder runs
 // jobs on Runner(), which keeps the device-arena buffers bound across
@@ -67,14 +83,30 @@ func (c DeviceConfig) build() *simt.Device {
 type DevicePool struct {
 	devices []*simt.Device
 	runners []*gpucolor.Runner
-	free    chan int
 	busyNS  []atomic.Int64
 	jobs    []atomic.Int64
+
+	health         *fleetHealth
+	breakers       []*breaker
+	probationScore float64
+	disabled       bool // self-healing off: uniform selection, breakers inert
+
+	quarantines atomic.Int64 // breaker trips (entries into open)
+	readmits    atomic.Int64 // probation completions (half-open → closed)
+	probes      atomic.Int64 // probe leases issued
+	probeFails  atomic.Int64 // probes that failed and re-opened the breaker
+
+	mu     sync.Mutex
+	free   []bool
+	nfree  int
+	rng    *rand.Rand
+	notify chan struct{} // capacity 1; signaled on release
 }
 
 // NewDevicePool builds a pool from per-device configs (one device per
-// entry). It panics on an empty config list: a pool with no devices is a
-// programming error, not a runtime condition.
+// entry) with default self-healing parameters (see SelfHealConfig). It
+// panics on an empty config list: a pool with no devices is a programming
+// error, not a runtime condition.
 func NewDevicePool(cfgs []DeviceConfig) *DevicePool {
 	if len(cfgs) == 0 {
 		panic("serve: NewDevicePool with no device configs")
@@ -82,16 +114,40 @@ func NewDevicePool(cfgs []DeviceConfig) *DevicePool {
 	p := &DevicePool{
 		devices: make([]*simt.Device, len(cfgs)),
 		runners: make([]*gpucolor.Runner, len(cfgs)),
-		free:    make(chan int, len(cfgs)),
 		busyNS:  make([]atomic.Int64, len(cfgs)),
 		jobs:    make([]atomic.Int64, len(cfgs)),
+		free:    make([]bool, len(cfgs)),
+		nfree:   len(cfgs),
+		rng:     rand.New(rand.NewSource(1)),
+		notify:  make(chan struct{}, 1),
 	}
 	for i, cfg := range cfgs {
 		p.devices[i] = cfg.build()
 		p.runners[i] = gpucolor.NewRunner(p.devices[i])
-		p.free <- i
+		p.free[i] = true
 	}
+	p.configureSelfHeal(SelfHealConfig{})
 	return p
+}
+
+// configureSelfHeal (re)builds the health tracker and breakers from cfg.
+// Called by NewServer before any traffic; not safe once leases exist.
+func (p *DevicePool) configureSelfHeal(cfg SelfHealConfig) {
+	cfg = cfg.withDefaults()
+	p.disabled = cfg.Disabled
+	p.probationScore = cfg.ProbationScore
+	p.health = newFleetHealth(len(p.devices), cfg.Alpha, cfg.LatencySlack)
+	p.breakers = make([]*breaker, len(p.devices))
+	bc := breakerConfig{
+		failureThreshold: cfg.FailureThreshold,
+		openBelow:        cfg.OpenBelow,
+		cooldown:         cfg.Cooldown,
+		maxCooldown:      cfg.MaxCooldown,
+		probeSuccesses:   cfg.ProbeSuccesses,
+	}
+	for i := range p.breakers {
+		p.breakers[i] = newBreaker(bc, nil)
+	}
 }
 
 // UniformPool builds a pool of n identical devices from one config,
@@ -120,10 +176,12 @@ func (p *DevicePool) Size() int { return len(p.devices) }
 
 // Lease is an exclusive claim on one pool device.
 type Lease struct {
-	pool    *DevicePool
-	idx     int
-	start   time.Time
-	release func()
+	pool     *DevicePool
+	idx      int
+	start    time.Time
+	probe    bool
+	observed atomic.Bool
+	released atomic.Bool
 }
 
 // Device returns the leased device. The holder has exclusive use until
@@ -138,50 +196,294 @@ func (l *Lease) Runner() *gpucolor.Runner { return l.pool.runners[l.idx] }
 // Index returns the pool index of the leased device.
 func (l *Lease) Index() int { return l.idx }
 
+// Probe reports whether this is a probe lease on a half-open device.
+func (l *Lease) Probe() bool { return l.probe }
+
+// Observe folds the leased job's outcome into the device's health score
+// and circuit breaker: the typed resilient outcome, the execution time
+// (compared against the fleet median), and how many faults the device's
+// injector fired during the run. Call before Release; at most one
+// observation per lease is recorded.
+func (l *Lease) Observe(kind gpucolor.OutcomeKind, exec time.Duration, faultsDelta int64) {
+	if !l.observed.CompareAndSwap(false, true) {
+		return
+	}
+	l.pool.observe(l.idx, l.probe, kind, exec, faultsDelta)
+}
+
 // Release returns the device to the pool and records its busy time.
-// Release is idempotent.
+// Release is idempotent. A probe lease released without an observation
+// frees the breaker's probe slot without judging the device.
 func (l *Lease) Release() {
-	if l.release != nil {
-		l.release()
-		l.release = nil
+	if !l.released.CompareAndSwap(false, true) {
+		return
+	}
+	p := l.pool
+	if l.probe && !l.observed.Load() {
+		p.breakers[l.idx].releaseProbe()
+	}
+	p.runners[l.idx].Scrub()
+	p.busyNS[l.idx].Add(int64(time.Since(l.start)))
+	p.jobs[l.idx].Add(1)
+	p.mu.Lock()
+	p.free[l.idx] = true
+	p.nfree++
+	p.mu.Unlock()
+	p.signal()
+}
+
+func (p *DevicePool) signal() {
+	select {
+	case p.notify <- struct{}{}:
+	default:
 	}
 }
 
-// lease wraps a claimed device index in a Lease whose release scrubs the
-// runner (still under exclusive use) before the device rejoins the free
-// list.
-func (p *DevicePool) lease(idx int) *Lease {
-	l := &Lease{pool: p, idx: idx, start: time.Now()}
-	l.release = func() {
-		p.runners[idx].Scrub()
-		p.busyNS[idx].Add(int64(time.Since(l.start)))
-		p.jobs[idx].Add(1)
-		p.free <- idx
+// observe implements Lease.Observe (see there).
+func (p *DevicePool) observe(idx int, probe bool, kind gpucolor.OutcomeKind, exec time.Duration, faultsDelta int64) {
+	reward, counts := outcomeReward(kind, faultsDelta)
+	if probe {
+		p.probes.Add(1)
+		if !counts {
+			// Canceled probe: neutral, just free the slot.
+			p.breakers[idx].releaseProbe()
+			return
+		}
+		p.health.observe(idx, reward, exec)
+		// A clean probe is one where the device itself produced a good
+		// coloring; CPU fallback or any failure flunks probation.
+		good := kind == gpucolor.OutcomeSuccess || kind == gpucolor.OutcomeRepaired
+		switch p.breakers[idx].recordProbe(good) {
+		case breakerTripped:
+			p.probeFails.Add(1)
+			p.quarantines.Add(1)
+		case breakerReadmitted:
+			p.readmits.Add(1)
+			p.health.boost(idx, p.probationScore)
+		}
+		return
 	}
-	return l
+	if !counts {
+		return
+	}
+	score := p.health.observe(idx, reward, exec)
+	if p.disabled {
+		return
+	}
+	good := reward > rewardFailure
+	if p.breakers[idx].record(good, score) == breakerTripped {
+		p.quarantines.Add(1)
+	}
+}
+
+// lease wraps a claimed device index (already marked busy) in a Lease.
+func (p *DevicePool) lease(idx int, probe bool) *Lease {
+	return &Lease{pool: p, idx: idx, start: time.Now(), probe: probe}
+}
+
+// pickLocked selects a free device, marking it busy. Returns idx == -1
+// when nothing is currently leasable (caller waits). Called with p.mu
+// held. Selection order:
+//
+//  1. a half-open device with a free probe slot (probation traffic has
+//     priority: re-admission needs a trickle of real jobs);
+//  2. weighted-random among free closed-breaker devices, weight = health
+//     score (floored so a sick-but-closed device is never starved into an
+//     unfalsifiable zero);
+//  3. fail-open: if *every* device in the pool is breaker-open, the
+//     best-scored free device — total self-quarantine must not become a
+//     total outage.
+func (p *DevicePool) pickLocked(exclude int, probeOK bool) (idx int, probe bool) {
+	if p.nfree == 0 {
+		return -1, false
+	}
+	if p.disabled {
+		// Uniform random among free devices: the pre-self-healing pool.
+		n := 0
+		pick := -1
+		for i := range p.free {
+			if !p.free[i] || i == exclude {
+				continue
+			}
+			n++
+			if p.rng.Intn(n) == 0 {
+				pick = i
+			}
+		}
+		if pick >= 0 {
+			p.claimLocked(pick)
+		}
+		return pick, false
+	}
+
+	if probeOK {
+		for i := range p.free {
+			if !p.free[i] || i == exclude {
+				continue
+			}
+			if p.breakers[i].State() != BreakerClosed && p.breakers[i].tryProbe() {
+				p.claimLocked(i)
+				return i, true
+			}
+		}
+	}
+
+	var total float64
+	weights := make([]float64, len(p.free))
+	for i := range p.free {
+		if !p.free[i] || i == exclude {
+			continue
+		}
+		if !p.breakers[i].allowNormal() {
+			continue
+		}
+		w := p.health.score(i)
+		if w < 0.02 {
+			w = 0.02
+		}
+		weights[i] = w
+		total += w
+	}
+	if total > 0 {
+		r := p.rng.Float64() * total
+		for i, w := range weights {
+			if w == 0 {
+				continue
+			}
+			r -= w
+			if r <= 0 {
+				p.claimLocked(i)
+				return i, false
+			}
+		}
+	}
+
+	// Fail-open only when the whole pool is dark: every device (free or
+	// busy) has an open breaker and no probe slot was available.
+	allOpen := true
+	for i := range p.devices {
+		if p.breakers[i].State() == BreakerClosed {
+			allOpen = false
+			break
+		}
+	}
+	if allOpen {
+		best := -1
+		bestScore := -1.0
+		for i := range p.free {
+			if !p.free[i] || i == exclude {
+				continue
+			}
+			if s := p.health.score(i); s > bestScore {
+				best, bestScore = i, s
+			}
+		}
+		if best >= 0 {
+			p.claimLocked(best)
+			return best, false
+		}
+	}
+	return -1, false
+}
+
+func (p *DevicePool) claimLocked(i int) {
+	p.free[i] = false
+	p.nfree--
+	if p.nfree > 0 {
+		// Other waiters may still have something to pick; cascade the wake.
+		p.signal()
+	}
 }
 
 // Acquire leases a free device, blocking until one is available or ctx is
-// done.
+// done. Selection is health-weighted and breaker-aware (see pickLocked).
 func (p *DevicePool) Acquire(ctx context.Context) (*Lease, error) {
-	select {
-	case idx := <-p.free:
-		return p.lease(idx), nil
-	case <-ctx.Done():
-		return nil, fmt.Errorf("serve: device acquire: %w", ctx.Err())
+	return p.acquire(ctx, -1)
+}
+
+func (p *DevicePool) acquire(ctx context.Context, exclude int) (*Lease, error) {
+	for {
+		p.mu.Lock()
+		idx, probe := p.pickLocked(exclude, true)
+		p.mu.Unlock()
+		if idx >= 0 {
+			return p.lease(idx, probe), nil
+		}
+		// The open → half-open transition is time-based, so a waiter must
+		// re-check periodically even without a release event.
+		t := time.NewTimer(20 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, fmt.Errorf("serve: device acquire: %w", ctx.Err())
+		case <-p.notify:
+			t.Stop()
+		case <-t.C:
+		}
 	}
 }
 
-// TryAcquire leases a free device without blocking; ok is false when every
-// device is busy.
+// TryAcquire leases a free device without blocking; ok is false when no
+// device is currently leasable.
 func (p *DevicePool) TryAcquire() (*Lease, bool) {
-	select {
-	case idx := <-p.free:
-		return p.lease(idx), true
-	default:
+	p.mu.Lock()
+	idx, probe := p.pickLocked(-1, true)
+	p.mu.Unlock()
+	if idx < 0 {
 		return nil, false
 	}
+	return p.lease(idx, probe), true
 }
+
+// TryAcquireHealthy leases, without blocking, a free device other than
+// exclude whose breaker is closed — the hedge path's requirement: a
+// speculative re-dispatch onto a sick or probationary device would hedge
+// the risk right back in.
+func (p *DevicePool) TryAcquireHealthy(exclude int) (*Lease, bool) {
+	p.mu.Lock()
+	idx, _ := p.pickLocked(exclude, false)
+	p.mu.Unlock()
+	if idx < 0 {
+		return nil, false
+	}
+	return p.lease(idx, false), true
+}
+
+// HealthScore returns device i's current EWMA health score in [0, 1].
+func (p *DevicePool) HealthScore(i int) float64 { return p.health.score(i) }
+
+// BreakerState returns device i's circuit state.
+func (p *DevicePool) BreakerState(i int) BreakerState { return p.breakers[i].State() }
+
+// Quarantined returns the number of devices currently not closed
+// (breaker open or half-open).
+func (p *DevicePool) Quarantined() int {
+	n := 0
+	for i := range p.breakers {
+		if p.breakers[i].State() != BreakerClosed {
+			n++
+		}
+	}
+	return n
+}
+
+// QuarantineCount returns the total number of breaker trips (entries into
+// the open state) since the pool was built.
+func (p *DevicePool) QuarantineCount() int64 { return p.quarantines.Load() }
+
+// ReadmitCount returns the number of completed probations (half-open →
+// closed re-admissions).
+func (p *DevicePool) ReadmitCount() int64 { return p.readmits.Load() }
+
+// ProbeCount returns the number of probe leases issued; ProbeFailCount the
+// probes that failed and re-opened a breaker.
+func (p *DevicePool) ProbeCount() int64     { return p.probes.Load() }
+func (p *DevicePool) ProbeFailCount() int64 { return p.probeFails.Load() }
+
+// FaultInjector returns device i's injector (nil when none is attached).
+// Arm/Disarm on it are safe mid-run; everything else on the device remains
+// owned by the pool's leases.
+func (p *DevicePool) FaultInjector(i int) *simt.FaultInjector { return p.devices[i].Fault }
 
 // ArenaStats sums the device arenas' counters across the pool: the
 // steady-state serving evidence (Reuses growing, Allocs flat) for

@@ -17,6 +17,11 @@ var (
 	ErrShedding = errors.New("serve: shedding load")
 	// ErrClosed reports a submission to a stopped server.
 	ErrClosed = errors.New("serve: server closed")
+	// ErrDeadlineInQueue reports that a job's deadline expired while it
+	// was still queued: it never reached a device. The job's context error
+	// is wrapped alongside, so errors.Is matches both this sentinel and
+	// context.Canceled / context.DeadlineExceeded.
+	ErrDeadlineInQueue = errors.New("serve: deadline expired in queue")
 )
 
 // job is one queued execution. It is created by Submit for the first
@@ -102,6 +107,14 @@ func (q *jobQueue) signal() {
 // pop blocks until a live job is available, the queue is closed and
 // drained (ErrClosed), or ctx is done. Jobs whose own context expired
 // while queued are handed to expired and never returned.
+//
+// Exactly-once audit: a job leaves the queue exactly one way — returned
+// from one worker's pop (heap.Pop under q.mu is exclusive), diverted to
+// the expired callback by that same pop, or drained by flush (which also
+// pops under q.mu). The expired callback runs outside the lock, but by
+// then the job is no longer in q.items, so no second worker and no flush
+// can see it again; flight.complete's once-guard is defense in depth, not
+// the mechanism.
 func (q *jobQueue) pop(ctx context.Context, expired func(*job)) (*job, error) {
 	for {
 		q.mu.Lock()
@@ -143,6 +156,21 @@ func (q *jobQueue) close() {
 	q.closed = true
 	q.mu.Unlock()
 	q.signal()
+}
+
+// flush removes every queued job and hands each to fn, returning the
+// count. Used by the drain-timeout path to hand still-queued work back to
+// its callers; the queue must already be closed so it cannot refill.
+func (q *jobQueue) flush(fn func(*job)) int {
+	q.mu.Lock()
+	items := q.items
+	q.items = nil
+	q.mu.Unlock()
+	for _, j := range items {
+		fn(j)
+	}
+	q.signal()
+	return len(items)
 }
 
 // depth returns the current occupancy.

@@ -19,6 +19,15 @@
 //     job at a time; workers dequeue (skipping jobs whose deadline already
 //     passed — they never reach a device), lease, run the full resilient
 //     ladder, and publish the result to every coalesced waiter.
+//   - self-healing (health.go, breaker.go, hedge.go): every job outcome
+//     feeds a per-device EWMA health score; leases are weighted by it, a
+//     per-device circuit breaker quarantines sick devices and re-admits
+//     them through half-open probe jobs, and jobs running past the P99 of
+//     recent successes are hedged onto a second healthy device, first
+//     result winning.
+//   - graceful drain: Drain stops admission, lets queued and in-flight
+//     jobs finish (or hands them back at the deadline), and reports a
+//     typed summary — the gcolord SIGTERM path.
 //
 // Server is the in-process API; http.go wraps it for cmd/gcolord.
 package serve
@@ -145,6 +154,10 @@ type Response struct {
 	// in-flight execution.
 	Cached    bool
 	Coalesced bool
+	// Hedged reports that the job ran long enough to be speculatively
+	// re-dispatched to a second device (whichever attempt won, exactly one
+	// result was returned and the loser was canceled).
+	Hedged bool
 
 	// Device is the pool index of the device that ran the job (-1 for
 	// cache hits).

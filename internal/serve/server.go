@@ -5,11 +5,101 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gcolor/internal/gpucolor"
 	"gcolor/internal/metrics"
 )
+
+// ErrDraining reports a submission to a server that is draining. It wraps
+// ErrClosed, so callers that only distinguish "up" from "going away" keep
+// working with errors.Is(err, ErrClosed).
+var ErrDraining = fmt.Errorf("serve: draining: %w", ErrClosed)
+
+// SelfHealConfig tunes the self-healing layer: health scoring, circuit
+// breakers, and hedged re-dispatch. Zero values take the documented
+// defaults; the zero struct is the production configuration.
+type SelfHealConfig struct {
+	// Disabled turns the whole layer off: uniform lease selection, inert
+	// breakers, no hedging — the pre-self-healing server.
+	Disabled bool
+
+	// Alpha is the EWMA weight of the newest health observation
+	// (default 0.2).
+	Alpha float64
+	// LatencySlack is how many multiples of the fleet-median execution
+	// time a job may take before its reward is cut by latency (default 4).
+	LatencySlack float64
+
+	// OpenBelow trips a closed breaker when the device's health score
+	// falls below it (default 0.25).
+	OpenBelow float64
+	// FailureThreshold trips a closed breaker after this many consecutive
+	// failed jobs regardless of score (default 5).
+	FailureThreshold int
+	// Cooldown is the quarantine time before a breaker goes half-open
+	// (default 2s); repeated probe failures double it up to MaxCooldown
+	// (default 8×Cooldown).
+	Cooldown    time.Duration
+	MaxCooldown time.Duration
+	// ProbeSuccesses is the number of consecutive clean probe jobs a
+	// half-open device needs for re-admission (default 3).
+	ProbeSuccesses int
+	// ProbationScore is the health score a re-admitted device restarts at
+	// (default 0.6): high enough not to instantly re-trip on the stale
+	// quarantine-era EWMA, low enough to keep its share of load small
+	// until it proves itself.
+	ProbationScore float64
+
+	// NoHedge disables hedged re-dispatch.
+	NoHedge bool
+	// HedgeMinSamples is the number of successful executions observed
+	// before hedging activates (default 64).
+	HedgeMinSamples int
+	// HedgeFloor is the minimum hedge threshold (default 2ms), so a fleet
+	// of microsecond jobs does not hedge on scheduler noise.
+	HedgeFloor time.Duration
+	// HedgeMultiple scales the P99 into the hedge threshold (default 1).
+	HedgeMultiple float64
+}
+
+func (c SelfHealConfig) withDefaults() SelfHealConfig {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.2
+	}
+	if c.LatencySlack < 1 {
+		c.LatencySlack = 4
+	}
+	if c.OpenBelow <= 0 {
+		c.OpenBelow = 0.25
+	}
+	if c.FailureThreshold < 1 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.MaxCooldown < c.Cooldown {
+		c.MaxCooldown = 8 * c.Cooldown
+	}
+	if c.ProbeSuccesses < 1 {
+		c.ProbeSuccesses = 3
+	}
+	if c.ProbationScore <= 0 || c.ProbationScore > 1 {
+		c.ProbationScore = 0.6
+	}
+	if c.HedgeMinSamples < 1 {
+		c.HedgeMinSamples = 64
+	}
+	if c.HedgeFloor <= 0 {
+		c.HedgeFloor = 2 * time.Millisecond
+	}
+	if c.HedgeMultiple <= 0 {
+		c.HedgeMultiple = 1
+	}
+	return c
+}
 
 // Config sizes a Server. Zero values take the documented defaults.
 type Config struct {
@@ -33,6 +123,8 @@ type Config struct {
 	// More workers than devices lets dequeue/deadline triage overlap with
 	// execution; jobs still serialize on device leases.
 	Workers int
+	// SelfHeal tunes health scoring, circuit breakers, and hedging.
+	SelfHeal SelfHealConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -58,19 +150,23 @@ func (c Config) withDefaults() Config {
 	if c.Workers < 1 {
 		c.Workers = c.Devices
 	}
+	c.SelfHeal = c.SelfHeal.withDefaults()
 	return c
 }
 
 // Server is the concurrent coloring service: admission queue in front,
-// device pool behind, result cache and request coalescing on the side.
-// Create with NewServer; it is immediately serving. All methods are safe
-// for concurrent use.
+// device pool behind, result cache and request coalescing on the side,
+// and the self-healing layer (health-weighted leases, circuit breakers,
+// hedged re-dispatch, graceful drain) wrapped around the lot. Create with
+// NewServer; it is immediately serving. All methods are safe for
+// concurrent use.
 type Server struct {
 	cfg   Config
 	pool  *DevicePool
 	queue *jobQueue
 	cache *resultCache
 	reg   *metrics.Registry
+	hedge *hedgeTracker
 
 	mu       sync.Mutex
 	inflight map[cacheKey]*flight
@@ -79,6 +175,13 @@ type Server struct {
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 	started time.Time
+
+	draining     atomic.Bool
+	drainOnce    sync.Once
+	drainDone    chan struct{}
+	drainSum     DrainSummary
+	drainReqOnce sync.Once
+	drainReq     chan struct{}
 }
 
 // NewServer builds a serving stack from cfg and starts its workers.
@@ -90,24 +193,30 @@ func NewServer(cfg Config) *Server {
 	} else {
 		pool = UniformPool(cfg.Devices, cfg.Device)
 	}
+	pool.configureSelfHeal(cfg.SelfHeal)
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:      cfg,
-		pool:     pool,
-		queue:    newJobQueue(cfg.QueueCapacity, cfg.ShedFraction),
-		cache:    newResultCache(cfg.CacheEntries),
-		reg:      metrics.NewRegistry(),
-		inflight: make(map[cacheKey]*flight),
-		baseCtx:  ctx,
-		cancel:   cancel,
-		started:  time.Now(),
+		cfg:       cfg,
+		pool:      pool,
+		queue:     newJobQueue(cfg.QueueCapacity, cfg.ShedFraction),
+		cache:     newResultCache(cfg.CacheEntries),
+		reg:       metrics.NewRegistry(),
+		hedge:     newHedgeTracker(cfg.SelfHeal.HedgeMinSamples, cfg.SelfHeal.HedgeFloor, cfg.SelfHeal.HedgeMultiple),
+		inflight:  make(map[cacheKey]*flight),
+		baseCtx:   ctx,
+		cancel:    cancel,
+		started:   time.Now(),
+		drainDone: make(chan struct{}),
+		drainReq:  make(chan struct{}),
 	}
 	// Pre-register every metric so /metricsz reports zeros rather than
 	// omitting counters that have not fired yet.
 	for _, name := range []string{
 		"requests_total", "completed_total", "failed_total", "recovered_total",
 		"cache_hits", "cache_misses", "coalesced_total",
-		"shed_total", "queue_full_total", "deadline_expired_total",
+		"shed_total", "queue_full_total", "deadline_expired_total", "shed_expired",
+		"hedges_total", "hedge_wins_total", "hedge_losses_total", "hedge_skipped_total",
+		"attempts_canceled_total", "drain_handoff_total",
 	} {
 		s.reg.Counter(name)
 	}
@@ -132,21 +241,120 @@ func (s *Server) Pool() *DevicePool { return s.pool }
 // Uptime returns the time since the server started.
 func (s *Server) Uptime() time.Duration { return time.Since(s.started) }
 
-// Stop drains the queue and shuts the workers down. In-flight and queued
-// jobs complete; new Submit calls fail with ErrClosed.
-func (s *Server) Stop() {
-	s.queue.close()
-	s.wg.Wait()
-	s.cancel()
+// Stop drains the queue and shuts the workers down with no deadline.
+// In-flight and queued jobs complete; new Submit calls fail with a
+// closed/draining error.
+func (s *Server) Stop() { _, _ = s.Drain(0) }
+
+// DrainSummary reports what happened to the server's work during a drain.
+type DrainSummary struct {
+	// Finished is the number of jobs that completed successfully during
+	// the drain; Failed the jobs that finished with an error (including
+	// in-flight jobs canceled at the drain deadline).
+	Finished int64 `json:"finished"`
+	Failed   int64 `json:"failed"`
+	// HandedOff is the number of still-queued jobs returned to their
+	// callers unrun (ErrDraining) when the drain deadline expired.
+	HandedOff int64 `json:"handed_off"`
+	// TimedOut reports that the drain deadline expired before the queue
+	// and devices went idle.
+	TimedOut bool `json:"timed_out"`
+	// Elapsed is the wall time the drain took.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// DrainTimeoutError is the typed failure of a drain that exceeded its
+// deadline; it carries the summary of what did and did not finish.
+type DrainTimeoutError struct {
+	Timeout time.Duration
+	Summary DrainSummary
+}
+
+func (e *DrainTimeoutError) Error() string {
+	return fmt.Sprintf("serve: drain exceeded %v (finished %d, handed off %d, failed %d)",
+		e.Timeout, e.Summary.Finished, e.Summary.HandedOff, e.Summary.Failed)
+}
+
+// RequestDrain records an external drain request (the POST /drainz path).
+// It does not itself drain: the daemon owning the process observes
+// DrainRequested and runs Drain with its configured timeout.
+func (s *Server) RequestDrain() {
+	s.drainReqOnce.Do(func() { close(s.drainReq) })
+}
+
+// DrainRequested is closed once a drain has been requested via
+// RequestDrain.
+func (s *Server) DrainRequested() <-chan struct{} { return s.drainReq }
+
+// Draining reports whether the server has stopped admitting work.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully shuts the server down: admission stops immediately
+// (Submit fails with ErrDraining), queued and in-flight jobs run to
+// completion, and the summary reports what finished. With timeout > 0, a
+// drain still busy at the deadline hands queued jobs back to their
+// callers (ErrDraining — never silently dropped), cancels in-flight work
+// at the next iteration boundary, and returns a *DrainTimeoutError.
+// Subsequent calls wait for the first drain and return its summary.
+func (s *Server) Drain(timeout time.Duration) (DrainSummary, error) {
+	s.drainOnce.Do(func() {
+		defer close(s.drainDone)
+		s.draining.Store(true)
+		start := time.Now()
+		completed0 := s.reg.Counter("completed_total").Value()
+		failed0 := s.reg.Counter("failed_total").Value()
+		s.queue.close()
+		done := make(chan struct{})
+		go func() { s.wg.Wait(); close(done) }()
+		var timedOut bool
+		var handed int64
+		if timeout > 0 {
+			t := time.NewTimer(timeout)
+			select {
+			case <-done:
+				t.Stop()
+			case <-t.C:
+				timedOut = true
+				// Hand still-queued jobs back to their callers unrun, then
+				// cancel in-flight attempts; the resilient driver honours
+				// the context at iteration boundaries, so the workers
+				// finish promptly and wg drains.
+				handed = int64(s.queue.flush(func(j *job) {
+					s.reg.Counter("drain_handoff_total").Inc()
+					s.finishJob(j, nil, fmt.Errorf("serve: handed off during drain: %w", ErrDraining))
+				}))
+				s.cancel()
+				<-done
+			}
+		} else {
+			<-done
+		}
+		s.cancel()
+		s.drainSum = DrainSummary{
+			Finished:  s.reg.Counter("completed_total").Value() - completed0,
+			Failed:    s.reg.Counter("failed_total").Value() - failed0,
+			HandedOff: handed,
+			TimedOut:  timedOut,
+			Elapsed:   time.Since(start),
+		}
+	})
+	<-s.drainDone
+	if s.drainSum.TimedOut {
+		return s.drainSum, &DrainTimeoutError{Timeout: timeout, Summary: s.drainSum}
+	}
+	return s.drainSum, nil
 }
 
 // Submit serves one request: result cache, then coalescing, then the
 // admission queue and a pooled device. It returns a verified coloring or a
-// typed error (ErrQueueFull, ErrShedding, ErrClosed, a context error, or a
-// gpucolor failure).
+// typed error (ErrQueueFull, ErrShedding, ErrClosed, ErrDraining, a
+// context error, or a gpucolor failure).
 func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	if req == nil || req.Graph == nil {
 		return nil, errors.New("serve: request has no graph")
+	}
+	if s.draining.Load() {
+		return nil, ErrDraining
 	}
 	s.reg.Counter("requests_total").Inc()
 	fp := req.Graph.Fingerprint()
@@ -225,7 +433,8 @@ func (s *Server) dropInflight(key cacheKey) {
 }
 
 // worker is one executor: pop a live job, lease a device, run the
-// resilient driver, publish to cache and flight.
+// resilient driver (hedging when the run crosses the tail threshold), and
+// publish to cache and flight.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
@@ -241,22 +450,164 @@ func (s *Server) worker() {
 }
 
 // expireJob fails a job whose deadline passed while it was queued; it is
-// called from pop, before any device is involved.
+// called from pop, before any device is involved, and completes the job
+// with ErrDeadlineInQueue exactly once (the flight's once-guard backs the
+// queue's single-exit invariant).
 func (s *Server) expireJob(j *job) {
 	s.reg.Counter("deadline_expired_total").Inc()
-	s.finishJob(j, nil, fmt.Errorf("serve: expired in queue: %w", j.ctx.Err()))
+	s.reg.Counter("shed_expired").Inc()
+	s.finishJob(j, nil, fmt.Errorf("%w: %w", ErrDeadlineInQueue, j.ctx.Err()))
 }
 
-// runJob executes one admitted job on a leased device.
+// attemptResult is the outcome of one device attempt (primary or hedge).
+type attemptResult struct {
+	out    *gpucolor.Outcome
+	err    error
+	device int
+	exec   time.Duration
+	hedge  bool
+}
+
+// runJob executes one admitted job: a primary attempt on a health-weighted
+// leased device, plus — if the run crosses the P99-derived hedge
+// threshold — a speculative second attempt on another healthy device. The
+// first successful attempt wins; the loser is canceled through its
+// context and its lease is released by its own goroutine. If every
+// launched attempt fails, the primary's error is returned.
 func (s *Server) runJob(j *job, wait time.Duration) {
-	lease, err := s.pool.Acquire(j.ctx)
+	// Attempts answer to the request's context and to server shutdown:
+	// the drain-deadline path cancels baseCtx to reel in-flight work in.
+	ctx, cancelAll := context.WithCancel(j.ctx)
+	defer cancelAll()
+	stopAfter := context.AfterFunc(s.baseCtx, cancelAll)
+	defer stopAfter()
+
+	lease, err := s.pool.Acquire(ctx)
 	if err != nil {
 		s.reg.Counter("deadline_expired_total").Inc()
 		s.finishJob(j, nil, err)
 		return
 	}
-	s.reg.Gauge("devices_busy").Add(1)
-	lease.Device().Policy = j.req.Policy
+
+	resCh := make(chan attemptResult, 2)
+	primCtx, cancelPrim := context.WithCancel(ctx)
+	defer cancelPrim()
+	s.wg.Add(1)
+	go s.attempt(primCtx, j, lease, false, resCh)
+
+	// Arm the hedge timer only when hedging is on, a second device exists,
+	// and the tail estimate has warmed up. Probe leases are never hedged:
+	// the probe must answer for itself.
+	var hedgeC <-chan time.Time
+	if !s.cfg.SelfHeal.NoHedge && !s.cfg.SelfHeal.Disabled && s.pool.Size() > 1 && !lease.Probe() {
+		if thr, ok := s.hedge.threshold(); ok {
+			t := time.NewTimer(thr)
+			defer t.Stop()
+			hedgeC = t.C
+		}
+	}
+
+	var cancelHedge context.CancelFunc
+	launched := 1
+	hedged := false
+	var winner *attemptResult
+	var firstErr *attemptResult
+	for winner == nil {
+		select {
+		case r := <-resCh:
+			if r.err == nil {
+				winner = &r
+			} else {
+				if firstErr == nil || !r.hedge {
+					firstErr = &r
+				}
+				launched--
+				if launched == 0 {
+					// Every attempt failed; report the primary's error.
+					goto decided
+				}
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			hl, ok := s.pool.TryAcquireHealthy(lease.Index())
+			if !ok {
+				s.reg.Counter("hedge_skipped_total").Inc()
+				continue
+			}
+			hedged = true
+			s.reg.Counter("hedges_total").Inc()
+			hctx, hcancel := context.WithCancel(ctx)
+			cancelHedge = hcancel
+			launched++
+			s.wg.Add(1)
+			go s.attempt(hctx, j, hl, true, resCh)
+		}
+	}
+decided:
+	if winner != nil && hedged {
+		// Cancel the loser; its goroutine observes the cancellation as a
+		// neutral outcome, releases its lease, and drains into the
+		// buffered channel.
+		if winner.hedge {
+			s.reg.Counter("hedge_wins_total").Inc()
+			cancelPrim()
+		} else {
+			s.reg.Counter("hedge_losses_total").Inc()
+			if cancelHedge != nil {
+				cancelHedge()
+			}
+		}
+	}
+	if cancelHedge != nil {
+		defer cancelHedge()
+	}
+
+	if winner == nil {
+		s.reg.Counter("failed_total").Inc()
+		s.finishJob(j, nil, firstErr.err)
+		return
+	}
+	out := winner.out
+	res := &Response{
+		Fingerprint: j.fp,
+		Colors:      out.Colors,
+		NumColors:   out.NumColors,
+		Cycles:      out.Cycles,
+		Iterations:  out.Iterations,
+		Recovery:    out.Recovery,
+		Attempts:    out.Attempts,
+		Repaired:    out.Repaired,
+		Hedged:      hedged,
+		Device:      winner.device,
+		Wait:        wait,
+		Exec:        winner.exec,
+	}
+	s.reg.Counter("completed_total").Inc()
+	if out.Recovery != gpucolor.RecoveryNone {
+		s.reg.Counter("recovered_total").Inc()
+	}
+	if !j.req.NoCache {
+		// Publish to the cache before releasing the flight so a request
+		// arriving between the two sees either the flight or the cache.
+		s.cache.put(j.key, res)
+	}
+	s.finishJob(j, res, nil)
+}
+
+// attempt runs one device attempt: execute the resilient ladder on the
+// lease's runner, feed the typed outcome into the device's health score
+// and breaker, release the lease, and report back. The lease is owned by
+// this goroutine from the moment attempt is launched.
+func (s *Server) attempt(ctx context.Context, j *job, lease *Lease, hedge bool, resCh chan<- attemptResult) {
+	defer s.wg.Done()
+	busy := s.reg.Gauge("devices_busy")
+	busy.Add(1)
+	dev := lease.Device()
+	dev.Policy = j.req.Policy
+	var faultsBefore int64
+	if dev.Fault != nil {
+		faultsBefore = dev.Fault.Stats().Injected()
+	}
 	opt := gpucolor.ResilientOptions{
 		Options: gpucolor.Options{
 			Seed:            j.req.Seed,
@@ -271,41 +622,24 @@ func (s *Server) runJob(j *job, wait time.Duration) {
 	// The lease's persistent runner keeps the device-arena buffers bound
 	// across jobs: same results as the transient path, no per-request
 	// allocations on the device side.
-	out, err := lease.Runner().ColorContext(j.ctx, j.req.Graph, j.req.Algorithm, opt)
+	out, err := lease.Runner().ColorContext(ctx, j.req.Graph, j.req.Algorithm, opt)
 	exec := time.Since(start)
-	devIdx := lease.Index()
-	s.reg.Gauge("devices_busy").Add(-1)
+	var faultsDelta int64
+	if dev.Fault != nil {
+		faultsDelta = dev.Fault.Stats().Injected() - faultsBefore
+	}
+	kind := gpucolor.Classify(out, err)
+	lease.Observe(kind, exec, faultsDelta)
+	busy.Add(-1)
 	lease.Release()
 	s.reg.Histogram("exec_us").Add(exec.Microseconds())
-
-	if err != nil {
-		s.reg.Counter("failed_total").Inc()
-		s.finishJob(j, nil, err)
-		return
+	if err == nil {
+		s.hedge.observe(exec)
 	}
-	res := &Response{
-		Fingerprint: j.fp,
-		Colors:      out.Colors,
-		NumColors:   out.NumColors,
-		Cycles:      out.Cycles,
-		Iterations:  out.Iterations,
-		Recovery:    out.Recovery,
-		Attempts:    out.Attempts,
-		Repaired:    out.Repaired,
-		Device:      devIdx,
-		Wait:        wait,
-		Exec:        exec,
+	if kind == gpucolor.OutcomeCanceled {
+		s.reg.Counter("attempts_canceled_total").Inc()
 	}
-	s.reg.Counter("completed_total").Inc()
-	if out.Recovery != gpucolor.RecoveryNone {
-		s.reg.Counter("recovered_total").Inc()
-	}
-	if !j.req.NoCache {
-		// Publish to the cache before releasing the flight so a request
-		// arriving between the two sees either the flight or the cache.
-		s.cache.put(j.key, res)
-	}
-	s.finishJob(j, res, nil)
+	resCh <- attemptResult{out: out, err: err, device: lease.Index(), exec: exec, hedge: hedge}
 }
 
 // finishJob removes the job's flight from the coalescing map (when
@@ -315,6 +649,14 @@ func (s *Server) finishJob(j *job, res *Response, err error) {
 		s.dropInflight(j.key)
 	}
 	j.fl.complete(res, err)
+}
+
+// DeviceStat is the per-device slice of Stats: health score, breaker
+// state, and lifetime job count.
+type DeviceStat struct {
+	Health  float64
+	Breaker string
+	Jobs    int64
 }
 
 // Stats is a point-in-time serving summary, the programmatic form of
@@ -331,6 +673,7 @@ type Stats struct {
 	Shed            int64 // ErrShedding rejections
 	QueueFull       int64 // ErrQueueFull rejections
 	DeadlineExpired int64
+	ShedExpired     int64 // deadline expired while still queued
 	QueueDepth      int64
 	Devices         int
 	Utilization     float64 // fraction of device-time leased since start
@@ -338,6 +681,19 @@ type Stats struct {
 	WaitP99us       int64
 	ExecP50us       int64
 	ExecP99us       int64
+
+	// Self-healing.
+	Hedges        int64 // hedged re-dispatches launched
+	HedgeWins     int64 // hedge attempt beat the primary
+	HedgeLosses   int64 // primary finished first after a hedge launched
+	Quarantines   int64 // breaker trips since start
+	Readmitted    int64 // completed probations
+	Probes        int64 // probe leases issued
+	ProbeFailures int64 // probes that re-opened a breaker
+	Quarantined   int   // devices currently not breaker-closed
+	Draining      bool
+	DrainHandoff  int64 // jobs handed back to callers at a drain deadline
+	PerDevice     []DeviceStat
 }
 
 // Stats snapshots the serving counters.
@@ -354,6 +710,7 @@ func (s *Server) Stats() Stats {
 		Shed:            snap["shed_total"],
 		QueueFull:       snap["queue_full_total"],
 		DeadlineExpired: snap["deadline_expired_total"],
+		ShedExpired:     snap["shed_expired"],
 		QueueDepth:      snap["queue_depth"],
 		Devices:         s.pool.Size(),
 		Utilization:     s.pool.Utilization(s.Uptime()),
@@ -361,6 +718,24 @@ func (s *Server) Stats() Stats {
 		WaitP99us:       s.reg.Histogram("wait_us").Quantile(0.99),
 		ExecP50us:       s.reg.Histogram("exec_us").Quantile(0.50),
 		ExecP99us:       s.reg.Histogram("exec_us").Quantile(0.99),
+		Hedges:          snap["hedges_total"],
+		HedgeWins:       snap["hedge_wins_total"],
+		HedgeLosses:     snap["hedge_losses_total"],
+		Quarantines:     s.pool.QuarantineCount(),
+		Readmitted:      s.pool.ReadmitCount(),
+		Probes:          s.pool.ProbeCount(),
+		ProbeFailures:   s.pool.ProbeFailCount(),
+		Quarantined:     s.pool.Quarantined(),
+		Draining:        s.Draining(),
+		DrainHandoff:    snap["drain_handoff_total"],
+	}
+	st.PerDevice = make([]DeviceStat, s.pool.Size())
+	for i := range st.PerDevice {
+		st.PerDevice[i] = DeviceStat{
+			Health:  s.pool.HealthScore(i),
+			Breaker: s.pool.BreakerState(i).String(),
+			Jobs:    s.pool.Jobs(i),
+		}
 	}
 	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
 		st.CacheHitRate = float64(st.CacheHits) / float64(lookups)

@@ -38,8 +38,13 @@ import "sync/atomic"
 
 // FaultInjector injects deterministic, seeded faults into kernel
 // execution. The zero value injects nothing; set the per-site rates (each
-// a probability in [0, 1]) to arm specific fault classes. An injector must
-// not be reconfigured while a kernel is running.
+// a probability in [0, 1]) to arm specific fault classes. Rates and seed
+// must not be reconfigured while a kernel is running, but Arm/Disarm flip
+// an atomic gate and are safe at any time — the chaos-soak harness uses
+// them to sicken and heal a serving device mid-run. A disarmed injector
+// injects nothing (runs behave exactly as fault-free), while the
+// permissive out-of-bounds absorption below stays active, so disarming
+// mid-kernel can never turn an already-corrupted index into a crash.
 type FaultInjector struct {
 	// Seed selects the fault pattern; two runs with equal seeds (on fresh
 	// devices) inject identical faults.
@@ -57,6 +62,10 @@ type FaultInjector struct {
 	// group's cost is multiplied by StallFactor (default 64).
 	StallRate   float64
 	StallFactor int64
+
+	// disarmed gates injection (inverted so the zero value stays armed,
+	// preserving the behaviour of injectors built by struct literal).
+	disarmed atomic.Bool
 
 	bitFlips   atomic.Int64
 	casFails   atomic.Int64
@@ -80,6 +89,19 @@ func NewFaultInjector(seed uint64, rate float64) *FaultInjector {
 		StallFactor:        64,
 	}
 }
+
+// Arm enables injection. Safe to call while kernels are running: the
+// deterministic fault pattern is a pure function of coordinates, so arming
+// mid-run simply starts applying it from the next decision on.
+func (f *FaultInjector) Arm() { f.disarmed.Store(false) }
+
+// Disarm disables injection without detaching the injector: subsequent
+// runs behave exactly as fault-free while the counters and the permissive
+// OOB absorption remain in place. Safe to call while kernels are running.
+func (f *FaultInjector) Disarm() { f.disarmed.Store(true) }
+
+// Armed reports whether injection is currently enabled.
+func (f *FaultInjector) Armed() bool { return !f.disarmed.Load() }
 
 // FaultStats is a snapshot of the faults injected (and fault side-effects
 // absorbed) so far.
@@ -174,7 +196,7 @@ func (f *FaultInjector) ld(launch uint64, global, ordinal int32, b *BufInt32, i 
 		return 0
 	}
 	v := b.data[i]
-	if f.BitFlipRate > 0 {
+	if f.BitFlipRate > 0 && f.Armed() {
 		if h := f.roll(saltFlip, launch, int64(global), int64(ordinal)); h < threshold(f.BitFlipRate) {
 			f.bitFlips.Add(1)
 			v ^= 1 << ((h >> 56) & 7)
@@ -192,7 +214,7 @@ func (f *FaultInjector) ldShared(launch uint64, global, ordinal int32, b *BufInt
 		return 0
 	}
 	v := atomic.LoadInt32(&b.data[i])
-	if f.BitFlipRate > 0 {
+	if f.BitFlipRate > 0 && f.Armed() {
 		if h := f.roll(saltFlip, launch, int64(global), int64(ordinal)); h < threshold(f.BitFlipRate) {
 			f.bitFlips.Add(1)
 			v ^= 1 << ((h >> 56) & 7)
@@ -223,7 +245,7 @@ func (f *FaultInjector) atomicOK(b *BufInt32, i int32) bool {
 // failCAS decides whether this CAS spuriously fails, keyed by the
 // work-item and its per-lane atomic ordinal.
 func (f *FaultInjector) failCAS(launch uint64, global, ordinal int32) bool {
-	if f.CASFailRate <= 0 {
+	if f.CASFailRate <= 0 || !f.Armed() {
 		return false
 	}
 	if f.roll(saltCAS, launch, int64(global), int64(ordinal)) < threshold(f.CASFailRate) {
@@ -236,7 +258,7 @@ func (f *FaultInjector) failCAS(launch uint64, global, ordinal int32) bool {
 // abortWavefront decides whether wavefront wf of workgroup group is killed
 // before executing.
 func (f *FaultInjector) abortWavefront(launch uint64, group, wf int32) bool {
-	if f.WavefrontAbortRate <= 0 {
+	if f.WavefrontAbortRate <= 0 || !f.Armed() {
 		return false
 	}
 	if f.roll(saltAbort, launch, int64(group), int64(wf)) < threshold(f.WavefrontAbortRate) {
@@ -249,7 +271,7 @@ func (f *FaultInjector) abortWavefront(launch uint64, group, wf int32) bool {
 // stallGroup decides whether workgroup group stalls; the caller multiplies
 // its cost by stallFactor.
 func (f *FaultInjector) stallGroup(launch uint64, group int32) bool {
-	if f.StallRate <= 0 {
+	if f.StallRate <= 0 || !f.Armed() {
 		return false
 	}
 	if f.roll(saltStall, launch, int64(group), 0) < threshold(f.StallRate) {
