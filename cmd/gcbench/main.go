@@ -8,6 +8,7 @@
 //	gcbench -scale small    # quick pass with small datasets
 //	gcbench -serving        # serving-layer benchmark -> BENCH_PR2.json
 //	gcbench -hostperf       # hot-path host benchmark -> BENCH_PR3.json
+//	gcbench -shard          # sharded multi-device benchmark -> BENCH_PR5.json
 package main
 
 import (
@@ -35,9 +36,24 @@ func main() {
 		hostOut   = flag.String("hostperf-json", "BENCH_PR3.json", "output file for -hostperf")
 		hostN     = flag.Int("hostperf-requests", 20, "steady-state request count per section for -hostperf")
 		budgetArg = flag.String("budget", "", "allocation budget file (BENCH_BUDGET.json); -hostperf fails if the pooled path exceeds it")
+
+		shardBench = flag.Bool("shard", false, "run the sharded multi-device benchmark (single device vs -shard-k shards) instead of the paper experiments")
+		shardOut   = flag.String("shard-json", "BENCH_PR5.json", "output file for -shard")
+		shardK     = flag.Int("shard-k", 4, "shard/device count for -shard")
 	)
 	flag.Parse()
 
+	if *shardBench {
+		sc := exp.Full
+		if *scale == "small" {
+			sc = exp.Small
+		}
+		if err := runShardBench(*shardOut, *shardK, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *serving {
 		if err := runServingBench(*servOut, *servN, *servDevs, *servConc); err != nil {
 			fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)

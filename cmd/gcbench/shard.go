@@ -1,0 +1,163 @@
+// Sharded-coloring benchmark (-shard): for every seed dataset it times the
+// hybrid algorithm on one device holding the whole host's simulation
+// parallelism against K devices splitting that parallelism evenly, and
+// writes the wall-clock speedups and color-quality ratios as JSON
+// (BENCH_PR5.json by default). The run fails if any dataset's sharded
+// coloring spends more than 1.3x the single-device palette — the quality
+// bound the shard tests also enforce.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gcolor/internal/exp"
+	"gcolor/internal/gpucolor"
+	"gcolor/internal/shard"
+	"gcolor/internal/simt"
+)
+
+const shardColorRatioLimit = 1.3
+
+type shardRow struct {
+	Dataset       string  `json:"dataset"`
+	Kind          string  `json:"kind"`
+	Vertices      int     `json:"vertices"`
+	Edges         int     `json:"edges"`
+	SingleSeconds float64 `json:"single_seconds"`
+	ShardSeconds  float64 `json:"shard_seconds"`
+	Speedup       float64 `json:"speedup"`
+	SingleColors  int     `json:"single_colors"`
+	ShardColors   int     `json:"shard_colors"`
+	ColorRatio    float64 `json:"color_ratio"`
+	CutEdges      int     `json:"cut_edges"`
+	Conflicts     int     `json:"boundary_conflicts"`
+	RepairRounds  int     `json:"repair_rounds"`
+	Recolored     int     `json:"recolored"`
+	Fallback      bool    `json:"fallback"`
+}
+
+type shardReport struct {
+	Bench           string     `json:"bench"`
+	Shards          int        `json:"shards"`
+	Scale           string     `json:"scale"`
+	HostParallelism int        `json:"host_parallelism"`
+	ColorRatioLimit float64    `json:"color_ratio_limit"`
+	Rows            []shardRow `json:"rows"`
+	LargestDataset  string     `json:"largest_dataset"`
+	LargestSpeedup  float64    `json:"largest_speedup"`
+}
+
+// shardDevices builds k devices splitting the host's simulation
+// parallelism evenly, so single-device and sharded runs consume the same
+// total host resources and the wall-clock comparison is fair.
+func shardDevices(k int) []*simt.Device {
+	per := runtime.GOMAXPROCS(0) / k
+	if per < 1 {
+		per = 1
+	}
+	devs := make([]*simt.Device, k)
+	for i := range devs {
+		d := simt.NewDevice()
+		d.Workers = per
+		devs[i] = d
+	}
+	return devs
+}
+
+func runShardBench(jsonPath string, k int, scale exp.Scale) error {
+	if k < 2 {
+		return fmt.Errorf("-shard needs at least 2 shards, got %d", k)
+	}
+	scaleName := "full"
+	if scale == exp.Small {
+		scaleName = "small"
+	}
+	rep := shardReport{
+		Bench:           "sharded-coloring",
+		Shards:          k,
+		Scale:           scaleName,
+		HostParallelism: runtime.GOMAXPROCS(0),
+		ColorRatioLimit: shardColorRatioLimit,
+	}
+	ctx := context.Background()
+	largestEdges := -1
+	for _, d := range exp.Datasets() {
+		g := d.Build(scale)
+		row := shardRow{
+			Dataset:  d.Name,
+			Kind:     d.Kind,
+			Vertices: g.NumVertices(),
+			Edges:    g.NumEdges(),
+		}
+
+		single := simt.NewDevice() // Workers 0: the whole host
+		t0 := time.Now()
+		out, err := gpucolor.ColorContext(ctx, single, g, gpucolor.AlgHybrid,
+			gpucolor.ResilientOptions{Options: gpucolor.Options{Seed: 1}})
+		if err != nil {
+			return fmt.Errorf("%s single-device: %w", d.Name, err)
+		}
+		row.SingleSeconds = time.Since(t0).Seconds()
+		row.SingleColors = out.NumColors
+
+		t0 = time.Now()
+		sres, err := shard.ColorDevices(ctx, shardDevices(k), g, gpucolor.AlgHybrid,
+			shard.Options{K: k, Seed: 1},
+			gpucolor.ResilientOptions{Options: gpucolor.Options{Seed: 1}})
+		if err != nil {
+			return fmt.Errorf("%s sharded x%d: %w", d.Name, k, err)
+		}
+		row.ShardSeconds = time.Since(t0).Seconds()
+		row.ShardColors = sres.NumColors
+		row.CutEdges = sres.CutEdges
+		row.Conflicts = sres.Repair.Conflicts
+		row.RepairRounds = sres.Repair.Rounds
+		row.Recolored = sres.Repair.Recolored
+		row.Fallback = sres.Repair.Fallback
+		if row.Fallback {
+			return fmt.Errorf("%s: boundary repair fell back to CPU greedy (budget %d rounds exhausted)",
+				d.Name, shard.DefaultRepairRounds)
+		}
+		if row.ShardSeconds > 0 {
+			row.Speedup = row.SingleSeconds / row.ShardSeconds
+		}
+		if row.SingleColors > 0 {
+			row.ColorRatio = float64(row.ShardColors) / float64(row.SingleColors)
+		}
+		if row.ColorRatio > shardColorRatioLimit {
+			return fmt.Errorf("%s: sharded coloring used %d colors vs %d single-device (ratio %.2f > %.2f)",
+				d.Name, row.ShardColors, row.SingleColors, row.ColorRatio, shardColorRatioLimit)
+		}
+		if g.NumEdges() > largestEdges {
+			largestEdges = g.NumEdges()
+			rep.LargestDataset = d.Name
+			rep.LargestSpeedup = row.Speedup
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Fprintf(os.Stderr, "gcbench: %-10s %8d v %9d e  single %6.2fs  x%d %6.2fs  speedup %.2fx  colors %d/%d\n",
+			d.Name, row.Vertices, row.Edges, row.SingleSeconds, k, row.ShardSeconds, row.Speedup,
+			row.ShardColors, row.SingleColors)
+	}
+
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gcbench: sharded x%d speedup %.2fx on %s -> %s\n",
+		k, rep.LargestSpeedup, rep.LargestDataset, jsonPath)
+	return nil
+}

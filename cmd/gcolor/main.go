@@ -6,6 +6,7 @@
 //	gcolor -in graph.el -alg hybrid -policy stealing -wg 64
 //	graphgen -type rmat | gcolor -alg baseline -v
 //	graphgen -type rmat | gcolor -alg hybrid -chaos -fault-rate 1e-3
+//	graphgen -type rmat | gcolor -alg hybrid -shards 4
 //
 // Input formats are detected by extension: .col/.dimacs (DIMACS),
 // .mtx (MatrixMarket), anything else (edge list).
@@ -18,13 +19,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"gcolor/internal/color"
 	"gcolor/internal/gpucolor"
 	"gcolor/internal/graph"
 	"gcolor/internal/metrics"
+	"gcolor/internal/shard"
 	"gcolor/internal/simt"
 	"gcolor/internal/trace"
 )
@@ -39,6 +43,7 @@ func main() {
 		wavefront = flag.Int("wavefront", 64, "wavefront width")
 		seed      = flag.Uint("seed", 1, "vertex priority seed")
 		threshold = flag.Int("threshold", 0, "hybrid degree threshold (0 = wavefront width)")
+		shards    = flag.Int("shards", 1, "color on K devices: K edge-balanced shards in parallel, reconciled by boundary repair (1 = single device)")
 		verbose   = flag.Bool("v", false, "print per-kernel and imbalance detail")
 		cpu       = flag.Bool("cpu", false, "also report CPU reference colorings")
 		traceOut  = flag.String("trace", "", "write a chrome://tracing timeline of the run to this file")
@@ -84,6 +89,11 @@ func main() {
 		Seed:            uint32(*seed),
 		HybridThreshold: *threshold,
 		Trace:           *traceOut != "",
+	}
+	if *shards > 1 {
+		runSharded(g, alg, opt, dev, *shards, *chaos, *faultRate, *faultSeed,
+			*budget, *timeout, *noFallback, *traceOut, *cpu, uint32(*seed))
+		return
 	}
 	var res *gpucolor.Result
 	if *chaos || *resilient {
@@ -165,6 +175,69 @@ func main() {
 		jp := color.JonesPlassmann(g, uint32(*seed), 0)
 		fmt.Printf("cpu references: first-fit %d colors, smallest-last %d colors, jones-plassmann %d colors in %d rounds\n",
 			color.NumColors(ff), color.NumColors(sl), color.NumColors(jp.Colors), jp.Rounds)
+	}
+}
+
+// runSharded colors g across K fresh devices cloned from proto's geometry,
+// each holding an equal slice of the host's simulation parallelism, and
+// reports the parallel makespan alongside the repair evidence. -trace is a
+// single-timeline feature and is rejected here.
+func runSharded(g *graph.Graph, alg gpucolor.Algorithm, opt gpucolor.Options, proto *simt.Device,
+	k int, chaos bool, faultRate float64, faultSeed uint64,
+	budget int64, timeout time.Duration, noFallback bool, traceOut string, cpu bool, seed uint32) {
+	if traceOut != "" {
+		fatal(errors.New("-trace is not supported with -shards (K independent timelines)"))
+	}
+	per := runtime.GOMAXPROCS(0) / k
+	if per < 1 {
+		per = 1
+	}
+	devs := make([]*simt.Device, k)
+	for i := range devs {
+		d := simt.NewDevice()
+		d.NumCUs = proto.NumCUs
+		d.WorkgroupSize = proto.WorkgroupSize
+		d.WavefrontWidth = proto.WavefrontWidth
+		d.Policy = proto.Policy
+		d.Workers = per
+		if chaos {
+			d.Fault = simt.NewFaultInjector(faultSeed+uint64(i), faultRate)
+		}
+		devs[i] = d
+	}
+	if chaos {
+		fmt.Printf("chaos: fault injectors armed on %d devices, rate %g, seed %d\n", k, faultRate, faultSeed)
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, err := shard.ColorDevices(ctx, devs, g, alg, shard.Options{
+		K:          k,
+		Seed:       seed,
+		NoFallback: noFallback,
+	}, gpucolor.ResilientOptions{
+		Options:       opt,
+		CycleBudget:   budget,
+		NoCPUFallback: noFallback,
+	})
+	if err != nil {
+		fatalTyped(err)
+	}
+	fmt.Printf("%s sharded x%d (%s, %d CUs, wg %d): %d colors, %d simulated cycles makespan (%d total)\n",
+		alg, res.K, proto.Policy, proto.NumCUs, proto.WorkgroupSize,
+		res.NumColors, res.Cycles, res.CyclesTotal)
+	fmt.Printf("shards: %d cut edges, %d boundary conflicts, repaired in %d rounds (%d recolored)",
+		res.CutEdges, res.Repair.Conflicts, res.Repair.Rounds, res.Repair.Recolored)
+	if res.Repair.Fallback {
+		fmt.Print(", CPU-greedy fallback")
+	}
+	fmt.Println()
+	if cpu {
+		ff := color.Greedy(g, color.Natural, 0)
+		fmt.Printf("cpu reference: first-fit %d colors\n", color.NumColors(ff))
 	}
 }
 

@@ -10,6 +10,7 @@
 //	gcolord -devices 4 -chaos -fault-rate 1e-4      # chaos serving
 //	gcolord -pprof                                  # + /debug/pprof/ endpoints
 //	gcolord -drain-timeout 30s                      # graceful-drain deadline
+//	gcolord -shard-auto-vertices 4096 -max-body 8388608   # sharding + body cap
 //
 // Endpoints:
 //
@@ -67,6 +68,12 @@ func main() {
 
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on shutdown (0 waits forever)")
 		noSelfHeal   = flag.Bool("no-self-heal", false, "disable health scoring, circuit breakers, and hedged re-dispatch")
+
+		maxBody   = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "maximum POST /color body bytes; oversized requests get 413 (negative disables the limit)")
+		shardK    = flag.Int("shard-k", 0, "shard count for auto-sharded jobs (0 = pool size, capped at 16)")
+		shardAutV = flag.Int("shard-auto-vertices", 0, "auto-shard jobs at or above this many vertices (0 = default 8192, negative disables)")
+		shardAutE = flag.Int("shard-auto-edges", 0, "auto-shard jobs at or above this many edges (0 = default 262144, negative disables)")
+		noShard   = flag.Bool("no-shard", false, "disable sharded execution entirely; every job runs on one device")
 	)
 	flag.Parse()
 
@@ -89,9 +96,15 @@ func main() {
 		CacheEntries:  *cacheSz,
 		Workers:       *workers,
 		SelfHeal:      serve.SelfHealConfig{Disabled: *noSelfHeal},
+		Shard: serve.ShardConfig{
+			Disabled:     *noShard,
+			K:            *shardK,
+			AutoVertices: *shardAutV,
+			AutoEdges:    *shardAutE,
+		},
 	})
 
-	handler := serve.Handler(srv)
+	handler := serve.HandlerWith(srv, serve.HandlerConfig{MaxBodyBytes: *maxBody})
 	if *pprofOn {
 		// Mount the profiling endpoints next to the API so `go tool pprof
 		// http://host/debug/pprof/heap` can watch the hot path live; off by

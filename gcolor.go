@@ -29,6 +29,7 @@ import (
 	"gcolor/internal/gpucolor"
 	"gcolor/internal/graph"
 	"gcolor/internal/serve"
+	"gcolor/internal/shard"
 	"gcolor/internal/simt"
 )
 
@@ -131,6 +132,43 @@ type InvalidColoringError = gpucolor.InvalidColoringError
 func ColorGPUContext(ctx context.Context, dev *Device, g *Graph, a Algorithm, opt ResilientOptions) (*Outcome, error) {
 	return gpucolor.ColorContext(ctx, dev, g, a, opt)
 }
+
+// Sharded multi-device execution (see internal/shard): the graph is split
+// into K edge-balanced shards, colored in parallel on separate devices
+// through the resilient ladder, and reconciled with a bounded boundary
+// repair loop. The result is always a verified proper coloring.
+
+// ShardOptions configures a sharded coloring run (shard count, seed,
+// repair budget, fallback policy).
+type ShardOptions = shard.Options
+
+// ShardResult is a sharded run's verified global coloring plus the
+// partition and boundary-repair evidence.
+type ShardResult = shard.Result
+
+// ShardRepairStats records the boundary reconciliation work of a
+// sharded run: conflicts found, repair rounds, vertices recolored, and
+// whether the CPU-greedy fallback fired.
+type ShardRepairStats = shard.RepairStats
+
+// ErrShardRepairBudget reports that boundary repair hit its round budget
+// with conflicts remaining and the fallback was disabled.
+var ErrShardRepairBudget = shard.ErrRepairBudget
+
+// ColorShardedDevices colors g split across devs — shard i on
+// devs[i % len(devs)] — and reconciles the parts. opt.K == 0 uses one
+// shard per device.
+func ColorShardedDevices(ctx context.Context, devs []*Device, g *Graph, a Algorithm, opt ShardOptions, ropt ResilientOptions) (*ShardResult, error) {
+	return shard.ColorDevices(ctx, devs, g, a, opt, ropt)
+}
+
+// ShardConfig tunes a Server's sharded scatter-gather execution: forced
+// or automatic shard counts and the size thresholds that trigger
+// auto-sharding. The zero value enables sharding with defaults.
+type ShardConfig = serve.ShardConfig
+
+// HandlerConfig tunes the HTTP surface (request body size limit).
+type HandlerConfig = serve.HandlerConfig
 
 // Uncolored is the sentinel value of an unassigned vertex color.
 const Uncolored = color.Uncolored

@@ -13,6 +13,7 @@
 package gpucolor
 
 import (
+	"math"
 	"slices"
 
 	"gcolor/internal/color"
@@ -51,6 +52,9 @@ type Options struct {
 	Seed uint32
 	// HybridThreshold is the degree at or above which Hybrid routes a vertex
 	// to the cooperative kernel; 0 means the device's workgroup size.
+	// Values outside the int32 domain are normalized, not truncated:
+	// negative behaves like 0 and anything above MaxInt32 means "no vertex
+	// is big" (see NormalizeHybridThreshold).
 	HybridThreshold int
 	// MaxIterations caps the outer loop as a safety net; 0 means the number
 	// of vertices + 1 (iterative IS coloring colors >= 1 vertex per
@@ -80,6 +84,24 @@ type Options struct {
 	// (ColorContext): cancellation, cycle budgets, and livelock detection
 	// all hook in here, costing nothing when unset.
 	guard func(iter, active int, cycles int64) error
+}
+
+// NormalizeHybridThreshold clamps a hybrid degree threshold into the
+// int32 domain the kernels compare in. Vertex degrees are int32 in the
+// CSR, so a threshold above MaxInt32 can never match a real degree and
+// clamps to MaxInt32 ("no vertex is big"); a bare int32(...) conversion
+// would instead wrap it into a negative (silently replaced by the device
+// default) or a small positive (silently routing every vertex to the
+// cooperative kernel). Negative thresholds normalize to 0, the documented
+// "use the device default" value.
+func NormalizeHybridThreshold(t int) int {
+	if t < 0 {
+		return 0
+	}
+	if t > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return t
 }
 
 func (o Options) seed() uint32 {

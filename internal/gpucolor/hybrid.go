@@ -38,15 +38,20 @@ func HybridJP(dev *simt.Device, g *graph.Graph, opt Options) (*Result, error) {
 
 func (r *runner) runHybrid(mode iterMode) (*Result, error) {
 	opt := r.opt
-	threshold := int32(opt.HybridThreshold)
+	// NormalizeHybridThreshold keeps the int32 conversion safe: a raw
+	// int32(...) of a threshold above MaxInt32 wraps — into a negative
+	// (silently replaced by the default) or a tiny positive (silently
+	// routing every vertex to the cooperative kernel).
+	threshold := int32(NormalizeHybridThreshold(opt.HybridThreshold))
 	if threshold <= 0 {
 		threshold = int32(r.dev.WavefrontWidth)
 	}
 	// The host sees the CSR offsets, so checking whether any vertex crosses
 	// the threshold is free — when none does (meshes, road networks), the
 	// hybrid is exactly the baseline and the partition pass would be pure
-	// overhead.
-	if int32(r.g.MaxDegree()) < threshold {
+	// overhead. The comparison stays in the int domain: int32(MaxDegree())
+	// would be its own wrap hazard.
+	if r.g.MaxDegree() < int(threshold) {
 		return r.runIterative(mode)
 	}
 

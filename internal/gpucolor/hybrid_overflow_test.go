@@ -1,0 +1,83 @@
+package gpucolor
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"gcolor/internal/gen"
+	"gcolor/internal/simt"
+)
+
+func TestNormalizeHybridThreshold(t *testing.T) {
+	cases := []struct {
+		in, want int
+	}{
+		{0, 0},
+		{1, 1},
+		{64, 64},
+		{math.MaxInt32, math.MaxInt32},
+		{-1, 0},
+		{-math.MaxInt32, 0},
+	}
+	for _, tc := range cases {
+		if got := NormalizeHybridThreshold(tc.in); got != tc.want {
+			t.Errorf("NormalizeHybridThreshold(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if strconv.IntSize >= 64 {
+		var shift uint = 32
+		for _, in := range []int{1<<31 + 7, 1 << shift, 1<<shift + 5, math.MaxInt64} {
+			if got := NormalizeHybridThreshold(in); got != math.MaxInt32 {
+				t.Errorf("NormalizeHybridThreshold(%d) = %d, want MaxInt32", in, got)
+			}
+		}
+	}
+}
+
+// TestHybridThresholdOverflow is the regression for the bare int32(...)
+// truncation in runHybrid: a threshold of 2^32+1 used to wrap to 1 and
+// silently route every vertex to the cooperative kernel, while 2^31+k
+// wrapped negative and silently fell back to the device default. Both
+// must now behave exactly like MaxInt32 — "no vertex is big", which on
+// any real graph is bit-identical (colors and cycles) to the baseline.
+func TestHybridThresholdOverflow(t *testing.T) {
+	if strconv.IntSize < 64 {
+		t.Skip("overflowing thresholds need 64-bit int")
+	}
+	g := gen.RMAT(10, 16, gen.Graph500, 1) // max degree far above any wrap artifact
+	run := func(threshold int, alg Algorithm) *Result {
+		t.Helper()
+		dev := simt.NewDevice()
+		dev.Workers = 1
+		res, err := Color(dev, g, alg, Options{HybridThreshold: threshold})
+		if err != nil {
+			t.Fatalf("threshold %d: %v", threshold, err)
+		}
+		return res
+	}
+	want := run(math.MaxInt32, AlgHybrid)
+	baseline := run(0, AlgBaseline)
+	if want.Cycles != baseline.Cycles {
+		t.Fatalf("MaxInt32 hybrid should be the baseline: %d vs %d cycles", want.Cycles, baseline.Cycles)
+	}
+	var shift uint = 32
+	for _, threshold := range []int{1<<31 + 7, 1<<shift + 1, math.MaxInt64} {
+		got := run(threshold, AlgHybrid)
+		if got.Cycles != want.Cycles {
+			t.Errorf("threshold %d: %d cycles, want %d (wrapped into the wrong kernel path)",
+				threshold, got.Cycles, want.Cycles)
+		}
+		for v := range got.Colors {
+			if got.Colors[v] != want.Colors[v] {
+				t.Fatalf("threshold %d: vertex %d colored %d, want %d", threshold, v, got.Colors[v], want.Colors[v])
+			}
+		}
+	}
+	// A negative threshold is "unset": identical to the device default.
+	def := run(0, AlgHybrid)
+	neg := run(-5, AlgHybrid)
+	if neg.Cycles != def.Cycles {
+		t.Errorf("negative threshold: %d cycles, want default's %d", neg.Cycles, def.Cycles)
+	}
+}

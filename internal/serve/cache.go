@@ -7,13 +7,19 @@ import (
 
 // cacheKey identifies a (graph content, coloring policy) pair: the graph
 // fingerprint plus the folded request knobs that can change the coloring.
+// The effective shard count is part of the policy fold — a K-shard run and
+// a single-device run of the same graph produce different (both proper)
+// colorings, and callers pinning Shards expect the one they asked for.
 type cacheKey struct {
 	fp     uint64
 	policy uint64
 }
 
-func keyOf(req *Request, fp uint64) cacheKey {
-	return cacheKey{fp: fp, policy: req.policyKey()}
+func keyOf(req *Request, fp uint64, shards int) cacheKey {
+	k := req.policyKey()
+	k ^= uint64(uint32(shards))
+	k *= 0x100000001b3
+	return cacheKey{fp: fp, policy: k}
 }
 
 // resultCache is a fixed-capacity LRU of completed responses. Stored

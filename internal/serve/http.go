@@ -34,6 +34,10 @@ type ColorRequest struct {
 	NoCPUFallback bool  `json:"no_cpu_fallback,omitempty"`
 	NoCache       bool  `json:"no_cache,omitempty"`
 
+	// Shards selects sharded scatter-gather execution: 0 auto, 1 pinned
+	// single-device, >= 2 pinned K shards (see serve.Request.Shards).
+	Shards int `json:"shards,omitempty"`
+
 	TimeoutMS     int64 `json:"timeout_ms,omitempty"`     // per-request deadline
 	IncludeColors bool  `json:"include_colors,omitempty"` // echo the full coloring
 }
@@ -58,12 +62,17 @@ type ColorResponse struct {
 	Device    int   `json:"device"`
 	WaitUS    int64 `json:"wait_us"`
 	ExecUS    int64 `json:"exec_us"`
+
+	Shards            int `json:"shards,omitempty"`
+	ShardConflicts    int `json:"shard_conflicts,omitempty"`
+	ShardRepairRounds int `json:"shard_repair_rounds,omitempty"`
+	ShardRecolored    int `json:"shard_recolored,omitempty"`
 }
 
 // errorResponse is the JSON body of any non-2xx /color reply.
 type errorResponse struct {
 	Error string `json:"error"`
-	Kind  string `json:"kind"` // bad_request | queue_full | shedding | deadline | draining | closed | failed
+	Kind  string `json:"kind"` // bad_request | too_large | queue_full | shedding | deadline | draining | closed | failed
 }
 
 // specCache memoizes generator-spec graphs so a hot spec ("rmat:12:8:1"
@@ -114,7 +123,22 @@ func (c *specCache) get(spec string) (*graph.Graph, error) {
 	return g, nil
 }
 
-// Handler wraps a Server with the gcolord HTTP API:
+// DefaultMaxBodyBytes caps a POST /color body when HandlerConfig leaves
+// MaxBodyBytes zero: large enough for any seed-dataset edge list, small
+// enough that one rogue upload cannot OOM the daemon before graph-level
+// caps run.
+const DefaultMaxBodyBytes = 64 << 20
+
+// HandlerConfig tunes the HTTP surface.
+type HandlerConfig struct {
+	// MaxBodyBytes caps the POST /color request body; an oversized upload
+	// is refused with 413 and a typed "too_large" error body. 0 means
+	// DefaultMaxBodyBytes; negative disables the cap.
+	MaxBodyBytes int64
+}
+
+// Handler wraps a Server with the gcolord HTTP API under the default
+// handler configuration:
 //
 //	POST /color     submit a coloring job (ColorRequest -> ColorResponse)
 //	GET  /healthz   liveness + pool size
@@ -125,11 +149,17 @@ func (c *specCache) get(spec string) (*graph.Graph, error) {
 //	                breaker states)
 //	POST /drainz    request a graceful drain; the daemon observes
 //	                Server.DrainRequested and shuts down as if SIGTERMed
-func Handler(s *Server) http.Handler {
+func Handler(s *Server) http.Handler { return HandlerWith(s, HandlerConfig{}) }
+
+// HandlerWith is Handler with an explicit configuration.
+func HandlerWith(s *Server, hc HandlerConfig) http.Handler {
+	if hc.MaxBodyBytes == 0 {
+		hc.MaxBodyBytes = DefaultMaxBodyBytes
+	}
 	mux := http.NewServeMux()
 	specs := newSpecCache(64)
 	mux.HandleFunc("POST /color", func(w http.ResponseWriter, r *http.Request) {
-		handleColor(s, specs, w, r)
+		handleColor(s, specs, hc, w, r)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -197,10 +227,19 @@ func boolToInt(b bool) int {
 	return 0
 }
 
-func handleColor(s *Server, specs *specCache, w http.ResponseWriter, r *http.Request) {
+func handleColor(s *Server, specs *specCache, hc HandlerConfig, w http.ResponseWriter, r *http.Request) {
 	var cr ColorRequest
-	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	body := r.Body
+	if hc.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, hc.MaxBodyBytes)
+	}
 	if err := json.NewDecoder(body).Decode(&cr); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decode: %v", err))
 		return
 	}
@@ -240,6 +279,12 @@ func handleColor(s *Server, specs *specCache, w http.ResponseWriter, r *http.Req
 		Device:      res.Device,
 		WaitUS:      res.Wait.Microseconds(),
 		ExecUS:      res.Exec.Microseconds(),
+	}
+	if res.Shards > 1 {
+		out.Shards = res.Shards
+		out.ShardConflicts = res.ShardConflicts
+		out.ShardRepairRounds = res.ShardRepairRounds
+		out.ShardRecolored = res.ShardRecolored
 	}
 	if cr.IncludeColors {
 		out.Colors = res.Colors
@@ -295,6 +340,7 @@ func buildRequest(cr *ColorRequest, specs *specCache) (*Request, *graph.Graph, e
 		MaxRetries:      cr.MaxRetries,
 		NoCPUFallback:   cr.NoCPUFallback,
 		NoCache:         cr.NoCache,
+		Shards:          cr.Shards,
 	}, g, nil
 }
 

@@ -199,3 +199,88 @@ func TestHTTPRequestTimeout(t *testing.T) {
 		t.Fatalf("error body: %s", body)
 	}
 }
+
+// TestHTTPBodyLimit pins the POST /color body cap at its exact boundary:
+// a body of precisely the configured limit decodes and serves, one byte
+// past it is refused with 413 and the typed "too_large" error body before
+// any graph parsing runs.
+func TestHTTPBodyLimit(t *testing.T) {
+	s := NewServer(Config{Devices: 1})
+	defer s.Stop()
+	const limit = 512
+	ts := httptest.NewServer(HandlerWith(s, HandlerConfig{MaxBodyBytes: limit}))
+	defer ts.Close()
+
+	// Pad a valid request up to an exact byte size with an ignored field.
+	padded := func(size int) []byte {
+		base := `{"gen":"grid:4:4","pad":""}`
+		pad := size - len(base)
+		if pad < 0 {
+			t.Fatalf("size %d below base request %d", size, len(base))
+		}
+		return []byte(`{"gen":"grid:4:4","pad":"` + strings.Repeat("x", pad) + `"}`)
+	}
+
+	post := func(body []byte) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/color", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatalf("read body: %v", err)
+		}
+		return resp, buf.Bytes()
+	}
+
+	atLimit := padded(limit)
+	if len(atLimit) != limit {
+		t.Fatalf("padded body is %d bytes, want %d", len(atLimit), limit)
+	}
+	resp, body := post(atLimit)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("at-limit body: status %d (%s)", resp.StatusCode, body)
+	}
+
+	resp, body = post(padded(limit + 1))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-limit body: status %d, want 413 (%s)", resp.StatusCode, body)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Kind != "too_large" {
+		t.Fatalf("over-limit error body: %s", body)
+	}
+}
+
+// TestHTTPShardedRequest drives the shards knob through the wire format
+// and checks the shard evidence comes back.
+func TestHTTPShardedRequest(t *testing.T) {
+	s := NewServer(Config{Devices: 2, Device: DeviceConfig{Workers: 1}})
+	defer s.Stop()
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	resp, body := postColor(t, ts, ColorRequest{Gen: "rmat:10:8:1", Shards: 2, IncludeColors: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%s)", resp.StatusCode, body)
+	}
+	var cr ColorResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if cr.Shards != 2 {
+		t.Fatalf("shards = %d, want 2", cr.Shards)
+	}
+	if cr.Device != -1 {
+		t.Fatalf("device = %d, want -1", cr.Device)
+	}
+	g, err := ParseGraphSpec("rmat:10:8:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := color.Verify(g, cr.Colors); err != nil {
+		t.Fatalf("returned coloring invalid: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"context"
 	"errors"
+	"math"
 	"sync"
 	"time"
 )
@@ -32,6 +33,7 @@ type job struct {
 	req      *Request
 	fp       uint64
 	key      cacheKey
+	shards   int // effective shard count resolved at admission (>= 1)
 	enqueued time.Time
 	seq      uint64
 	fl       *flight
@@ -54,12 +56,24 @@ type jobQueue struct {
 	nonEmpty chan struct{} // capacity 1; signaled on push and close
 }
 
+// defaultShedFraction is the queue occupancy fraction at which sub-high
+// work is shed when the caller supplies no usable fraction.
+const defaultShedFraction = 0.75
+
 func newJobQueue(capacity int, shedFraction float64) *jobQueue {
 	if capacity < 1 {
 		capacity = 1
 	}
+	// Normalize the fraction before sizing the threshold: NaN and negative
+	// values are nonsense, not a request to disable shedding, so they fall
+	// back to the default rather than silently admitting sub-high work all
+	// the way to ErrQueueFull. Only fraction >= 1 — the documented opt-out
+	// — disables early shedding.
+	if math.IsNaN(shedFraction) || shedFraction <= 0 {
+		shedFraction = defaultShedFraction
+	}
 	shedAt := capacity
-	if shedFraction > 0 && shedFraction < 1 {
+	if shedFraction < 1 {
 		shedAt = int(shedFraction * float64(capacity))
 		if shedAt < 1 {
 			shedAt = 1
@@ -160,9 +174,15 @@ func (q *jobQueue) close() {
 
 // flush removes every queued job and hands each to fn, returning the
 // count. Used by the drain-timeout path to hand still-queued work back to
-// its callers; the queue must already be closed so it cannot refill.
+// its callers; the queue must already be closed so it cannot refill — an
+// open-queue flush would race concurrent pushes and strand jobs, so it
+// panics rather than corrupting the exactly-once audit.
 func (q *jobQueue) flush(fn func(*job)) int {
 	q.mu.Lock()
+	if !q.closed {
+		q.mu.Unlock()
+		panic("serve: jobQueue.flush called before close")
+	}
 	items := q.items
 	q.items = nil
 	q.mu.Unlock()

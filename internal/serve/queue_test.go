@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestShedFractionNormalization pins newJobQueue's handling of degenerate
+// shed fractions: NaN and non-positive values fall back to the default
+// threshold instead of silently disabling shedding; only fraction >= 1 —
+// the documented opt-out — disables it.
+func TestShedFractionNormalization(t *testing.T) {
+	const capacity = 100
+	cases := []struct {
+		name     string
+		fraction float64
+		want     int // expected shedAt
+	}{
+		{"default", 0.75, 75},
+		{"half", 0.5, 50},
+		{"zero-defaults", 0, 75},
+		{"negative-defaults", -0.5, 75},
+		{"nan-defaults", math.NaN(), 75},
+		{"neg-inf-defaults", math.Inf(-1), 75},
+		{"one-disables", 1, capacity},
+		{"above-one-disables", 2.5, capacity},
+		{"pos-inf-disables", math.Inf(1), capacity},
+		{"tiny-floor", 0.001, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := newJobQueue(capacity, tc.fraction)
+			if q.shedAt != tc.want {
+				t.Fatalf("fraction %v: shedAt = %d, want %d", tc.fraction, q.shedAt, tc.want)
+			}
+		})
+	}
+}
+
+// TestShedFractionAdmission exercises the normalized threshold end to end:
+// a NaN fraction must still shed sub-high work at the default occupancy.
+func TestShedFractionAdmission(t *testing.T) {
+	q := newJobQueue(4, math.NaN()) // normalized to 0.75 -> shedAt 3
+	mkJob := func(p Priority) *job {
+		return &job{ctx: context.Background(), req: &Request{Priority: p}, fl: &flight{done: make(chan struct{})}}
+	}
+	for i := 0; i < 3; i++ {
+		if err := q.push(mkJob(PriorityNormal)); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if err := q.push(mkJob(PriorityNormal)); err != ErrShedding {
+		t.Fatalf("normal push at shed threshold: err = %v, want ErrShedding", err)
+	}
+	if err := q.push(mkJob(PriorityHigh)); err != nil {
+		t.Fatalf("high push at shed threshold: %v", err)
+	}
+}
+
+// TestFlushRequiresClosedQueue pins flush's documented precondition: an
+// open-queue flush would race concurrent pushes and strand jobs, so it
+// must panic instead of proceeding.
+func TestFlushRequiresClosedQueue(t *testing.T) {
+	t.Run("open-panics", func(t *testing.T) {
+		q := newJobQueue(4, 0.75)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("flush on an open queue did not panic")
+			}
+		}()
+		q.flush(func(*job) {})
+	})
+	t.Run("closed-flushes", func(t *testing.T) {
+		q := newJobQueue(4, 0.75)
+		j := &job{ctx: context.Background(), req: &Request{}, fl: &flight{done: make(chan struct{})}}
+		if err := q.push(j); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+		q.close()
+		var got int
+		if n := q.flush(func(*job) { got++ }); n != 1 || got != 1 {
+			t.Fatalf("flush returned %d (callback %d), want 1", n, got)
+		}
+		if q.depth() != 0 {
+			t.Fatalf("queue depth %d after flush", q.depth())
+		}
+	})
+}

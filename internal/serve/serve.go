@@ -100,6 +100,15 @@ type Request struct {
 	// Priority places the job in the admission queue.
 	Priority Priority
 
+	// Shards selects sharded scatter-gather execution: the graph is split
+	// into K edge-balanced shards colored in parallel on separate pool
+	// devices, then reconciled with the bounded boundary repair loop.
+	// 0 means auto (shard when the graph crosses the server's configured
+	// size thresholds), 1 forces single-device execution, and K >= 2
+	// forces K shards (clamped to the server's MaxShards). Negative values
+	// behave like 1.
+	Shards int
+
 	// CycleBudget, MaxRetries, NoCPUFallback configure the resilient
 	// ladder per job; see gpucolor.ResilientOptions.
 	CycleBudget   int64
@@ -123,7 +132,11 @@ func (r *Request) policyKey() uint64 {
 	}
 	mix(uint64(r.Algorithm))
 	mix(uint64(r.Seed))
-	mix(uint64(uint32(r.HybridThreshold)))
+	// Mix the threshold as the kernels will see it: two raw values that
+	// normalize to the same effective threshold produce the same coloring
+	// and must share a key, and two that normalize differently (e.g. 5 vs
+	// 2^32+5, which a bare uint32 truncation would conflate) must not.
+	mix(uint64(gpucolor.NormalizeHybridThreshold(r.HybridThreshold)))
 	// Fused is deliberately excluded: fused and unfused runs produce
 	// bit-identical colorings, so their results are interchangeable in the
 	// cache and coalescable with each other.
@@ -159,8 +172,18 @@ type Response struct {
 	// result was returned and the loser was canceled).
 	Hedged bool
 
+	// Shards is the number of shards the job ran as (1 for single-device
+	// execution). The remaining Shard* fields are zero unless Shards > 1:
+	// ShardConflicts counts the cut edges that were monochromatic after
+	// the merge barrier, ShardRepairRounds the boundary repair rounds run,
+	// and ShardRecolored the vertices recolored to reconcile the shards.
+	Shards            int
+	ShardConflicts    int
+	ShardRepairRounds int
+	ShardRecolored    int
+
 	// Device is the pool index of the device that ran the job (-1 for
-	// cache hits).
+	// cache hits and sharded runs, which span several devices).
 	Device int
 	// Wait is the time the job spent queued; Exec the device execution
 	// time. Both zero for cache hits.

@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"gcolor/internal/gpucolor"
+	"gcolor/internal/graph"
 	"gcolor/internal/metrics"
+	"gcolor/internal/shard"
 )
 
 // ErrDraining reports a submission to a server that is draining. It wraps
@@ -101,6 +103,48 @@ func (c SelfHealConfig) withDefaults() SelfHealConfig {
 	return c
 }
 
+// ShardConfig tunes sharded scatter-gather execution: one request split
+// into K edge-balanced shards colored in parallel on separate pool
+// devices, reconciled by the bounded boundary repair loop
+// (internal/shard). Zero values take the documented defaults.
+type ShardConfig struct {
+	// Disabled turns sharding off entirely; Request.Shards is ignored.
+	Disabled bool
+	// K is the shard count used when a request auto-shards (default: pool
+	// size, clamped to MaxShards).
+	K int
+	// AutoVertices and AutoEdges are the graph-size thresholds at or above
+	// which a Shards=0 request auto-shards (defaults 8192 vertices /
+	// 262144 edges; negative disables that trigger).
+	AutoVertices int
+	AutoEdges    int
+	// MaxRepairRounds bounds the boundary repair loop (default
+	// shard.DefaultRepairRounds); on exhaustion the job degrades to the
+	// CPU greedy fallback unless the request set NoCPUFallback.
+	MaxRepairRounds int
+	// MaxShards caps the per-request shard count (default 16).
+	MaxShards int
+}
+
+func (c ShardConfig) withDefaults(devices int) ShardConfig {
+	if c.MaxShards < 1 {
+		c.MaxShards = 16
+	}
+	if c.K < 1 {
+		c.K = devices
+	}
+	if c.K > c.MaxShards {
+		c.K = c.MaxShards
+	}
+	if c.AutoVertices == 0 {
+		c.AutoVertices = 8192
+	}
+	if c.AutoEdges == 0 {
+		c.AutoEdges = 1 << 18
+	}
+	return c
+}
+
 // Config sizes a Server. Zero values take the documented defaults.
 type Config struct {
 	// Devices is the pool size (default 4). Ignored when DeviceConfigs is
@@ -125,6 +169,8 @@ type Config struct {
 	Workers int
 	// SelfHeal tunes health scoring, circuit breakers, and hedging.
 	SelfHeal SelfHealConfig
+	// Shard tunes sharded scatter-gather execution.
+	Shard ShardConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -151,6 +197,7 @@ func (c Config) withDefaults() Config {
 		c.Workers = c.Devices
 	}
 	c.SelfHeal = c.SelfHeal.withDefaults()
+	c.Shard = c.Shard.withDefaults(c.Devices)
 	return c
 }
 
@@ -217,6 +264,8 @@ func NewServer(cfg Config) *Server {
 		"shed_total", "queue_full_total", "deadline_expired_total", "shed_expired",
 		"hedges_total", "hedge_wins_total", "hedge_losses_total", "hedge_skipped_total",
 		"attempts_canceled_total", "drain_handoff_total",
+		"shard_jobs_total", "shard_retries_total", "shard_conflicts_total",
+		"shard_repair_rounds_total", "shard_recolored_total", "shard_fallback_total",
 	} {
 		s.reg.Counter(name)
 	}
@@ -358,7 +407,8 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	}
 	s.reg.Counter("requests_total").Inc()
 	fp := req.Graph.Fingerprint()
-	key := keyOf(req, fp)
+	shards := s.effectiveShards(req)
+	key := keyOf(req, fp, shards)
 
 	if !req.NoCache {
 		if res, ok := s.cache.get(key); ok {
@@ -380,18 +430,48 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 		fl := &flight{done: make(chan struct{})}
 		s.inflight[key] = fl
 		s.mu.Unlock()
-		return s.enqueue(ctx, req, fp, key, fl, true)
+		return s.enqueue(ctx, req, fp, key, shards, fl, true)
 	}
 
 	// NoCache: always execute; nothing to coalesce with and nothing cached.
 	fl := &flight{done: make(chan struct{})}
-	return s.enqueue(ctx, req, fp, key, fl, false)
+	return s.enqueue(ctx, req, fp, key, shards, fl, false)
+}
+
+// effectiveShards resolves a request's Shards knob against the server's
+// shard policy: 1 when sharding is off, the pool is a single device, or
+// the request pinned single-device; the request's K (clamped) when
+// pinned; the configured K when the graph crosses an auto threshold.
+func (s *Server) effectiveShards(req *Request) int {
+	c := s.cfg.Shard
+	if c.Disabled || s.pool.Size() < 2 || req.Shards == 1 || req.Shards < 0 {
+		return 1
+	}
+	k := req.Shards
+	if k == 0 {
+		auto := c.AutoVertices > 0 && req.Graph.NumVertices() >= c.AutoVertices ||
+			c.AutoEdges > 0 && req.Graph.NumEdges() >= c.AutoEdges
+		if !auto {
+			return 1
+		}
+		k = c.K
+	}
+	if k > c.MaxShards {
+		k = c.MaxShards
+	}
+	if n := req.Graph.NumVertices(); k > n {
+		k = n
+	}
+	if k < 2 {
+		return 1
+	}
+	return k
 }
 
 // enqueue admits the job (or fails with a typed admission error) and waits
 // for its flight.
-func (s *Server) enqueue(ctx context.Context, req *Request, fp uint64, key cacheKey, fl *flight, tracked bool) (*Response, error) {
-	j := &job{ctx: ctx, req: req, fp: fp, key: key, fl: fl}
+func (s *Server) enqueue(ctx context.Context, req *Request, fp uint64, key cacheKey, shards int, fl *flight, tracked bool) (*Response, error) {
+	j := &job{ctx: ctx, req: req, fp: fp, key: key, shards: shards, fl: fl}
 	if err := s.queue.push(j); err != nil {
 		if tracked {
 			s.dropInflight(key)
@@ -468,32 +548,53 @@ type attemptResult struct {
 	hedge  bool
 }
 
-// runJob executes one admitted job: a primary attempt on a health-weighted
-// leased device, plus — if the run crosses the P99-derived hedge
-// threshold — a speculative second attempt on another healthy device. The
-// first successful attempt wins; the loser is canceled through its
-// context and its lease is released by its own goroutine. If every
-// launched attempt fails, the primary's error is returned.
-func (s *Server) runJob(j *job, wait time.Duration) {
-	// Attempts answer to the request's context and to server shutdown:
-	// the drain-deadline path cancels baseCtx to reel in-flight work in.
-	ctx, cancelAll := context.WithCancel(j.ctx)
-	defer cancelAll()
-	stopAfter := context.AfterFunc(s.baseCtx, cancelAll)
-	defer stopAfter()
+// acquireError marks a dispatch that failed before any device attempt ran:
+// the pool acquire itself gave up (deadline, cancellation, shutdown). It
+// unwraps to the pool's error so errors.Is keeps matching, and it lets the
+// metrics layer keep its historical distinction — acquire failures count
+// as deadline expiry, not device failure.
+type acquireError struct{ err error }
 
-	lease, err := s.pool.Acquire(ctx)
+func (e *acquireError) Error() string { return e.err.Error() }
+func (e *acquireError) Unwrap() error { return e.err }
+
+// attemptFailure marks a dispatch whose device attempts all failed; it
+// carries the primary's device index so a sharded retry can exclude it.
+type attemptFailure struct {
+	device int
+	err    error
+}
+
+func (e *attemptFailure) Error() string { return e.err.Error() }
+func (e *attemptFailure) Unwrap() error { return e.err }
+
+// dispatchResult is a winning dispatch: the verified outcome plus the
+// device and timing evidence.
+type dispatchResult struct {
+	out    *gpucolor.Outcome
+	device int
+	exec   time.Duration
+	hedged bool
+}
+
+// dispatch runs one graph on one leased device: a primary attempt on a
+// health-weighted lease (never the excluded device, when exclude >= 0),
+// plus — if the run crosses the P99-derived hedge threshold — a
+// speculative second attempt on another healthy device. The first
+// successful attempt wins; the loser is canceled through its context and
+// its lease is released by its own goroutine. If every launched attempt
+// fails, the primary's error is returned as an *attemptFailure.
+func (s *Server) dispatch(ctx context.Context, j *job, g *graph.Graph, seed uint32, exclude int) (*dispatchResult, error) {
+	lease, err := s.pool.acquire(ctx, exclude)
 	if err != nil {
-		s.reg.Counter("deadline_expired_total").Inc()
-		s.finishJob(j, nil, err)
-		return
+		return nil, &acquireError{err: err}
 	}
 
 	resCh := make(chan attemptResult, 2)
 	primCtx, cancelPrim := context.WithCancel(ctx)
 	defer cancelPrim()
 	s.wg.Add(1)
-	go s.attempt(primCtx, j, lease, false, resCh)
+	go s.attempt(primCtx, j, g, seed, lease, false, resCh)
 
 	// Arm the hedge timer only when hedging is on, a second device exists,
 	// and the tail estimate has warmed up. Probe leases are never hedged:
@@ -540,7 +641,7 @@ func (s *Server) runJob(j *job, wait time.Duration) {
 			cancelHedge = hcancel
 			launched++
 			s.wg.Add(1)
-			go s.attempt(hctx, j, hl, true, resCh)
+			go s.attempt(hctx, j, g, seed, hl, true, resCh)
 		}
 	}
 decided:
@@ -563,11 +664,46 @@ decided:
 	}
 
 	if winner == nil {
+		return nil, &attemptFailure{device: firstErr.device, err: firstErr.err}
+	}
+	return &dispatchResult{out: winner.out, device: winner.device, exec: winner.exec, hedged: hedged}, nil
+}
+
+// failJob finishes a job with an error, counting it under the historical
+// metric split: acquire failures (no device ever ran) land on
+// deadline_expired_total, device failures on failed_total.
+func (s *Server) failJob(j *job, err error) {
+	var aq *acquireError
+	if errors.As(err, &aq) {
+		s.reg.Counter("deadline_expired_total").Inc()
+	} else {
 		s.reg.Counter("failed_total").Inc()
-		s.finishJob(j, nil, firstErr.err)
+	}
+	s.finishJob(j, nil, err)
+}
+
+// runJob executes one admitted job: single-device dispatch, or — for jobs
+// admitted with an effective shard count above one — the scatter-gather
+// sharded path.
+func (s *Server) runJob(j *job, wait time.Duration) {
+	// Attempts answer to the request's context and to server shutdown:
+	// the drain-deadline path cancels baseCtx to reel in-flight work in.
+	ctx, cancelAll := context.WithCancel(j.ctx)
+	defer cancelAll()
+	stopAfter := context.AfterFunc(s.baseCtx, cancelAll)
+	defer stopAfter()
+
+	if j.shards > 1 {
+		s.runSharded(ctx, j, wait)
 		return
 	}
-	out := winner.out
+
+	d, err := s.dispatch(ctx, j, j.req.Graph, j.req.Seed, -1)
+	if err != nil {
+		s.failJob(j, err)
+		return
+	}
+	out := d.out
 	res := &Response{
 		Fingerprint: j.fp,
 		Colors:      out.Colors,
@@ -577,10 +713,11 @@ decided:
 		Recovery:    out.Recovery,
 		Attempts:    out.Attempts,
 		Repaired:    out.Repaired,
-		Hedged:      hedged,
-		Device:      winner.device,
+		Hedged:      d.hedged,
+		Shards:      1,
+		Device:      d.device,
 		Wait:        wait,
-		Exec:        winner.exec,
+		Exec:        d.exec,
 	}
 	s.reg.Counter("completed_total").Inc()
 	if out.Recovery != gpucolor.RecoveryNone {
@@ -594,11 +731,141 @@ decided:
 	s.finishJob(j, res, nil)
 }
 
+// dispatchShard colors one shard's subgraph, retrying once on a different
+// device when the first dispatch failed on-device — the shard-level
+// re-dispatch that lets a sharded job survive one sick device without
+// burning the whole merge.
+func (s *Server) dispatchShard(ctx context.Context, j *job, i int, sub *graph.Graph) (*dispatchResult, error) {
+	seed := j.req.Seed + uint32(i) // decorrelate per-shard priorities
+	d, err := s.dispatch(ctx, j, sub, seed, -1)
+	if err == nil {
+		return d, nil
+	}
+	var af *attemptFailure
+	if ctx.Err() == nil && errors.As(err, &af) && s.pool.Size() > 1 {
+		s.reg.Counter("shard_retries_total").Inc()
+		return s.dispatch(ctx, j, sub, seed, af.device)
+	}
+	return nil, err
+}
+
+// runSharded executes one job as a scatter-gather: partition, fan out one
+// dispatch per shard (each with its own lease, hedging, and health
+// accounting), barrier on the merge, reconcile cross-shard conflicts with
+// the bounded boundary repair loop, and publish one aggregated response.
+func (s *Server) runSharded(ctx context.Context, j *job, wait time.Duration) {
+	plan, err := shard.Partition(j.req.Graph, j.shards, true)
+	if err != nil {
+		s.reg.Counter("failed_total").Inc()
+		s.finishJob(j, nil, err)
+		return
+	}
+	s.reg.Counter("shard_jobs_total").Inc()
+
+	type shardOut struct {
+		d   *dispatchResult
+		err error
+	}
+	outs := make([]shardOut, plan.K)
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := range plan.Subs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, err := s.dispatchShard(sctx, j, i, plan.Subs[i])
+			if err != nil {
+				outs[i].err = fmt.Errorf("serve: shard %d/%d: %w", i, plan.K, err)
+				cancel() // a lost shard fails the merge; reel the siblings in
+				return
+			}
+			outs[i].d = d
+		}(i)
+	}
+	wg.Wait() // merge barrier: every shard decided, every lease released
+
+	// Prefer the error of the shard that actually failed over siblings
+	// that merely observed the cancellation.
+	var firstErr error
+	for _, o := range outs {
+		if o.err == nil {
+			continue
+		}
+		if firstErr == nil || (errors.Is(firstErr, context.Canceled) && !errors.Is(o.err, context.Canceled)) {
+			firstErr = o.err
+		}
+	}
+	if firstErr != nil {
+		s.failJob(j, firstErr)
+		return
+	}
+
+	parts := make([][]int32, plan.K)
+	for i, o := range outs {
+		parts[i] = o.d.out.Colors
+	}
+	colors, st, err := shard.MergeRepair(j.req.Graph, plan, parts, j.req.Seed,
+		s.cfg.Shard.MaxRepairRounds, j.req.NoCPUFallback)
+	if err != nil {
+		s.reg.Counter("failed_total").Inc()
+		s.finishJob(j, nil, err)
+		return
+	}
+	s.reg.Counter("shard_conflicts_total").Add(int64(st.Conflicts))
+	s.reg.Counter("shard_repair_rounds_total").Add(int64(st.Rounds))
+	s.reg.Counter("shard_recolored_total").Add(int64(st.Recolored))
+	if st.Fallback {
+		s.reg.Counter("shard_fallback_total").Inc()
+	}
+
+	res := &Response{
+		Fingerprint:       j.fp,
+		Colors:            colors,
+		NumColors:         st.NumColors,
+		Shards:            plan.K,
+		ShardConflicts:    st.Conflicts,
+		ShardRepairRounds: st.Rounds,
+		ShardRecolored:    st.Recolored,
+		Device:            -1, // the job spanned several devices
+		Wait:              wait,
+	}
+	for _, o := range outs {
+		out := o.d.out
+		res.Cycles += out.Cycles // serial-equivalent device work
+		if out.Iterations > res.Iterations {
+			res.Iterations = out.Iterations
+		}
+		res.Attempts += out.Attempts
+		res.Repaired += out.Repaired
+		if out.Recovery > res.Recovery {
+			res.Recovery = out.Recovery // worst rung any shard needed
+		}
+		if o.d.hedged {
+			res.Hedged = true
+		}
+		if o.d.exec > res.Exec {
+			res.Exec = o.d.exec // parallel makespan
+		}
+	}
+	if st.Fallback {
+		res.Recovery = gpucolor.RecoveryCPU
+	}
+	s.reg.Counter("completed_total").Inc()
+	if res.Recovery != gpucolor.RecoveryNone {
+		s.reg.Counter("recovered_total").Inc()
+	}
+	if !j.req.NoCache {
+		s.cache.put(j.key, res)
+	}
+	s.finishJob(j, res, nil)
+}
+
 // attempt runs one device attempt: execute the resilient ladder on the
 // lease's runner, feed the typed outcome into the device's health score
 // and breaker, release the lease, and report back. The lease is owned by
 // this goroutine from the moment attempt is launched.
-func (s *Server) attempt(ctx context.Context, j *job, lease *Lease, hedge bool, resCh chan<- attemptResult) {
+func (s *Server) attempt(ctx context.Context, j *job, g *graph.Graph, seed uint32, lease *Lease, hedge bool, resCh chan<- attemptResult) {
 	defer s.wg.Done()
 	busy := s.reg.Gauge("devices_busy")
 	busy.Add(1)
@@ -610,7 +877,7 @@ func (s *Server) attempt(ctx context.Context, j *job, lease *Lease, hedge bool, 
 	}
 	opt := gpucolor.ResilientOptions{
 		Options: gpucolor.Options{
-			Seed:            j.req.Seed,
+			Seed:            seed,
 			HybridThreshold: j.req.HybridThreshold,
 			Fused:           j.req.Fused,
 		},
@@ -622,7 +889,7 @@ func (s *Server) attempt(ctx context.Context, j *job, lease *Lease, hedge bool, 
 	// The lease's persistent runner keeps the device-arena buffers bound
 	// across jobs: same results as the transient path, no per-request
 	// allocations on the device side.
-	out, err := lease.Runner().ColorContext(ctx, j.req.Graph, j.req.Algorithm, opt)
+	out, err := lease.Runner().ColorContext(ctx, g, j.req.Algorithm, opt)
 	exec := time.Since(start)
 	var faultsDelta int64
 	if dev.Fault != nil {
@@ -682,6 +949,13 @@ type Stats struct {
 	ExecP50us       int64
 	ExecP99us       int64
 
+	// Sharded scatter-gather.
+	ShardJobs       int64 // jobs executed as K-shard scatter-gathers
+	ShardRetries    int64 // shard dispatches retried on another device
+	ShardConflicts  int64 // monochromatic cut edges found at merge barriers
+	ShardRecolored  int64 // vertices recolored by boundary repair
+	ShardFallbacks  int64 // sharded jobs that degraded to the CPU greedy
+
 	// Self-healing.
 	Hedges        int64 // hedged re-dispatches launched
 	HedgeWins     int64 // hedge attempt beat the primary
@@ -718,6 +992,11 @@ func (s *Server) Stats() Stats {
 		WaitP99us:       s.reg.Histogram("wait_us").Quantile(0.99),
 		ExecP50us:       s.reg.Histogram("exec_us").Quantile(0.50),
 		ExecP99us:       s.reg.Histogram("exec_us").Quantile(0.99),
+		ShardJobs:       snap["shard_jobs_total"],
+		ShardRetries:    snap["shard_retries_total"],
+		ShardConflicts:  snap["shard_conflicts_total"],
+		ShardRecolored:  snap["shard_recolored_total"],
+		ShardFallbacks:  snap["shard_fallback_total"],
 		Hedges:          snap["hedges_total"],
 		HedgeWins:       snap["hedge_wins_total"],
 		HedgeLosses:     snap["hedge_losses_total"],

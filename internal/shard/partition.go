@@ -1,0 +1,256 @@
+package shard
+
+import (
+	"fmt"
+
+	"gcolor/internal/graph"
+)
+
+// Range is one shard's contiguous vertex interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int32
+}
+
+// Size returns the number of vertices in the range.
+func (r Range) Size() int { return int(r.Hi - r.Lo) }
+
+// Plan is a K-way partition of a graph: contiguous vertex ranges balanced
+// by work (arcs, the paper's imbalance lesson lifted from lanes to
+// devices), one internal-edge subgraph per shard in local vertex ids, and
+// the list of cut edges whose endpoints landed in different shards. The
+// subgraphs are independent coloring problems; the cut edges are the only
+// places the per-shard colorings can disagree, and the boundary repair
+// loop (RepairBoundary) resolves exactly those.
+type Plan struct {
+	// K is the number of shards actually produced (always the k requested;
+	// Partition clamps k to the vertex count before building).
+	K int
+	// Ranges lists each shard's global vertex interval, in order; the
+	// intervals are disjoint and cover [0, NumVertices).
+	Ranges []Range
+	// Subs holds one subgraph per shard containing only the shard's
+	// internal edges, with vertex v of shard s appearing as local id
+	// v - Ranges[s].Lo.
+	Subs []*graph.Graph
+	// Boundary lists every cut edge {u, v} exactly once as [2]int32{u, v}
+	// with u < v (global ids).
+	Boundary [][2]int32
+	// Weights holds each shard's work weight (internal arcs + vertices),
+	// the balance evidence the partitioner optimized.
+	Weights []int
+}
+
+// Shard returns the shard index owning global vertex v. Ranges are
+// contiguous and ordered, so this is a binary search.
+func (p *Plan) Shard(v int32) int {
+	lo, hi := 0, len(p.Ranges)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v >= p.Ranges[mid].Hi {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// CutEdges returns the number of cross-shard edges.
+func (p *Plan) CutEdges() int { return len(p.Boundary) }
+
+// Partition splits g into k edge-balanced contiguous shards. Cut points
+// are chosen so every shard carries about 1/k of the work weight
+// (degree + 1 per vertex, so zero-degree stretches still advance), then —
+// with refine set — each cut is swept over a small window to the position
+// crossing the fewest edges, subject to keeping the balance within
+// tolerance. k is clamped to the vertex count; k <= 0 or an empty graph
+// is an error.
+func Partition(g *graph.Graph, k int, refine bool) (*Plan, error) {
+	n := g.NumVertices()
+	if k < 1 {
+		return nil, fmt.Errorf("shard: k = %d, want >= 1", k)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("shard: cannot partition an empty graph")
+	}
+	if k > n {
+		k = n
+	}
+	cuts := balancedCuts(g, k)
+	if refine && k > 1 {
+		refineCuts(g, cuts)
+	}
+	p := &Plan{
+		K:       k,
+		Ranges:  make([]Range, k),
+		Subs:    make([]*graph.Graph, k),
+		Weights: make([]int, k),
+	}
+	for s := 0; s < k; s++ {
+		p.Ranges[s] = Range{Lo: cuts[s], Hi: cuts[s+1]}
+	}
+	if err := p.buildSubs(g); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// balancedCuts walks the vertices once, cutting whenever the accumulated
+// work weight reaches the running ideal. The trailing guard hands every
+// remaining shard at least one vertex, so no shard is ever empty.
+func balancedCuts(g *graph.Graph, k int) []int32 {
+	n := g.NumVertices()
+	total := g.NumArcs() + n
+	cuts := make([]int32, k+1)
+	cuts[k] = int32(n)
+	acc, next := 0, 1
+	for v := 0; v < n && next < k; v++ {
+		acc += g.Degree(int32(v)) + 1
+		// Cut after v once this shard holds its share, or when only
+		// exactly enough vertices remain to give the rest one each.
+		share := total * next / k
+		if acc >= share || n-(v+1) == k-next {
+			cuts[next] = int32(v + 1)
+			next++
+		}
+	}
+	// If the loop ran out of vertices (extreme skew), pack the remaining
+	// cuts at the tail so every range stays non-empty.
+	for ; next < k; next++ {
+		cuts[next] = int32(n - (k - next))
+	}
+	return cuts
+}
+
+// refineCuts nudges each internal cut within a small window to the
+// position crossing the fewest edges. The window bounds how far the
+// balance can drift, and a shift is only kept while both neighbouring
+// ranges stay non-empty.
+func refineCuts(g *graph.Graph, cuts []int32) {
+	n := int32(g.NumVertices())
+	k := len(cuts) - 1
+	window := int32(n) / int32(16*k)
+	if window < 4 {
+		window = 4
+	}
+	if window > 256 {
+		window = 256
+	}
+	for i := 1; i < k; i++ {
+		lo := cuts[i-1] + 1
+		hi := cuts[i+1] - 1 // last admissible cut position keeps right side non-empty
+		if wLo := cuts[i] - window; wLo > lo {
+			lo = wLo
+		}
+		if wHi := cuts[i] + window; wHi < hi {
+			hi = wHi
+		}
+		if lo > hi {
+			continue
+		}
+		// crossing(c) = edges {u, v} with u < c <= v. Computed directly at
+		// the window start, then advanced incrementally: moving the cut
+		// past vertex c turns its left-pointing edges internal and its
+		// right-pointing edges into cuts.
+		cross := crossingAt(g, lo)
+		best, bestCross := lo, cross
+		for c := lo; c < hi; c++ {
+			left, right := 0, 0
+			for _, u := range g.Neighbors(c) {
+				if u < c {
+					left++
+				} else {
+					right++
+				}
+			}
+			cross += right - left
+			if cross < bestCross || (cross == bestCross && abs32(c+1-cuts[i]) < abs32(best-cuts[i])) {
+				best, bestCross = c+1, cross
+			}
+		}
+		cuts[i] = best
+	}
+}
+
+// crossingAt counts the edges {u, v} with u < c <= v.
+func crossingAt(g *graph.Graph, c int32) int {
+	cross := 0
+	for v := int32(0); v < c; v++ {
+		nbr := g.Neighbors(v)
+		// Neighbour lists are sorted; count the suffix >= c.
+		lo, hi := 0, len(nbr)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if nbr[mid] >= c {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		cross += len(nbr) - lo
+	}
+	return cross
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// buildSubs constructs the per-shard internal-edge subgraphs and the cut
+// edge list in one pass over the adjacency.
+func (p *Plan) buildSubs(g *graph.Graph) error {
+	for s, r := range p.Ranges {
+		nLoc := r.Size()
+		offsets := make([]int32, nLoc+1)
+		internal := 0
+		for v := r.Lo; v < r.Hi; v++ {
+			for _, u := range g.Neighbors(v) {
+				if u >= r.Lo && u < r.Hi {
+					internal++
+				} else if v < u {
+					p.Boundary = append(p.Boundary, [2]int32{v, u})
+				}
+			}
+			offsets[v-r.Lo+1] = int32(internal)
+		}
+		adj := make([]int32, internal)
+		at := 0
+		for v := r.Lo; v < r.Hi; v++ {
+			for _, u := range g.Neighbors(v) {
+				if u >= r.Lo && u < r.Hi {
+					adj[at] = u - r.Lo
+					at++
+				}
+			}
+		}
+		sub, err := graph.FromSortedCSR(offsets, adj)
+		if err != nil {
+			return fmt.Errorf("shard: subgraph %d: %w", s, err)
+		}
+		p.Subs[s] = sub
+		p.Weights[s] = internal + nLoc
+	}
+	return nil
+}
+
+// Merge scatters per-shard colorings (local ids) back into one global
+// coloring. parts must hold one slice per shard with exactly the shard's
+// vertex count.
+func (p *Plan) Merge(parts [][]int32) ([]int32, error) {
+	if len(parts) != p.K {
+		return nil, fmt.Errorf("shard: merge got %d parts, want %d", len(parts), p.K)
+	}
+	n := int(p.Ranges[p.K-1].Hi)
+	colors := make([]int32, n)
+	for s, part := range parts {
+		r := p.Ranges[s]
+		if len(part) != r.Size() {
+			return nil, fmt.Errorf("shard: part %d has %d colors, want %d", s, len(part), r.Size())
+		}
+		copy(colors[r.Lo:r.Hi], part)
+	}
+	return colors, nil
+}

@@ -1,0 +1,242 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"gcolor/internal/color"
+	"gcolor/internal/graph"
+)
+
+// ErrRepairBudget reports that the boundary repair loop still had
+// cross-shard conflicts after its round budget; the coloring is left in
+// its partially repaired state. MergeRepair converts this into a CPU
+// greedy fallback unless the caller opted out.
+var ErrRepairBudget = errors.New("shard: boundary repair round budget exhausted")
+
+// DefaultRepairRounds is the round budget used when the caller passes
+// maxRounds <= 0. Each round recolors an independent set of the marked
+// vertices, so the conflict count strictly decreases and rounds grow
+// with the longest priority-decreasing chain in the conflict subgraph —
+// a handful in practice; 16 is a generous ceiling.
+const DefaultRepairRounds = 16
+
+// RepairBoundary resolves cross-shard conflicts of a merged coloring in
+// place, mirroring the GPU speculative-coloring kernels: each round
+// detects monochromatic edges (the plan's cut edges, plus every edge
+// incident to a vertex marked in the previous round, so conflicts a
+// deferred vertex still carries are re-seen), marks the lower-priority
+// endpoint of each with the same hash tie-break the kernels use, and
+// first-fit recolors the marked vertices that are priority-minimal among
+// their marked neighbours against a snapshot of the current coloring.
+// That independent-set restriction is what makes the loop converge: two
+// adjacent marked vertices recoloring against the same snapshot could
+// pick the same color and oscillate for the whole budget (dense
+// scale-free boundaries did exactly that), whereas a mover whose
+// neighbours all hold still excludes every neighbouring color it can
+// collide with — each round strictly reduces the conflict count.
+// Per-shard colorings are internally proper by construction, so by
+// induction every conflict a round can see involves a cut edge or a
+// vertex marked in the previous round.
+//
+// It returns the rounds executed and total vertices recolored. If
+// conflicts remain after maxRounds (<= 0 means DefaultRepairRounds) it
+// returns ErrRepairBudget with the coloring partially repaired.
+func RepairBoundary(g *graph.Graph, p *Plan, colors []int32, seed uint32, maxRounds int) (rounds, recolored int, err error) {
+	n := g.NumVertices()
+	if len(colors) != n {
+		return 0, 0, fmt.Errorf("shard: repair got %d colors for %d vertices", len(colors), n)
+	}
+	if maxRounds <= 0 {
+		maxRounds = DefaultRepairRounds
+	}
+	marked := make([]bool, n)
+	var frontier []int32 // vertices marked in the previous round
+	snapshot := make([]int32, n)
+	// Rank-offset picks can skip up to deg available colors past the
+	// usual deg+1 guarantee window, so the scratch covers both.
+	scratch := make([]int32, 2*g.MaxDegree()+3)
+	for i := range scratch {
+		scratch[i] = -1
+	}
+	epoch := int32(0)
+	prevBad := n + 1
+	for {
+		// Detect: cut edges always, plus edges incident to the previous
+		// round's marked vertices (movers and deferred alike).
+		var bad []int32
+		mark := func(u, v int32) {
+			w := v
+			if color.PriorityGreater(color.Priority(u, seed), u, color.Priority(v, seed), v) {
+				// u outranks v: v retries.
+			} else {
+				w = u
+			}
+			if !marked[w] {
+				marked[w] = true
+				bad = append(bad, w)
+			}
+		}
+		for _, e := range p.Boundary {
+			if colors[e[0]] == colors[e[1]] {
+				mark(e[0], e[1])
+			}
+		}
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(v) {
+				if colors[u] == colors[v] {
+					mark(u, v)
+				}
+			}
+		}
+		if len(bad) == 0 {
+			return rounds, recolored, nil
+		}
+		if rounds == maxRounds {
+			return rounds, recolored, ErrRepairBudget
+		}
+		rounds++
+		// Recolor against a snapshot, as the parallel kernel would. The
+		// fast path moves every marked vertex, offsetting each first-fit
+		// pick by the vertex's rank among its outranking marked neighbours:
+		// a marked clique (a hub's boundary neighbourhood) gets distinct
+		// ranks, picks distinct colors, and resolves in one round, where
+		// plain snapshot first-fit oscillated for the whole budget. Ranks
+		// only decorrelate — two equal-rank marked neighbours can still
+		// collide — so any round that fails to shrink the conflict set
+		// switches to the guaranteed mode: only vertices that are
+		// priority-minimal among their marked neighbours move. Those form
+		// an independent set, collide with nothing, and always include the
+		// globally minimal marked vertex, so the conflict count strictly
+		// decreases and the loop cannot stall.
+		independent := len(bad) >= prevBad
+		prevBad = len(bad)
+		copy(snapshot, colors)
+		for _, v := range bad {
+			pv := color.Priority(v, seed)
+			rank := 0
+			defer_ := false
+			for _, u := range g.Neighbors(v) {
+				if marked[u] && color.PriorityGreater(color.Priority(u, seed), u, pv, v) {
+					rank++
+					if independent {
+						// In guaranteed mode any outranking marked
+						// neighbour defers v entirely.
+						defer_ = true
+						break
+					}
+				}
+			}
+			if defer_ {
+				continue
+			}
+			if independent {
+				rank = 0
+			}
+			colors[v] = firstFitSnapshot(g, v, snapshot, scratch, epoch, rank)
+			epoch++
+			recolored++
+		}
+		for _, v := range bad {
+			marked[v] = false
+		}
+		frontier = bad
+	}
+}
+
+// firstFitSnapshot returns the (skip+1)-th smallest color >= 0 absent
+// from v's neighbourhood in snapshot, excluding v's own snapshot color so
+// a marked vertex always moves off the contested color. skip spreads
+// simultaneously recoloring marked neighbours across the palette.
+func firstFitSnapshot(g *graph.Graph, v int32, snapshot, scratch []int32, epoch int32, skip int) int32 {
+	nbr := g.Neighbors(v)
+	// [0, deg+1] always holds one color free of nbr + self; each skipped
+	// free color needs the window one wider.
+	limit := int32(len(nbr)) + 2 + int32(skip)
+	if m := int32(len(scratch)); limit > m {
+		limit = m
+	}
+	if c := snapshot[v]; c >= 0 && c < limit {
+		scratch[c] = epoch
+	}
+	for _, u := range nbr {
+		if c := snapshot[u]; c >= 0 && c < limit {
+			scratch[c] = epoch
+		}
+	}
+	for c := int32(0); c < limit; c++ {
+		if scratch[c] != epoch {
+			if skip == 0 {
+				return c
+			}
+			skip--
+		}
+	}
+	// Reachable only with an undersized scratch; one past the largest
+	// neighbour color is always free.
+	max := snapshot[v]
+	for _, u := range nbr {
+		if snapshot[u] > max {
+			max = snapshot[u]
+		}
+	}
+	return max + 1
+}
+
+// RepairStats records what MergeRepair did to reconcile the shards.
+type RepairStats struct {
+	// Conflicts is the number of cut edges that were monochromatic in the
+	// raw merged coloring, before any repair.
+	Conflicts int
+	// Rounds is the number of repair rounds executed.
+	Rounds int
+	// Recolored is the total number of vertex recolorings across rounds.
+	Recolored int
+	// Fallback reports that the repair budget blew (or the repaired
+	// coloring failed verification) and the result came from the CPU
+	// greedy fallback instead.
+	Fallback bool
+	// NumColors is the palette size of the returned coloring after
+	// normalization.
+	NumColors int
+}
+
+// MergeRepair merges per-shard colorings into one proper coloring of g:
+// scatter the parts (Merge), run the bounded boundary repair loop, verify,
+// and normalize the palette to a dense range. If the repair budget blows —
+// or the input parts were not internally proper, which boundary repair
+// cannot see — it falls back to a full CPU greedy coloring, unless
+// noFallback is set, in which case the typed error surfaces. The returned
+// coloring always verifies.
+func MergeRepair(g *graph.Graph, p *Plan, parts [][]int32, seed uint32, maxRounds int, noFallback bool) ([]int32, RepairStats, error) {
+	var st RepairStats
+	colors, err := p.Merge(parts)
+	if err != nil {
+		return nil, st, err
+	}
+	for _, e := range p.Boundary {
+		if colors[e[0]] == colors[e[1]] {
+			st.Conflicts++
+		}
+	}
+	rounds, recolored, err := RepairBoundary(g, p, colors, seed, maxRounds)
+	st.Rounds, st.Recolored = rounds, recolored
+	if err == nil {
+		// Repair only inspects cut edges and recolored neighbourhoods; a
+		// part with internal conflicts slips through, so verify the whole
+		// coloring before trusting it.
+		err = color.Verify(g, colors)
+		if err != nil {
+			err = fmt.Errorf("shard: merged coloring invalid after repair: %w", err)
+		}
+	}
+	if err != nil {
+		if noFallback {
+			return nil, st, err
+		}
+		st.Fallback = true
+		colors = color.Greedy(g, color.Natural, int64(seed))
+	}
+	st.NumColors = color.NormalizeColors(colors)
+	return colors, st, nil
+}
