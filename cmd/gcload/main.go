@@ -11,6 +11,7 @@
 //	gcload -addr http://localhost:8421 -conc 8 -duration 10s
 //	gcload -mode open -rate 200 -duration 5s -mix "grid:40:40=3,rmat:9:8:1=1"
 //	gcload -baseline -conc 8 -n 200 -json load.json
+//	gcload -crash-drill -json BENCH_PR6.json   # kill -9 / restart / replay drill
 //
 // The mix is spec=weight pairs (specs as in serve.ParseGraphSpec); -unique
 // rewrites the seed of that fraction of requests so they miss every cache,
@@ -78,6 +79,12 @@ func main() {
 		baseline = flag.Bool("baseline", false, "first measure serial no-cache throughput on the same mix and report speedup")
 		jsonOut  = flag.String("json", "", "also write the summary as JSON to this file")
 
+		crashDrill        = flag.Bool("crash-drill", false, "run the crash-recovery drill: start gcolord with a journal, SIGKILL it mid-load, restart it, and assert zero accepted-job loss and a warm cache (ignores -addr)")
+		drillGcolord      = flag.String("drill-gcolord", "", "prebuilt gcolord binary for -crash-drill (empty = `go build gcolor/cmd/gcolord` from the module root)")
+		drillBuildFlags   = flag.String("drill-buildflags", "", "extra go build flags when -crash-drill builds gcolord, e.g. -race")
+		drillOverheadGate = flag.Float64("drill-overhead-gate", 0.05, "max tolerated journal throughput overhead fraction in the -crash-drill A/B")
+		drillDevices      = flag.Int("drill-devices", 2, "-crash-drill daemon pool size")
+
 		chaosSoak     = flag.Bool("chaos-soak", false, "run the self-healing chaos soak against an in-process server (ignores -addr) and exit")
 		soakFaultRate = flag.Float64("soak-fault-rate", 0.02, "per-event fault probability armed on the chaos-soak victim")
 		soakPhase     = flag.Duration("soak-phase", 3*time.Second, "chaos-soak phase length (baseline / fault / recovery windows)")
@@ -85,6 +92,21 @@ func main() {
 		soakMix       = flag.String("soak-mix", "grid:24:24=2,rmat:8:8:1=1", "chaos-soak workload mix (small graphs keep phases dense)")
 	)
 	flag.Parse()
+
+	if *crashDrill {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_PR6.json"
+		}
+		os.Exit(runCrashDrill(crashDrillConfig{
+			gcolordBin:   *drillGcolord,
+			buildFlags:   *drillBuildFlags,
+			devices:      *drillDevices,
+			conc:         *conc,
+			overheadGate: *drillOverheadGate,
+			outPath:      out,
+		}))
+	}
 
 	if *chaosSoak {
 		out := *jsonOut

@@ -11,6 +11,13 @@
 //	gcolord -pprof                                  # + /debug/pprof/ endpoints
 //	gcolord -drain-timeout 30s                      # graceful-drain deadline
 //	gcolord -shard-auto-vertices 4096 -max-body 8388608   # sharding + body cap
+//	gcolord -journal-dir /var/lib/gcolord/wal             # crash-safe serving
+//
+// With -journal-dir set, every accepted job is journaled before it is
+// enqueued and its result journaled on completion. After a crash the
+// daemon replays the journal on startup: finished results warm the cache,
+// unfinished jobs whose deadlines haven't passed are re-executed, and
+// client retries carrying an Idempotency-Key get their original answer.
 //
 // Endpoints:
 //
@@ -20,6 +27,7 @@
 //	                shed counts, device utilization, per-device health
 //	                and breaker state (flat text)
 //	GET  /drainz    drain status; POST /drainz requests a graceful drain
+//	GET  /recoveryz journal replay / warm-start status after a restart
 //
 // Shutdown: SIGTERM/SIGINT (or POST /drainz) stops admission, lets queued
 // and in-flight jobs finish, and logs a structured summary. If the drain
@@ -44,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"gcolor/internal/journal"
 	"gcolor/internal/serve"
 )
 
@@ -69,6 +78,11 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on shutdown (0 waits forever)")
 		noSelfHeal   = flag.Bool("no-self-heal", false, "disable health scoring, circuit breakers, and hedged re-dispatch")
 
+		journalDir   = flag.String("journal-dir", "", "write-ahead journal directory; accepted jobs and results survive crashes and are replayed on restart (empty = journaling off)")
+		journalFsync = flag.String("journal-fsync", "batch", "journal durability mode: always (fsync per append), batch (group commit), none (OS-paced)")
+		journalSeg   = flag.Int64("journal-segment-bytes", 0, "journal segment rotation size in bytes (0 = default 4MiB)")
+		noJournal    = flag.Bool("no-journal", false, "disable journaling even when -journal-dir is set")
+
 		maxBody   = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "maximum POST /color body bytes; oversized requests get 413 (negative disables the limit)")
 		shardK    = flag.Int("shard-k", 0, "shard count for auto-sharded jobs (0 = pool size, capped at 16)")
 		shardAutV = flag.Int("shard-auto-vertices", 0, "auto-shard jobs at or above this many vertices (0 = default 8192, negative disables)")
@@ -88,6 +102,31 @@ func main() {
 		devCfg.FaultSeed = *faultSeed
 		log.Printf("chaos: fault injectors armed on all devices, rate %g, seed %d", *faultRate, *faultSeed)
 	}
+
+	// Open the write-ahead journal before the server exists: recovery state
+	// (pending jobs to replay, completions to warm the cache from) feeds
+	// straight into NewServer, so a crashed instance picks up where it died.
+	var (
+		jrnl *journal.Journal
+		rec  *journal.Recovery
+	)
+	if *journalDir != "" && !*noJournal {
+		mode, err := journal.ParseFsyncMode(*journalFsync)
+		if err != nil {
+			log.Fatalf("gcolord: -journal-fsync: %v", err)
+		}
+		jrnl, rec, err = journal.Open(*journalDir, journal.Options{
+			Fsync:        mode,
+			SegmentBytes: *journalSeg,
+		})
+		if err != nil {
+			log.Fatalf("gcolord: journal: %v", err)
+		}
+		log.Printf("journal: %s (fsync=%s): replayed %d records (%d pending, %d completions, %d torn tails, %d corrupt segments)",
+			jrnl.Dir(), *journalFsync, rec.Stats.Records, len(rec.Pending), len(rec.Completions),
+			rec.Stats.TornTails, rec.Stats.CorruptSegments)
+	}
+
 	srv := serve.NewServer(serve.Config{
 		Devices:       *devices,
 		Device:        devCfg,
@@ -96,6 +135,8 @@ func main() {
 		CacheEntries:  *cacheSz,
 		Workers:       *workers,
 		SelfHeal:      serve.SelfHealConfig{Disabled: *noSelfHeal},
+		Journal:       jrnl,
+		Recovery:      rec,
 		Shard: serve.ShardConfig{
 			Disabled:     *noShard,
 			K:            *shardK,
@@ -145,6 +186,14 @@ func main() {
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("gcolord: http shutdown: %v", err)
+	}
+
+	if jrnl != nil {
+		// Close after drain: the last completions have been journaled, so a
+		// restart warms from a snapshot instead of replaying live work.
+		if err := jrnl.Close(); err != nil {
+			log.Printf("gcolord: journal close: %v", err)
+		}
 	}
 
 	st := srv.Stats()

@@ -2,6 +2,8 @@ package gcolor_test
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -94,5 +96,68 @@ func TestRunExperimentFacade(t *testing.T) {
 	}
 	if err := gcolor.RunExperiment("nope", &sb); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestPublicAPIJournal walks the durability path through the facade: open
+// a journal, serve a journaled job, crash-free restart on the same
+// directory, and check the recovered server answers from its warm cache.
+func TestPublicAPIJournal(t *testing.T) {
+	dir := t.TempDir()
+	j, rec, err := gcolor.OpenJournal(dir, gcolor.JournalOptions{Fsync: gcolor.FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Pending) != 0 || len(rec.Completions) != 0 {
+		t.Fatalf("fresh journal recovered state: %d pending, %d completions", len(rec.Pending), len(rec.Completions))
+	}
+
+	g, err := gcolor.ParseGraphSpec("grid:8:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := gcolor.NewServer(gcolor.ServeConfig{Devices: 1, Journal: j, Recovery: rec})
+	req := &gcolor.ServeRequest{
+		Graph:     g,
+		RequestID: "facade-1",
+		IdemKey:   "facade-idem",
+		Wire:      json.RawMessage(`{"gen":"grid:8:8"}`),
+	}
+	res, err := srv.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors < 2 {
+		t.Fatalf("NumColors = %d", res.NumColors)
+	}
+	srv.Stop()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec2, err := gcolor.OpenJournal(dir, gcolor.JournalOptions{Fsync: gcolor.FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(rec2.Completions) == 0 {
+		t.Fatal("restart recovered no completions")
+	}
+	srv2 := gcolor.NewServer(gcolor.ServeConfig{Devices: 1, Journal: j2, Recovery: rec2})
+	defer srv2.Stop()
+	<-srv2.RecoveryDone()
+	info := srv2.RecoveryInfo()
+	if !info.Enabled || info.WarmedCache == 0 || info.WarmedIdem == 0 {
+		t.Fatalf("recovery info: %+v", info)
+	}
+	res2, err := srv2.Submit(context.Background(), &gcolor.ServeRequest{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Cached {
+		t.Error("recovered server missed its warm cache")
+	}
+	if res2.NumColors != res.NumColors {
+		t.Errorf("answer changed across restart: %d vs %d colors", res2.NumColors, res.NumColors)
 	}
 }

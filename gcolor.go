@@ -28,6 +28,7 @@ import (
 	"gcolor/internal/gpuapps"
 	"gcolor/internal/gpucolor"
 	"gcolor/internal/graph"
+	"gcolor/internal/journal"
 	"gcolor/internal/serve"
 	"gcolor/internal/shard"
 	"gcolor/internal/simt"
@@ -306,6 +307,53 @@ type DrainTimeoutError = serve.DrainTimeoutError
 
 // NewServer starts a Server; call Stop to drain and release it.
 func NewServer(cfg ServeConfig) *Server { return serve.NewServer(cfg) }
+
+// Durability (see internal/journal): a write-ahead journal makes a Server
+// crash-safe — accepted jobs are journaled before they are queued and
+// replayed on restart, completed results warm-start the result cache, and
+// client Idempotency-Keys dedupe retries across the crash.
+
+// Journal is an append-only, checksummed, segment-rotated write-ahead log.
+type Journal = journal.Journal
+
+// JournalOptions tunes segment size, fsync policy, and compaction.
+type JournalOptions = journal.Options
+
+// JournalRecovery is what replaying a journal directory found: pending
+// accepted jobs to re-execute plus completed results to warm caches from.
+// Pass it (with the Journal) into ServeConfig to recover a Server.
+type JournalRecovery = journal.Recovery
+
+// JournalReplayStats describes a journal scan: segments read, torn tails
+// truncated, corrupt segments skipped, record counts.
+type JournalReplayStats = journal.ReplayStats
+
+// JournalStats is a live journal's counters (appends, fsyncs, rotations,
+// compactions, live segments).
+type JournalStats = journal.Stats
+
+// FsyncMode selects journal durability: per-append, batched group commit,
+// or OS-paced.
+type FsyncMode = journal.FsyncMode
+
+// Journal fsync modes.
+const (
+	FsyncBatch  = journal.FsyncBatch
+	FsyncAlways = journal.FsyncAlways
+	FsyncNone   = journal.FsyncNone
+)
+
+// OpenJournal opens (or creates) a journal directory and replays whatever
+// it holds. Replay never fails on torn or corrupt records — the damage is
+// truncated, counted in the returned recovery's stats, and the journal
+// continues in a fresh segment.
+func OpenJournal(dir string, opt JournalOptions) (*Journal, *JournalRecovery, error) {
+	return journal.Open(dir, opt)
+}
+
+// RecoveryInfo reports a recovered Server's warm-start and replay
+// progress (the programmatic form of gcolord's GET /recoveryz).
+type RecoveryInfo = serve.RecoveryInfo
 
 // ParseGraphSpec builds a deterministic synthetic graph from a compact
 // spec like "rmat:14:16:1", "gnm:10000:50000", or "grid:64:64".

@@ -1,0 +1,212 @@
+// Package journal is gcolord's durability layer: an append-only,
+// CRC32C-checksummed, length-prefixed write-ahead journal with segment
+// rotation, fsync batching, and snapshot compaction.
+//
+// The serving layer appends an accept record for every admitted job
+// before it is enqueued and a completion record when the job finishes
+// (whatever the disposition), so process death loses no accepted work:
+// on the next Open the journal is replayed, incomplete jobs come back as
+// Recovery.Pending for re-execution, and completed results warm-start
+// the result cache and the idempotency map. Replay never fails — a torn
+// or corrupt tail is truncated and counted, not fatal — because a
+// journal that can brick its own restart is worse than no journal.
+package journal
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// Dispositions of a completion record: how an accepted job left the
+// system. Only DispOK carries a result; every other disposition exists
+// so replay knows the job needs no re-execution.
+const (
+	// DispOK is a successful completion with a verified coloring.
+	DispOK = "ok"
+	// DispFailed is a terminal execution failure (device error after the
+	// full resilient ladder); the caller saw the error.
+	DispFailed = "failed"
+	// DispExpired is a job whose deadline passed (in queue or mid-run);
+	// the caller saw a deadline error.
+	DispExpired = "expired"
+	// DispHandedOff is a job handed back to its caller unrun at a drain
+	// deadline; the caller saw a draining error and owns the retry.
+	DispHandedOff = "handed_off"
+	// DispRejected closes an accept record whose enqueue was refused
+	// (queue full / shedding) after the accept was already journaled.
+	DispRejected = "rejected"
+	// DispReplayExpired is a recovered pending job whose deadline had
+	// already passed at replay time: explicitly expired, never silently
+	// dropped.
+	DispReplayExpired = "replay_expired"
+)
+
+// AcceptRecord journals one admitted job before it is enqueued.
+type AcceptRecord struct {
+	// ID is the per-request ID (X-Request-ID); accept and completion
+	// records pair up on it.
+	ID string `json:"id"`
+	// IdemKey is the client's Idempotency-Key, when one was sent.
+	IdemKey string `json:"idem,omitempty"`
+	// Fingerprint is the graph content fingerprint; PolicyKey the folded
+	// policy knobs plus shard count — together the result-cache key.
+	Fingerprint uint64 `json:"fp,string"`
+	PolicyKey   uint64 `json:"pk,string"`
+	// Priority is the admission priority (serve.Priority as an int).
+	Priority int `json:"prio,omitempty"`
+	// DeadlineUnixMS is the job's absolute deadline (0 = none); replay
+	// expires rather than re-runs jobs whose deadline has passed.
+	DeadlineUnixMS int64 `json:"deadline_ms,omitempty"`
+	// AcceptedUnixMS is when the job was admitted.
+	AcceptedUnixMS int64 `json:"accepted_ms"`
+	// Wire is the request's wire form (serve.ColorRequest JSON), enough
+	// to rebuild and re-execute the job on replay.
+	Wire json.RawMessage `json:"wire,omitempty"`
+}
+
+// CompleteRecord journals one finished job. Disposition says how it
+// finished; DispOK records carry the compact result that warm-starts the
+// cache and answers idempotent retries.
+type CompleteRecord struct {
+	ID          string `json:"id"`
+	IdemKey     string `json:"idem,omitempty"`
+	Fingerprint uint64 `json:"fp,string"`
+	PolicyKey   uint64 `json:"pk,string"`
+	Disposition string `json:"disp"`
+	// ErrKind is the typed error kind for non-OK dispositions.
+	ErrKind string `json:"err,omitempty"`
+
+	// Compact result (DispOK only). Colors are base64-packed LE int32s:
+	// a JSON int array would be ~5x the bytes at journal write rates.
+	NumColors  int    `json:"num_colors,omitempty"`
+	ColorsB64  string `json:"colors_b64,omitempty"`
+	Cycles     int64  `json:"cycles,omitempty"`
+	Iterations int    `json:"iters,omitempty"`
+	Recovery   int    `json:"recovery,omitempty"`
+	Shards     int    `json:"shards,omitempty"`
+	// NoCache marks a result that must answer idempotent retries but not
+	// re-enter the result cache on warm start.
+	NoCache bool `json:"no_cache,omitempty"`
+
+	CompletedUnixMS int64 `json:"completed_ms"`
+}
+
+// record is the journal's single wire envelope; exactly one of Accept
+// and Complete is set.
+type record struct {
+	Accept   *AcceptRecord   `json:"a,omitempty"`
+	Complete *CompleteRecord `json:"c,omitempty"`
+}
+
+// EncodeColors packs a coloring for a journal record. A one-byte codec
+// prefix precedes the base64 body: 'b' is one byte per vertex (the common
+// case — colorings rarely need more than a few dozen colors, and the 4x
+// size cut matters because fsync cost tracks journaled bytes), 'w' is
+// little-endian int32 for palettes that overflow a byte.
+func EncodeColors(colors []int32) string {
+	if len(colors) == 0 {
+		return ""
+	}
+	narrow := true
+	for _, c := range colors {
+		if c < 0 || c > 0xff {
+			narrow = false
+			break
+		}
+	}
+	if narrow {
+		b := make([]byte, len(colors))
+		for i, c := range colors {
+			b[i] = byte(c)
+		}
+		return "b" + base64.StdEncoding.EncodeToString(b)
+	}
+	b := make([]byte, 4*len(colors))
+	for i, c := range colors {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(c))
+	}
+	return "w" + base64.StdEncoding.EncodeToString(b)
+}
+
+// DecodeColors unpacks EncodeColors; it is the inverse for any length.
+func DecodeColors(s string) ([]int32, error) {
+	if s == "" {
+		return nil, nil
+	}
+	b, err := base64.StdEncoding.DecodeString(s[1:])
+	if err != nil {
+		return nil, fmt.Errorf("journal: colors: %w", err)
+	}
+	switch s[0] {
+	case 'b':
+		colors := make([]int32, len(b))
+		for i, c := range b {
+			colors[i] = int32(c)
+		}
+		return colors, nil
+	case 'w':
+		if len(b)%4 != 0 {
+			return nil, fmt.Errorf("journal: colors: %d bytes not a multiple of 4", len(b))
+		}
+		colors := make([]int32, len(b)/4)
+		for i := range colors {
+			colors[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+		}
+		return colors, nil
+	default:
+		return nil, fmt.Errorf("journal: colors: unknown codec %q", s[0])
+	}
+}
+
+// Frame format, shared by journal segments and snapshots:
+//
+//	segment  := magic record*
+//	magic    := "gcwal1\n\x00" (8 bytes)
+//	record   := len(uint32 LE) crc32c(uint32 LE, of payload) payload
+//	payload  := JSON of record{}
+//
+// A record is valid only if its full payload is present and the CRC
+// matches; anything else at the end of the active segment is a torn
+// write from the crash and is truncated on replay.
+
+var segmentMagic = [8]byte{'g', 'c', 'w', 'a', 'l', '1', '\n', 0}
+
+const frameHeaderBytes = 8 // len + crc
+
+// maxRecordBytes caps a single record so a corrupt length field cannot
+// drive a multi-gigabyte allocation during replay. Large enough for the
+// colors of a 16M-vertex graph.
+const maxRecordBytes = 128 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeFrame appends the framed record to buf and returns it.
+func encodeFrame(buf []byte, payload []byte) []byte {
+	var hdr [frameHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// decodeFrame reads one frame from b. It returns the payload, the total
+// frame size consumed, and ok=false when b does not hold one complete,
+// checksum-valid frame (a torn or corrupt tail).
+func decodeFrame(b []byte) (payload []byte, n int, ok bool) {
+	if len(b) < frameHeaderBytes {
+		return nil, 0, false
+	}
+	plen := binary.LittleEndian.Uint32(b[0:])
+	crc := binary.LittleEndian.Uint32(b[4:])
+	if plen > maxRecordBytes || int(plen) > len(b)-frameHeaderBytes {
+		return nil, 0, false
+	}
+	payload = b[frameHeaderBytes : frameHeaderBytes+int(plen)]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, 0, false
+	}
+	return payload, frameHeaderBytes + int(plen), true
+}

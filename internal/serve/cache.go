@@ -24,12 +24,14 @@ func keyOf(req *Request, fp uint64, shards int) cacheKey {
 
 // resultCache is a fixed-capacity LRU of completed responses. Stored
 // responses are treated as immutable: lookups return the same *Response to
-// every hit, so callers must not mutate the Colors slice.
+// every hit, so callers must not mutate the Colors slice. Evictions are
+// counted (they used to be silent) so /metricsz can report churn.
 type resultCache struct {
-	mu    sync.Mutex
-	cap   int
-	order *list.List // front = most recent; values are *cacheEntry
-	byKey map[cacheKey]*list.Element
+	mu     sync.Mutex
+	cap    int
+	order  *list.List // front = most recent; values are *cacheEntry
+	byKey  map[cacheKey]*list.Element
+	evicts int64
 }
 
 type cacheEntry struct {
@@ -81,6 +83,7 @@ func (c *resultCache) put(key cacheKey, res *Response) {
 		el := c.order.Back()
 		c.order.Remove(el)
 		delete(c.byKey, el.Value.(*cacheEntry).key)
+		c.evicts++
 	}
 }
 
@@ -89,6 +92,110 @@ func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// evictions returns the lifetime eviction count.
+func (c *resultCache) evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicts
+}
+
+// export snapshots every entry, least recently used first, so replaying
+// the exported list through put reproduces the recency order. Used by
+// journal snapshot compaction.
+func (c *resultCache) export() []cacheExport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheExport, 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, cacheExport{key: e.key, res: e.res})
+	}
+	return out
+}
+
+// cacheExport is one exported result-cache entry.
+type cacheExport struct {
+	key cacheKey
+	res *Response
+}
+
+// idemCache is a fixed-capacity LRU from client Idempotency-Key to the
+// completed response that key produced. It is consulted before the result
+// cache — even for NoCache requests, since an idempotent retry explicitly
+// asks for the stored answer — and is warm-started from journal
+// completion records, which is what makes retries safe across restarts.
+type idemCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *idemEntry
+	byKey map[string]*list.Element
+}
+
+type idemEntry struct {
+	key     string
+	res     *Response
+	noCache bool   // the producing request bypassed the result cache
+	pk      uint64 // the producing request's policy key (journal snapshots)
+}
+
+func newIdemCache(capacity int) *idemCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &idemCache{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+func (c *idemCache) get(key string) (*Response, bool) {
+	if c.cap == 0 || key == "" {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*idemEntry).res, true
+}
+
+func (c *idemCache) put(key string, res *Response, noCache bool, pk uint64) {
+	if c.cap == 0 || key == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*idemEntry)
+		e.res, e.noCache, e.pk = res, noCache, pk
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&idemEntry{key: key, res: res, noCache: noCache, pk: pk})
+	for c.order.Len() > c.cap {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.byKey, el.Value.(*idemEntry).key)
+	}
+}
+
+func (c *idemCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// export snapshots every entry, least recently used first.
+func (c *idemCache) export() []idemEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]idemEntry, 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		out = append(out, *el.Value.(*idemEntry))
+	}
+	return out
 }
 
 // flight is one in-flight execution that any number of duplicate requests

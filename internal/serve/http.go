@@ -3,9 +3,12 @@ package serve
 import (
 	"container/list"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -67,12 +70,52 @@ type ColorResponse struct {
 	ShardConflicts    int `json:"shard_conflicts,omitempty"`
 	ShardRepairRounds int `json:"shard_repair_rounds,omitempty"`
 	ShardRecolored    int `json:"shard_recolored,omitempty"`
+
+	// RequestID is the per-request correlation ID (inbound X-Request-ID,
+	// or server-generated), also echoed in the X-Request-ID response
+	// header. IdempotentReplay reports that an Idempotency-Key matched a
+	// journaled completion and the stored result was returned.
+	RequestID        string `json:"request_id"`
+	IdempotentReplay bool   `json:"idempotent_replay,omitempty"`
 }
 
 // errorResponse is the JSON body of any non-2xx /color reply.
 type errorResponse struct {
 	Error string `json:"error"`
 	Kind  string `json:"kind"` // bad_request | too_large | queue_full | shedding | deadline | draining | closed | failed
+	// RequestID correlates the failure with server logs, journal records,
+	// and crash-drill traces.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// requestID returns the request's correlation ID: an inbound
+// X-Request-ID (sanitized — header-safe characters only, bounded length)
+// or a freshly generated one.
+func requestID(r *http.Request) string {
+	if id := sanitizeRequestID(r.Header.Get("X-Request-ID")); id != "" {
+		return id
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req-fallback"
+	}
+	return "req-" + hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID keeps a client-supplied ID only when it is safe to
+// echo into headers and journal records: printable ASCII, no separators
+// that could split a header, at most 128 bytes.
+func sanitizeRequestID(id string) string {
+	if len(id) > 128 {
+		id = id[:128]
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == ',' || c == ';' {
+			return ""
+		}
+	}
+	return id
 }
 
 // specCache memoizes generator-spec graphs so a hot spec ("rmat:12:8:1"
@@ -145,6 +188,8 @@ type HandlerConfig struct {
 //	GET  /metricsz  flat text metrics (counters, gauges, histograms,
 //	                derived cache_hit_rate / device_utilization, per-device
 //	                health and breaker state)
+//	GET  /recoveryz journal recovery status (replay stats, warm-start
+//	                counts, pending-job replay progress, journal counters)
 //	GET  /drainz    drain status (draining flag, queue depth, per-device
 //	                breaker states)
 //	POST /drainz    request a graceful drain; the daemon observes
@@ -188,6 +233,28 @@ func HandlerWith(s *Server, hc HandlerConfig) http.Handler {
 		fmt.Fprintf(&sb, "probe_failures_total %d\n", st.ProbeFailures)
 		fmt.Fprintf(&sb, "quarantined %d\n", st.Quarantined)
 		fmt.Fprintf(&sb, "draining %d\n", boolToInt(st.Draining))
+		// Result cache and idempotency map residency (the hit/miss/evict
+		// counters live in the registry lines above).
+		fmt.Fprintf(&sb, "cache_entries %d\n", st.CacheEntries)
+		fmt.Fprintf(&sb, "cache_evictions_total %d\n", st.CacheEvictions)
+		fmt.Fprintf(&sb, "idem_entries %d\n", st.IdemEntries)
+		// Durability: journal counters plus the startup recovery verdict.
+		ri := s.RecoveryInfo()
+		fmt.Fprintf(&sb, "recovery_enabled %d\n", boolToInt(ri.Enabled))
+		fmt.Fprintf(&sb, "recovery_done %d\n", boolToInt(ri.Done))
+		fmt.Fprintf(&sb, "recovery_warmed_cache %d\n", ri.WarmedCache)
+		fmt.Fprintf(&sb, "recovery_warmed_idem %d\n", ri.WarmedIdem)
+		fmt.Fprintf(&sb, "recovery_pending_recovered %d\n", ri.PendingRecovered)
+		fmt.Fprintf(&sb, "recovery_torn_tails %d\n", ri.Replay.TornTails)
+		fmt.Fprintf(&sb, "recovery_corrupt_segments %d\n", ri.Replay.CorruptSegments)
+		if ri.Journal != nil {
+			fmt.Fprintf(&sb, "journal_appends_total %d\n", ri.Journal.Appends)
+			fmt.Fprintf(&sb, "journal_append_bytes_total %d\n", ri.Journal.AppendBytes)
+			fmt.Fprintf(&sb, "journal_fsyncs_total %d\n", ri.Journal.Fsyncs)
+			fmt.Fprintf(&sb, "journal_rotations_total %d\n", ri.Journal.Rotations)
+			fmt.Fprintf(&sb, "journal_compactions_total %d\n", ri.Journal.Compactions)
+			fmt.Fprintf(&sb, "journal_live_segments %d\n", ri.Journal.LiveSegments)
+		}
 		for i, d := range st.PerDevice {
 			fmt.Fprintf(&sb, "device_health_%d %.4f\n", i, d.Health)
 			fmt.Fprintf(&sb, "device_breaker_%d %d\n", i, int(s.pool.BreakerState(i)))
@@ -209,6 +276,10 @@ func HandlerWith(s *Server, hc HandlerConfig) http.Handler {
 			"breakers":    states,
 		})
 	}
+	mux.HandleFunc("GET /recoveryz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.RecoveryInfo())
+	})
 	mux.HandleFunc("GET /drainz", func(w http.ResponseWriter, r *http.Request) {
 		drainStatus(w)
 	})
@@ -228,26 +299,38 @@ func boolToInt(b bool) int {
 }
 
 func handleColor(s *Server, specs *specCache, hc HandlerConfig, w http.ResponseWriter, r *http.Request) {
+	rid := requestID(r)
+	w.Header().Set("X-Request-ID", rid)
 	var cr ColorRequest
 	body := r.Body
 	if hc.MaxBodyBytes > 0 {
 		body = http.MaxBytesReader(w, r.Body, hc.MaxBodyBytes)
 	}
-	if err := json.NewDecoder(body).Decode(&cr); err != nil {
+	// The body is kept in its wire form: it becomes the journal accept
+	// record's replay payload.
+	raw, err := io.ReadAll(body)
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeErr(w, http.StatusRequestEntityTooLarge, "too_large",
-				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), rid)
 			return
 		}
-		writeErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decode: %v", err))
+		writeErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("read: %v", err), rid)
+		return
+	}
+	if err := json.Unmarshal(raw, &cr); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decode: %v", err), rid)
 		return
 	}
 	req, g, err := buildRequest(&cr, specs)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error(), rid)
 		return
 	}
+	req.RequestID = rid
+	req.IdemKey = sanitizeRequestID(r.Header.Get("Idempotency-Key"))
+	req.Wire = raw
 	ctx := r.Context()
 	if cr.TimeoutMS > 0 {
 		var cancel context.CancelFunc
@@ -257,10 +340,10 @@ func handleColor(s *Server, specs *specCache, hc HandlerConfig, w http.ResponseW
 	res, err := s.Submit(ctx, req)
 	if err != nil {
 		status, kind := classifyErr(err)
-		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", s.RetryAfterHint(kind)))
 		}
-		writeErr(w, status, kind, err.Error())
+		writeErr(w, status, kind, err.Error(), rid)
 		return
 	}
 	out := ColorResponse{
@@ -279,6 +362,9 @@ func handleColor(s *Server, specs *specCache, hc HandlerConfig, w http.ResponseW
 		Device:      res.Device,
 		WaitUS:      res.Wait.Microseconds(),
 		ExecUS:      res.Exec.Microseconds(),
+
+		RequestID:        rid,
+		IdempotentReplay: res.IdempotentReplay,
 	}
 	if res.Shards > 1 {
 		out.Shards = res.Shards
@@ -374,8 +460,8 @@ func isDeadline(err error) bool {
 	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }
 
-func writeErr(w http.ResponseWriter, status int, kind, msg string) {
+func writeErr(w http.ResponseWriter, status int, kind, msg, rid string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg, Kind: kind})
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg, Kind: kind, RequestID: rid})
 }

@@ -1,0 +1,66 @@
+package serve
+
+// Retry-After computation for 429/503 replies. The old handler sent a
+// hardcoded "1", which under sustained overload synchronizes every
+// client's retry into the exact second the queue is still full. The hint
+// is now derived from how long the backlog actually takes to drain.
+
+const (
+	// retryAfterMin / retryAfterMax clamp the hint: at least a second (the
+	// header's resolution), at most 30 so a deep backlog does not tell
+	// clients to go away for minutes of queue state that will be stale.
+	retryAfterMin = 1
+	retryAfterMax = 30
+	// retryAfterDrain is the hint while draining or closed: long enough
+	// for the replacement process to come up, bounded because the load
+	// balancer should have moved the client off this instance anyway.
+	retryAfterDrain = 5
+	// retryAfterDefaultExecUS stands in for the P50 before any job has
+	// completed (50ms): better to overestimate an empty server's drain
+	// rate than to stampede a cold one.
+	retryAfterDefaultExecUS = 50_000
+)
+
+// computeRetryAfter derives the Retry-After seconds for a rejected
+// request. kind is the classifyErr kind; queueDepth the jobs currently
+// queued, devices the executor count, execP50us the median execution
+// time. Pure, so the policy is table-testable.
+//
+// The estimate is the backlog's drain time: depth × P50 / devices. A
+// queue_full rejection waits the whole estimate — the queue must make
+// real room. A shedding rejection halves it: shedding starts while
+// capacity remains, and only sub-high priority work is turned away, so
+// the door reopens sooner. Draining instances return a flat hint — their
+// queue will never accept this client again, the wait is for a
+// replacement process.
+func computeRetryAfter(kind string, queueDepth, devices int, execP50us int64, draining bool) int {
+	if draining || kind == "draining" || kind == "closed" {
+		return retryAfterDrain
+	}
+	if devices < 1 {
+		devices = 1
+	}
+	if execP50us <= 0 {
+		execP50us = retryAfterDefaultExecUS
+	}
+	drainUS := int64(queueDepth) * execP50us / int64(devices)
+	if kind == "shedding" {
+		drainUS /= 2
+	}
+	secs := int((drainUS + 999_999) / 1_000_000) // ceil to whole seconds
+	if secs < retryAfterMin {
+		return retryAfterMin
+	}
+	if secs > retryAfterMax {
+		return retryAfterMax
+	}
+	return secs
+}
+
+// RetryAfterHint computes the Retry-After seconds a client should wait
+// before retrying a request rejected with the given error kind, from the
+// server's live queue and execution state.
+func (s *Server) RetryAfterHint(kind string) int {
+	return computeRetryAfter(kind, s.queue.depth(), s.pool.Size(),
+		s.reg.Histogram("exec_us").Quantile(0.50), s.Draining())
+}

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestComputeRetryAfter table-drives the Retry-After policy across the
+// rejection kinds: queue_full waits the full backlog drain estimate,
+// shedding half of it, draining a flat instance-replacement hint, and
+// everything is clamped to [1, 30].
+func TestComputeRetryAfter(t *testing.T) {
+	cases := []struct {
+		name      string
+		kind      string
+		depth     int
+		devices   int
+		execP50us int64
+		draining  bool
+		want      int
+	}{
+		{name: "queue_full shallow backlog", kind: "queue_full", depth: 4, devices: 4, execP50us: 100_000, want: 1},
+		{name: "queue_full deep backlog", kind: "queue_full", depth: 200, devices: 4, execP50us: 100_000, want: 5},
+		{name: "queue_full ceils partial seconds", kind: "queue_full", depth: 60, devices: 4, execP50us: 100_000, want: 2},
+		{name: "queue_full clamped to max", kind: "queue_full", depth: 10_000, devices: 1, execP50us: 500_000, want: 30},
+		{name: "shedding halves the estimate", kind: "shedding", depth: 200, devices: 4, execP50us: 100_000, want: 3},
+		{name: "shedding still at least min", kind: "shedding", depth: 1, devices: 8, execP50us: 1000, want: 1},
+		{name: "draining flat hint", kind: "draining", depth: 500, devices: 4, execP50us: 100_000, want: 5},
+		{name: "closed flat hint", kind: "closed", depth: 0, devices: 4, execP50us: 0, want: 5},
+		{name: "draining flag wins over kind", kind: "queue_full", depth: 500, devices: 4, execP50us: 100_000, draining: true, want: 5},
+		{name: "cold server uses default p50", kind: "queue_full", depth: 400, devices: 4, execP50us: 0, want: 5},
+		{name: "zero devices defended", kind: "queue_full", depth: 10, devices: 0, execP50us: 100_000, want: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := computeRetryAfter(tc.kind, tc.depth, tc.devices, tc.execP50us, tc.draining)
+			if got != tc.want {
+				t.Errorf("computeRetryAfter(%q, depth=%d, dev=%d, p50=%d, draining=%v) = %d, want %d",
+					tc.kind, tc.depth, tc.devices, tc.execP50us, tc.draining, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRetryAfterHeaderOnDrain checks the HTTP layer emits the computed
+// hint (not the old hardcoded "1") on a draining 503.
+func TestRetryAfterHeaderOnDrain(t *testing.T) {
+	s := NewServer(Config{Devices: 1})
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+	s.Stop() // drained: submissions now fail with ErrDraining
+
+	resp, body := postColor(t, ts, ColorRequest{Gen: "grid:4:4"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "5" {
+		t.Fatalf("Retry-After = %q, want %q (drain hint)", got, "5")
+	}
+}

@@ -33,6 +33,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"time"
 
 	"gcolor/internal/gpucolor"
@@ -118,6 +119,20 @@ type Request struct {
 	// NoCache bypasses both the result cache and request coalescing:
 	// the job always executes on a device.
 	NoCache bool
+
+	// RequestID is the per-request correlation ID (the HTTP layer honors
+	// an inbound X-Request-ID or generates one). It pairs journal accept
+	// and completion records; empty for callers that opt out of both.
+	RequestID string
+	// IdemKey is the client's Idempotency-Key: retries carrying the same
+	// key — including retries across a server restart — are answered from
+	// the journal-backed idempotency map instead of recoloring.
+	IdemKey string
+	// Wire is the request's own wire form (ColorRequest JSON). A request
+	// carrying it is replayable: the server journals its acceptance and
+	// can rebuild and re-run it after a crash. Requests without Wire are
+	// served normally but cannot be replayed.
+	Wire json.RawMessage
 }
 
 // policyKey folds every request knob that can change the *coloring* (not
@@ -167,6 +182,12 @@ type Response struct {
 	// in-flight execution.
 	Cached    bool
 	Coalesced bool
+	// IdempotentReplay reports that the request's Idempotency-Key matched
+	// a previously journaled completion: the stored result was returned
+	// without re-execution (possibly across a server restart).
+	IdempotentReplay bool
+	// RequestID echoes the request's correlation ID.
+	RequestID string
 	// Hedged reports that the job ran long enough to be speculatively
 	// re-dispatched to a second device (whichever attempt won, exactly one
 	// result was returned and the loser was canceled).

@@ -10,6 +10,7 @@ import (
 
 	"gcolor/internal/gpucolor"
 	"gcolor/internal/graph"
+	"gcolor/internal/journal"
 	"gcolor/internal/metrics"
 	"gcolor/internal/shard"
 )
@@ -171,6 +172,24 @@ type Config struct {
 	SelfHeal SelfHealConfig
 	// Shard tunes sharded scatter-gather execution.
 	Shard ShardConfig
+
+	// Journal, when set, makes the server crash-safe: every replayable
+	// request is journaled before enqueue and every finished job journals
+	// a completion record. The server registers itself as the journal's
+	// compaction source; the caller owns journal.Close (after Drain).
+	Journal *journal.Journal
+	// Recovery, when set, is the replayed state from journal.Open: DispOK
+	// completions warm-start the result cache and idempotency map
+	// synchronously in NewServer, and pending accepts are re-submitted in
+	// the background (RecoveryDone closes when the replay settles).
+	Recovery *journal.Recovery
+	// IdemEntries sizes the Idempotency-Key LRU (default 4096; negative
+	// disables idempotent replay).
+	IdemEntries int
+	// ReplayParallelism bounds concurrent recovery re-submissions
+	// (default 4): recovery shares the queue with live traffic and must
+	// not monopolize it.
+	ReplayParallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -196,6 +215,15 @@ func (c Config) withDefaults() Config {
 	if c.Workers < 1 {
 		c.Workers = c.Devices
 	}
+	switch {
+	case c.IdemEntries < 0:
+		c.IdemEntries = 0
+	case c.IdemEntries == 0:
+		c.IdemEntries = 4096
+	}
+	if c.ReplayParallelism < 1 {
+		c.ReplayParallelism = 4
+	}
 	c.SelfHeal = c.SelfHeal.withDefaults()
 	c.Shard = c.Shard.withDefaults(c.Devices)
 	return c
@@ -212,8 +240,24 @@ type Server struct {
 	pool  *DevicePool
 	queue *jobQueue
 	cache *resultCache
+	idem  *idemCache
 	reg   *metrics.Registry
 	hedge *hedgeTracker
+
+	jrnl *journal.Journal
+
+	// pendAccepts mirrors the journaled accepts that have no completion
+	// yet; it is the pending half of the snapshot compaction source.
+	pendMu      sync.Mutex
+	pendAccepts map[string]journal.AcceptRecord
+
+	// Recovery bookkeeping (see recovery.go).
+	recReplay  journal.ReplayStats
+	recEnabled bool
+	warmCache  int64
+	warmIdem   int64
+	recPending int64
+	recDone    chan struct{}
 
 	mu       sync.Mutex
 	inflight map[cacheKey]*flight
@@ -243,18 +287,22 @@ func NewServer(cfg Config) *Server {
 	pool.configureSelfHeal(cfg.SelfHeal)
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:       cfg,
-		pool:      pool,
-		queue:     newJobQueue(cfg.QueueCapacity, cfg.ShedFraction),
-		cache:     newResultCache(cfg.CacheEntries),
-		reg:       metrics.NewRegistry(),
-		hedge:     newHedgeTracker(cfg.SelfHeal.HedgeMinSamples, cfg.SelfHeal.HedgeFloor, cfg.SelfHeal.HedgeMultiple),
-		inflight:  make(map[cacheKey]*flight),
-		baseCtx:   ctx,
-		cancel:    cancel,
-		started:   time.Now(),
-		drainDone: make(chan struct{}),
-		drainReq:  make(chan struct{}),
+		cfg:         cfg,
+		pool:        pool,
+		queue:       newJobQueue(cfg.QueueCapacity, cfg.ShedFraction),
+		cache:       newResultCache(cfg.CacheEntries),
+		idem:        newIdemCache(cfg.IdemEntries),
+		reg:         metrics.NewRegistry(),
+		hedge:       newHedgeTracker(cfg.SelfHeal.HedgeMinSamples, cfg.SelfHeal.HedgeFloor, cfg.SelfHeal.HedgeMultiple),
+		jrnl:        cfg.Journal,
+		pendAccepts: make(map[string]journal.AcceptRecord),
+		recDone:     make(chan struct{}),
+		inflight:    make(map[cacheKey]*flight),
+		baseCtx:     ctx,
+		cancel:      cancel,
+		started:     time.Now(),
+		drainDone:   make(chan struct{}),
+		drainReq:    make(chan struct{}),
 	}
 	// Pre-register every metric so /metricsz reports zeros rather than
 	// omitting counters that have not fired yet.
@@ -266,6 +314,9 @@ func NewServer(cfg Config) *Server {
 		"attempts_canceled_total", "drain_handoff_total",
 		"shard_jobs_total", "shard_retries_total", "shard_conflicts_total",
 		"shard_repair_rounds_total", "shard_recolored_total", "shard_fallback_total",
+		"idem_hits_total", "journal_append_errors_total",
+		"replay_enqueued_total", "replay_completed_total",
+		"replay_expired_total", "replay_failed_total",
 	} {
 		s.reg.Counter(name)
 	}
@@ -277,6 +328,13 @@ func NewServer(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if s.jrnl != nil {
+		s.jrnl.SetSource(s.snapshotSource)
+	}
+	// Warm-start happens synchronously (cheap, and callers expect a warm
+	// cache from the moment NewServer returns); pending-job replay runs in
+	// the background behind RecoveryDone.
+	s.applyRecovery(cfg.Recovery)
 	return s
 }
 
@@ -410,6 +468,20 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	shards := s.effectiveShards(req)
 	key := keyOf(req, fp, shards)
 
+	// Idempotent replay comes before everything — even NoCache — because
+	// a retry carrying an Idempotency-Key is explicitly asking for the
+	// answer its original request produced, wherever it now lives.
+	if res, ok := s.idem.get(req.IdemKey); ok {
+		s.reg.Counter("idem_hits_total").Inc()
+		hit := *res
+		hit.Cached = true
+		hit.IdempotentReplay = true
+		hit.Device = -1
+		hit.Wait, hit.Exec = 0, 0
+		hit.RequestID = req.RequestID
+		return &hit, nil
+	}
+
 	if !req.NoCache {
 		if res, ok := s.cache.get(key); ok {
 			s.reg.Counter("cache_hits").Inc()
@@ -417,6 +489,7 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 			hit.Cached = true
 			hit.Device = -1
 			hit.Wait, hit.Exec = 0, 0
+			hit.RequestID = req.RequestID
 			return &hit, nil
 		}
 		s.reg.Counter("cache_misses").Inc()
@@ -425,7 +498,11 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 		if fl, ok := s.inflight[key]; ok {
 			s.mu.Unlock()
 			s.reg.Counter("coalesced_total").Inc()
-			return s.wait(ctx, fl, true)
+			res, err := s.wait(ctx, fl, true)
+			if res != nil {
+				res.RequestID = req.RequestID
+			}
+			return res, err
 		}
 		fl := &flight{done: make(chan struct{})}
 		s.inflight[key] = fl
@@ -469,9 +546,16 @@ func (s *Server) effectiveShards(req *Request) int {
 }
 
 // enqueue admits the job (or fails with a typed admission error) and waits
-// for its flight.
+// for its flight. Replayable requests are journaled before the push — the
+// write-ahead invariant: a crash can never hold work the journal never
+// saw — and a rejected push journals a DispRejected completion so replay
+// does not resurrect work the caller was told to retry.
 func (s *Server) enqueue(ctx context.Context, req *Request, fp uint64, key cacheKey, shards int, fl *flight, tracked bool) (*Response, error) {
 	j := &job{ctx: ctx, req: req, fp: fp, key: key, shards: shards, fl: fl}
+	if s.jrnl != nil && req.RequestID != "" && len(req.Wire) > 0 {
+		j.journaled = true
+		s.journalAccept(ctx, req, key)
+	}
 	if err := s.queue.push(j); err != nil {
 		if tracked {
 			s.dropInflight(key)
@@ -482,11 +566,18 @@ func (s *Server) enqueue(ctx context.Context, req *Request, fp uint64, key cache
 		case errors.Is(err, ErrShedding):
 			s.reg.Counter("shed_total").Inc()
 		}
+		if j.journaled {
+			s.journalFinish(j, nil, err)
+		}
 		fl.complete(nil, err)
 		return nil, err
 	}
 	s.reg.Gauge("queue_depth").Set(int64(s.queue.depth()))
-	return s.wait(ctx, fl, false)
+	res, err := s.wait(ctx, fl, false)
+	if res != nil {
+		res.RequestID = req.RequestID
+	}
+	return res, err
 }
 
 // wait blocks on a flight, honouring the waiter's own context.
@@ -909,9 +1000,17 @@ func (s *Server) attempt(ctx context.Context, j *job, g *graph.Graph, seed uint3
 	resCh <- attemptResult{out: out, err: err, device: lease.Index(), exec: exec, hedge: hedge}
 }
 
-// finishJob removes the job's flight from the coalescing map (when
-// tracked) and releases every waiter.
+// finishJob is the single completion choke point: journal the outcome
+// (when the job was journaled), publish an idempotent result, remove the
+// job's flight from the coalescing map (when tracked), and release every
+// waiter.
 func (s *Server) finishJob(j *job, res *Response, err error) {
+	if j.journaled {
+		s.journalFinish(j, res, err)
+	}
+	if err == nil && res != nil {
+		s.idem.put(j.req.IdemKey, res, j.req.NoCache, j.key.policy)
+	}
 	if !j.req.NoCache {
 		s.dropInflight(j.key)
 	}
@@ -936,6 +1035,10 @@ type Stats struct {
 	CacheHits       int64
 	CacheMisses     int64
 	CacheHitRate    float64 // hits / (hits + misses); 0 when no lookups
+	CacheEntries    int     // results currently resident in the LRU
+	CacheEvictions  int64   // entries pushed out by capacity since start
+	IdemHits        int64   // requests answered from the idempotency map
+	IdemEntries     int     // idempotency keys currently resident
 	Coalesced       int64
 	Shed            int64 // ErrShedding rejections
 	QueueFull       int64 // ErrQueueFull rejections
@@ -950,11 +1053,11 @@ type Stats struct {
 	ExecP99us       int64
 
 	// Sharded scatter-gather.
-	ShardJobs       int64 // jobs executed as K-shard scatter-gathers
-	ShardRetries    int64 // shard dispatches retried on another device
-	ShardConflicts  int64 // monochromatic cut edges found at merge barriers
-	ShardRecolored  int64 // vertices recolored by boundary repair
-	ShardFallbacks  int64 // sharded jobs that degraded to the CPU greedy
+	ShardJobs      int64 // jobs executed as K-shard scatter-gathers
+	ShardRetries   int64 // shard dispatches retried on another device
+	ShardConflicts int64 // monochromatic cut edges found at merge barriers
+	ShardRecolored int64 // vertices recolored by boundary repair
+	ShardFallbacks int64 // sharded jobs that degraded to the CPU greedy
 
 	// Self-healing.
 	Hedges        int64 // hedged re-dispatches launched
@@ -980,6 +1083,10 @@ func (s *Server) Stats() Stats {
 		Failed:          snap["failed_total"],
 		CacheHits:       snap["cache_hits"],
 		CacheMisses:     snap["cache_misses"],
+		CacheEntries:    s.cache.len(),
+		CacheEvictions:  s.cache.evictions(),
+		IdemHits:        snap["idem_hits_total"],
+		IdemEntries:     s.idem.len(),
 		Coalesced:       snap["coalesced_total"],
 		Shed:            snap["shed_total"],
 		QueueFull:       snap["queue_full_total"],
