@@ -1,0 +1,393 @@
+// Distributed-fleet drill (-cluster): spawns one coordinator and
+// -cluster-workers worker daemons in-process (real HTTP on loopback),
+// then runs three phases:
+//
+//  1. baseline: the full-scale R-MAT dataset colored through a
+//     single-worker fleet (same per-worker resources as the cluster
+//     phase, so the comparison measures scale-out, not bigger nodes);
+//  2. scatter: the same jobs through the full fleet, where the
+//     coordinator partitions each graph and scatter-gathers the shards —
+//     gated at >= 2x wall-clock speedup and <= 1.3x the baseline palette,
+//     with the merged coloring verified conflict-free;
+//  3. kill drill: a concurrent mixed workload (small routed graphs +
+//     large scattered graphs) during which one worker is hard-killed —
+//     gated at zero lost or failed jobs (the coordinator must absorb the
+//     failure with re-dispatches).
+//
+// Results land in BENCH_PR7.json.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gcolor/internal/cluster"
+	"gcolor/internal/exp"
+	"gcolor/internal/serve"
+)
+
+const (
+	clusterColorRatioLimit = 1.3
+	clusterSpeedupGate     = 2.0
+)
+
+type clusterWorkerProc struct {
+	addr string
+	srv  *serve.Server
+	hs   *http.Server
+}
+
+// startClusterWorker boots one worker daemon on a loopback port.
+// workersPer splits the host's simulation parallelism so N workers
+// together consume what the baseline's single worker gets N-fold — each
+// in-process "node" stands in for one machine.
+func startClusterWorker(workersPer int) (*clusterWorkerProc, error) {
+	srv := serve.NewServer(serve.Config{
+		Devices: 1,
+		Device:  serve.DeviceConfig{Workers: workersPer},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Stop()
+		return nil, err
+	}
+	hs := &http.Server{Handler: serve.Handler(srv)}
+	go func() { _ = hs.Serve(ln) }()
+	return &clusterWorkerProc{addr: "http://" + ln.Addr().String(), srv: srv, hs: hs}, nil
+}
+
+// kill hard-stops the worker: listener and live connections die at once,
+// exactly what a crashed node looks like to the coordinator.
+func (w *clusterWorkerProc) kill() { _ = w.hs.Close() }
+
+func (w *clusterWorkerProc) stop() {
+	_ = w.hs.Close()
+	w.srv.Stop()
+}
+
+type clusterBenchRow struct {
+	Dataset        string  `json:"dataset"`
+	Vertices       int     `json:"vertices"`
+	Edges          int     `json:"edges"`
+	Jobs           int     `json:"jobs"`
+	SingleSeconds  float64 `json:"single_seconds"`
+	ClusterSeconds float64 `json:"cluster_seconds"`
+	Speedup        float64 `json:"speedup"`
+	SingleColors   int     `json:"single_colors"`
+	ClusterColors  int     `json:"cluster_colors"`
+	ColorRatio     float64 `json:"color_ratio"`
+	Shards         int     `json:"shards"`
+	Scattered      bool    `json:"scattered"`
+}
+
+type clusterDrillOut struct {
+	Jobs           int   `json:"jobs"`
+	Succeeded      int   `json:"succeeded"`
+	Failed         int   `json:"failed"`
+	KilledAfter    int   `json:"killed_after_jobs"`
+	Redispatches   int64 `json:"redispatches"`
+	RouteFailovers int64 `json:"route_failovers"`
+	Quarantines    int64 `json:"quarantines"`
+	ZeroLost       bool  `json:"zero_lost"`
+}
+
+type clusterReport struct {
+	Bench           string            `json:"bench"`
+	Workers         int               `json:"workers"`
+	HostParallelism int               `json:"host_parallelism"`
+	SpeedupGate     float64           `json:"speedup_gate"`
+	ColorRatioLimit float64           `json:"color_ratio_limit"`
+	Rows            []clusterBenchRow `json:"rows"`
+	Drill           clusterDrillOut   `json:"drill"`
+}
+
+// postColor sends one job to the coordinator and decodes the reply.
+func postColor(client *http.Client, coordURL string, cr *serve.ColorRequest) (*serve.ColorResponse, error) {
+	body, err := json.Marshal(cr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(coordURL+"/color", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er struct {
+			Error string `json:"error"`
+			Kind  string `json:"kind"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		return nil, fmt.Errorf("http %d (%s): %s", resp.StatusCode, er.Kind, er.Error)
+	}
+	var out serve.ColorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// startCoordinator boots a coordinator over the given worker addresses on
+// a loopback port with a fast heartbeat (drill time scales with it).
+func startCoordinator(peers []string) (*cluster.Coordinator, string, func(), error) {
+	coord := cluster.NewCoordinator(cluster.Config{
+		Peers:             peers,
+		HeartbeatInterval: 100 * time.Millisecond,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		coord.Close()
+		return nil, "", nil, err
+	}
+	hs := &http.Server{Handler: cluster.Handler(coord)}
+	go func() { _ = hs.Serve(ln) }()
+	stop := func() {
+		_ = hs.Close()
+		coord.Close()
+	}
+	return coord, "http://" + ln.Addr().String(), stop, nil
+}
+
+// timeJobs runs n sequential jobs for spec (distinct seeds defeat every
+// cache) and returns the wall clock, the palette of the last job, and its
+// response.
+func timeJobs(client *http.Client, coordURL, spec string, n int, includeColors bool) (time.Duration, *serve.ColorResponse, error) {
+	var last *serve.ColorResponse
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		cr := &serve.ColorRequest{
+			Gen:           spec,
+			Alg:           "hybrid",
+			Seed:          uint32(1 + i),
+			NoCache:       true,
+			IncludeColors: includeColors && i == n-1,
+		}
+		out, err := postColor(client, coordURL, cr)
+		if err != nil {
+			return 0, nil, err
+		}
+		last = out
+	}
+	return time.Since(t0), last, nil
+}
+
+func runClusterBench(jsonPath string, workers, jobs int) error {
+	if workers < 2 {
+		return fmt.Errorf("-cluster needs at least 2 workers, got %d", workers)
+	}
+	per := runtime.GOMAXPROCS(0) / workers
+	if per < 1 {
+		per = 1
+	}
+	rep := clusterReport{
+		Bench:           "cluster-fleet",
+		Workers:         workers,
+		HostParallelism: runtime.GOMAXPROCS(0),
+		SpeedupGate:     clusterSpeedupGate,
+		ColorRatioLimit: clusterColorRatioLimit,
+	}
+	client := cluster.NewWorkerClient(120*time.Second, 0)
+
+	rmat, _ := exp.DatasetByName("rmat")
+	g := rmat.Build(exp.Full)
+	const spec = "rmat:14:16:1"
+
+	// Phase 1: baseline — one worker behind a coordinator, jobs routed
+	// whole (a single-worker fleet cannot scatter).
+	single, err := startClusterWorker(per)
+	if err != nil {
+		return err
+	}
+	_, singleURL, stopSingle, err := startCoordinator([]string{single.addr})
+	if err != nil {
+		single.stop()
+		return err
+	}
+	singleDur, singleLast, err := timeJobs(client, singleURL, spec, jobs, false)
+	stopSingle()
+	single.stop()
+	if err != nil {
+		return fmt.Errorf("single-worker phase: %w", err)
+	}
+
+	// Phase 2: the full fleet — the same jobs now scatter across workers.
+	procs := make([]*clusterWorkerProc, workers)
+	addrs := make([]string, workers)
+	for i := range procs {
+		if procs[i], err = startClusterWorker(per); err != nil {
+			return err
+		}
+		addrs[i] = procs[i].addr
+	}
+	defer func() {
+		for _, p := range procs {
+			p.stop()
+		}
+	}()
+	coord, coordURL, stopCoord, err := startCoordinator(addrs)
+	if err != nil {
+		return err
+	}
+	defer stopCoord()
+
+	clusterDur, clusterLast, err := timeJobs(client, coordURL, spec, jobs, true)
+	if err != nil {
+		return fmt.Errorf("cluster phase: %w", err)
+	}
+	if !clusterLast.Scattered {
+		return fmt.Errorf("cluster phase: full-scale R-MAT was not scattered (shards=%d)", clusterLast.Shards)
+	}
+	// The merged coloring must be proper on the original graph.
+	if len(clusterLast.Colors) != g.NumVertices() {
+		return fmt.Errorf("cluster phase: got %d colors for %d vertices", len(clusterLast.Colors), g.NumVertices())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(int32(v)) {
+			if int32(v) < u && clusterLast.Colors[v] == clusterLast.Colors[u] {
+				return fmt.Errorf("cluster phase: merged coloring has conflict on edge (%d, %d)", v, u)
+			}
+		}
+	}
+
+	row := clusterBenchRow{
+		Dataset:        rmat.Name,
+		Vertices:       g.NumVertices(),
+		Edges:          g.NumEdges(),
+		Jobs:           jobs,
+		SingleSeconds:  singleDur.Seconds(),
+		ClusterSeconds: clusterDur.Seconds(),
+		SingleColors:   singleLast.NumColors,
+		ClusterColors:  clusterLast.NumColors,
+		Shards:         clusterLast.Shards,
+		Scattered:      clusterLast.Scattered,
+	}
+	if row.ClusterSeconds > 0 {
+		row.Speedup = row.SingleSeconds / row.ClusterSeconds
+	}
+	if row.SingleColors > 0 {
+		row.ColorRatio = float64(row.ClusterColors) / float64(row.SingleColors)
+	}
+	rep.Rows = append(rep.Rows, row)
+	fmt.Fprintf(os.Stderr, "gcbench: cluster %s %d v %d e  1-worker %.2fs  %d-worker %.2fs  speedup %.2fx  colors %d/%d\n",
+		rmat.Name, row.Vertices, row.Edges, row.SingleSeconds, workers, row.ClusterSeconds,
+		row.Speedup, row.ClusterColors, row.SingleColors)
+	if row.ColorRatio > clusterColorRatioLimit {
+		return fmt.Errorf("cluster coloring used %d colors vs %d single-worker (ratio %.2f > %.2f)",
+			row.ClusterColors, row.SingleColors, row.ColorRatio, clusterColorRatioLimit)
+	}
+	if row.Speedup < clusterSpeedupGate {
+		return fmt.Errorf("cluster speedup %.2fx below the %.1fx gate", row.Speedup, clusterSpeedupGate)
+	}
+
+	// Phase 3: kill drill — concurrent mixed workload, one worker
+	// hard-killed after a third of the jobs have finished. The coordinator
+	// must deliver every job (failover re-dispatch), losing none.
+	drill, err := runKillDrill(client, coord, coordURL, procs, jobs)
+	if err != nil {
+		return err
+	}
+	rep.Drill = *drill
+	if !drill.ZeroLost {
+		return fmt.Errorf("kill drill lost jobs: %d/%d failed", drill.Failed, drill.Jobs)
+	}
+
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gcbench: cluster drill ok: %d/%d jobs, %d redispatches, %d failovers -> %s\n",
+		drill.Succeeded, drill.Jobs, drill.Redispatches, drill.RouteFailovers, jsonPath)
+	return nil
+}
+
+func runKillDrill(client *http.Client, coord *cluster.Coordinator, coordURL string, procs []*clusterWorkerProc, jobs int) (*clusterDrillOut, error) {
+	total := 3 * jobs
+	killAfter := total / 3
+
+	// Every routed drill job shares one graph (distinct seeds change only
+	// the policy), so they all rendezvous onto the same owner. Probe for
+	// that owner and kill it — the drill must hit the failover path, not a
+	// bystander node the router would never have picked again.
+	probe, err := postColor(client, coordURL, &serve.ColorRequest{Gen: "rmat:10:8:1", Alg: "hybrid", Seed: 99, NoCache: true})
+	if err != nil {
+		return nil, fmt.Errorf("drill probe: %w", err)
+	}
+	victim := procs[1]
+	for _, p := range procs {
+		if p.addr == probe.Worker {
+			victim = p
+			break
+		}
+	}
+	pre := coord.Stats()
+
+	var (
+		done   atomic.Int64
+		failed atomic.Int64
+		killed sync.Once
+		wg     sync.WaitGroup
+	)
+	sem := make(chan struct{}, 4)
+	errs := make([]error, total)
+	for i := 0; i < total; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cr := &serve.ColorRequest{Alg: "hybrid", Seed: uint32(100 + i), NoCache: true}
+			if i%3 == 0 {
+				cr.Gen = "rmat:14:16:1" // scattered
+			} else {
+				cr.Gen = "rmat:10:8:1" // routed whole
+			}
+			_, err := postColor(client, coordURL, cr)
+			if err != nil {
+				failed.Add(1)
+				errs[i] = err
+			}
+			if done.Add(1) >= int64(killAfter) {
+				killed.Do(func() {
+					fmt.Fprintf(os.Stderr, "gcbench: killing worker %s mid-drill\n", victim.addr)
+					victim.kill()
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	post := coord.Stats()
+	out := &clusterDrillOut{
+		Jobs:           total,
+		Succeeded:      total - int(failed.Load()),
+		Failed:         int(failed.Load()),
+		KilledAfter:    killAfter,
+		Redispatches:   post.Redispatches - pre.Redispatches,
+		RouteFailovers: post.RouteFailovers - pre.RouteFailovers,
+		Quarantines:    post.Quarantines - pre.Quarantines,
+		ZeroLost:       failed.Load() == 0,
+	}
+	for i, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: drill job %d failed: %v\n", i, err)
+		}
+	}
+	return out, nil
+}

@@ -40,9 +40,21 @@ func main() {
 		shardBench = flag.Bool("shard", false, "run the sharded multi-device benchmark (single device vs -shard-k shards) instead of the paper experiments")
 		shardOut   = flag.String("shard-json", "BENCH_PR5.json", "output file for -shard")
 		shardK     = flag.Int("shard-k", 4, "shard/device count for -shard")
+
+		clusterBench = flag.Bool("cluster", false, "run the distributed-fleet drill (coordinator + workers, mid-run worker kill) instead of the paper experiments")
+		clusterOut   = flag.String("cluster-json", "BENCH_PR7.json", "output file for -cluster")
+		clusterW     = flag.Int("cluster-workers", 3, "worker daemons for -cluster")
+		clusterJobs  = flag.Int("cluster-jobs", 3, "timed jobs per phase for -cluster")
 	)
 	flag.Parse()
 
+	if *clusterBench {
+		if err := runClusterBench(*clusterOut, *clusterW, *clusterJobs); err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *shardBench {
 		sc := exp.Full
 		if *scale == "small" {

@@ -135,7 +135,7 @@ func runChaosSoak(cfg chaosSoakConfig) int {
 	gen.body.NoCPUFallback = true
 	gen.body.MaxRetries = -1
 
-	client := &http.Client{Timeout: 10 * time.Second}
+	client := newLoadClient(10*time.Second, cfg.conc)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var counters soakCounters

@@ -256,7 +256,7 @@ func runCrashDrill(cfg crashDrillConfig) int {
 	}
 
 	journalDir := filepath.Join(work, "wal")
-	client := &http.Client{Timeout: 30 * time.Second}
+	client := newLoadClient(30*time.Second, cfg.conc)
 	journalArgs := []string{
 		"-devices", fmt.Sprint(cfg.devices), "-shed", "1",
 		"-journal-dir", journalDir, "-journal-fsync", "batch",

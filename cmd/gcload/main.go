@@ -45,20 +45,34 @@ type mixEntry struct {
 }
 
 type summary struct {
-	Mode        string             `json:"mode"`
-	Concurrency int                `json:"concurrency,omitempty"`
-	RatePerSec  float64            `json:"rate_per_sec,omitempty"`
-	DurationSec float64            `json:"duration_sec"`
-	Requests    int64              `json:"requests"`
-	OK          int64              `json:"ok"`
-	Cached      int64              `json:"cached"`
-	Coalesced   int64              `json:"coalesced"`
-	Errors      map[string]int64   `json:"errors,omitempty"`
-	Throughput  float64            `json:"throughput_rps"`
-	LatencyUS   map[string]int64   `json:"latency_us"`
-	Server      map[string]float64 `json:"server,omitempty"`
-	BaselineRPS float64            `json:"baseline_rps,omitempty"`
-	Speedup     float64            `json:"speedup,omitempty"`
+	Mode        string                  `json:"mode"`
+	Concurrency int                     `json:"concurrency,omitempty"`
+	RatePerSec  float64                 `json:"rate_per_sec,omitempty"`
+	DurationSec float64                 `json:"duration_sec"`
+	Requests    int64                   `json:"requests"`
+	OK          int64                   `json:"ok"`
+	Cached      int64                   `json:"cached"`
+	Coalesced   int64                   `json:"coalesced"`
+	Errors      map[string]int64        `json:"errors,omitempty"`
+	Throughput  float64                 `json:"throughput_rps"`
+	LatencyUS   map[string]int64        `json:"latency_us"`
+	Endpoints   map[string]endpointStat `json:"endpoints,omitempty"`
+	Server      map[string]float64      `json:"server,omitempty"`
+	BaselineRPS float64                 `json:"baseline_rps,omitempty"`
+	Speedup     float64                 `json:"speedup,omitempty"`
+}
+
+// endpointStat is the per-endpoint latency breakdown gcload reports when
+// the target is a cluster coordinator: one row per worker that served
+// whole-graph jobs, plus a "scatter" row for fan-out jobs (whose latency
+// is the slowest shard, not any single worker) and a "coordinator" row
+// for requests answered locally (cache hits, idempotent replays).
+type endpointStat struct {
+	Requests int64 `json:"requests"`
+	P50US    int64 `json:"p50_us"`
+	P99US    int64 `json:"p99_us"`
+	MeanUS   int64 `json:"mean_us"`
+	MaxUS    int64 `json:"max_us"`
 }
 
 func main() {
@@ -130,7 +144,7 @@ func main() {
 	if *mode != "closed" && *mode != "open" {
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
-	client := &http.Client{Timeout: *timeout + 5*time.Second}
+	client := newLoadClient(*timeout+5*time.Second, *conc)
 	if err := waitHealthy(client, *addr, 10*time.Second); err != nil {
 		fatal(err)
 	}
@@ -180,6 +194,26 @@ func main() {
 	}
 	if run.Requests > 0 && run.OK == 0 {
 		os.Exit(1)
+	}
+}
+
+// newLoadClient builds the single pooled HTTP client every gcload mode
+// shares for the whole run. The default transport keeps only two idle
+// connections per host, so a -conc 8 closed loop would churn TCP dials
+// (and, against a coordinator, measure handshakes instead of the fleet);
+// sizing the keep-alive pool to the worker count means every in-flight
+// lane holds a warm connection.
+func newLoadClient(timeout time.Duration, conc int) *http.Client {
+	if conc < 4 {
+		conc = 4
+	}
+	return &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        4 * conc,
+			MaxIdleConnsPerHost: conc,
+			IdleConnTimeout:     90 * time.Second,
+		},
 	}
 }
 
@@ -263,6 +297,23 @@ type reqResult struct {
 	kind      string
 	cached    bool
 	coalesced bool
+	worker    string // cluster only: worker that served a routed job
+	scattered bool   // cluster only: job was scatter-gathered across workers
+}
+
+// endpoint buckets a successful response for the per-endpoint report.
+// Empty means the target is a plain gcolord (no Worker/Scattered fields),
+// and the report is suppressed entirely.
+func (r reqResult) endpoint() string {
+	switch {
+	case r.scattered:
+		return "scatter"
+	case r.worker != "":
+		return r.worker
+	case r.cached:
+		return "coordinator"
+	}
+	return ""
 }
 
 func doRequest(client *http.Client, addr string, body []byte) reqResult {
@@ -282,6 +333,7 @@ func doRequest(client *http.Client, addr string, body []byte) reqResult {
 		}
 		r.lat = time.Since(start)
 		r.ok, r.cached, r.coalesced = true, cr.Cached, cr.Coalesced
+		r.worker, r.scattered = cr.Worker, cr.Scattered
 		return r
 	}
 	var er struct {
@@ -322,17 +374,18 @@ func runClosed(client *http.Client, addr string, gen *reqGen, conc, n int, d tim
 	done := make(chan struct{})
 	var sum summary
 	var lats []time.Duration
+	eps := map[string][]time.Duration{}
 	go func() {
 		defer close(done)
 		for r := range results {
-			collect(&sum, &lats, r)
+			collect(&sum, &lats, eps, r)
 		}
 	}()
 	wg.Wait()
 	elapsed := time.Since(start)
 	close(results)
 	<-done
-	finalize(&sum, lats, elapsed)
+	finalize(&sum, lats, eps, elapsed)
 	return sum
 }
 
@@ -367,21 +420,22 @@ func runOpen(client *http.Client, addr string, gen *reqGen, rate float64, n int,
 	done := make(chan struct{})
 	var sum summary
 	var lats []time.Duration
+	eps := map[string][]time.Duration{}
 	go func() {
 		defer close(done)
 		for r := range results {
-			collect(&sum, &lats, r)
+			collect(&sum, &lats, eps, r)
 		}
 	}()
 	wg.Wait()
 	elapsed := time.Since(start)
 	close(results)
 	<-done
-	finalize(&sum, lats, elapsed)
+	finalize(&sum, lats, eps, elapsed)
 	return sum
 }
 
-func collect(sum *summary, lats *[]time.Duration, r reqResult) {
+func collect(sum *summary, lats *[]time.Duration, eps map[string][]time.Duration, r reqResult) {
 	sum.Requests++
 	if r.ok {
 		sum.OK++
@@ -392,6 +446,9 @@ func collect(sum *summary, lats *[]time.Duration, r reqResult) {
 			sum.Coalesced++
 		}
 		*lats = append(*lats, r.lat)
+		if ep := r.endpoint(); ep != "" {
+			eps[ep] = append(eps[ep], r.lat)
+		}
 		return
 	}
 	if sum.Errors == nil {
@@ -400,7 +457,7 @@ func collect(sum *summary, lats *[]time.Duration, r reqResult) {
 	sum.Errors[r.kind]++
 }
 
-func finalize(sum *summary, lats []time.Duration, elapsed time.Duration) {
+func finalize(sum *summary, lats []time.Duration, eps map[string][]time.Duration, elapsed time.Duration) {
 	sum.DurationSec = elapsed.Seconds()
 	if elapsed > 0 {
 		sum.Throughput = float64(sum.OK) / elapsed.Seconds()
@@ -423,6 +480,35 @@ func finalize(sum *summary, lats []time.Duration, elapsed time.Duration) {
 	sum.LatencyUS["p99"] = pct(0.99)
 	sum.LatencyUS["mean"] = (total / time.Duration(len(lats))).Microseconds()
 	sum.LatencyUS["max"] = lats[len(lats)-1].Microseconds()
+
+	// The per-endpoint breakdown only exists against a cluster coordinator:
+	// a plain gcolord never stamps Worker/Scattered, so the sole possible
+	// bucket is "coordinator" (cache hits) and the report is suppressed.
+	onlyLocal := true
+	for k := range eps {
+		if k != "coordinator" {
+			onlyLocal = false
+			break
+		}
+	}
+	if len(eps) == 0 || onlyLocal {
+		return
+	}
+	sum.Endpoints = make(map[string]endpointStat, len(eps))
+	for ep, el := range eps {
+		sort.Slice(el, func(i, j int) bool { return el[i] < el[j] })
+		var t time.Duration
+		for _, l := range el {
+			t += l
+		}
+		sum.Endpoints[ep] = endpointStat{
+			Requests: int64(len(el)),
+			P50US:    el[int(0.50*float64(len(el)-1))].Microseconds(),
+			P99US:    el[int(0.99*float64(len(el)-1))].Microseconds(),
+			MeanUS:   (t / time.Duration(len(el))).Microseconds(),
+			MaxUS:    el[len(el)-1].Microseconds(),
+		}
+	}
 }
 
 // fetchServerMetrics scrapes the daemon's /metricsz into a flat map.
@@ -495,6 +581,12 @@ func waitHealthy(client *http.Client, addr string, d time.Duration) error {
 
 func us(v int64) string { return (time.Duration(v) * time.Microsecond).String() }
 
+// trimScheme shortens endpoint keys for the console report.
+func trimScheme(s string) string {
+	s = strings.TrimPrefix(s, "http://")
+	return strings.TrimPrefix(s, "https://")
+}
+
 func printSummary(s *summary) {
 	fmt.Printf("\n%-22s %s\n", "mode", s.Mode)
 	fmt.Printf("%-22s %.2fs\n", "duration", s.DurationSec)
@@ -515,11 +607,27 @@ func printSummary(s *summary) {
 			fmt.Printf("%-22s %s\n", "latency."+q, us(v))
 		}
 	}
+	if len(s.Endpoints) > 0 {
+		eps := make([]string, 0, len(s.Endpoints))
+		for ep := range s.Endpoints {
+			eps = append(eps, ep)
+		}
+		sort.Strings(eps)
+		for _, ep := range eps {
+			st := s.Endpoints[ep]
+			fmt.Printf("%-22s %d reqs  p50 %s  p99 %s  mean %s\n",
+				"endpoint."+trimScheme(ep), st.Requests, us(st.P50US), us(st.P99US), us(st.MeanUS))
+		}
+	}
 	for _, k := range []string{
 		"cache_hit_rate", "shed_total", "queue_full_total", "device_utilization",
 		"coalesced_total", "deadline_expired_total", "shed_expired",
 		"hedges_total", "hedge_wins_total", "hedge_losses_total",
 		"quarantines_total", "readmitted_total", "probes_total", "quarantined",
+		"cluster_workers", "cluster_alive_workers", "cluster_jobs_total",
+		"cluster_routed_total", "cluster_scattered_total", "cluster_failed_total",
+		"cluster_route_failovers_total", "cluster_redispatches_total",
+		"cluster_quarantines_total", "cluster_cache_hits_total",
 	} {
 		if v, ok := s.Server[k]; ok {
 			fmt.Printf("%-22s %g\n", "server."+k, v)

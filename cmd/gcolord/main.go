@@ -37,6 +37,21 @@
 // Example request:
 //
 //	curl -s localhost:8421/color -d '{"gen":"rmat:10:8:1","alg":"hybrid"}'
+//
+// Cluster roles (see internal/cluster): a coordinator owns no devices and
+// fans work out to worker daemons; a worker is a normal daemon that also
+// announces itself to a coordinator.
+//
+//	gcolord -role coordinator -addr :8420 -peers http://h1:8421,http://h2:8421
+//	gcolord -role worker -addr :8421 -join http://coord:8420 -advertise http://h1:8421
+//
+// The coordinator serves the same POST /color contract, plus
+// GET /clusterz (membership: per-worker health, breaker state, liveness)
+// and POST /cluster/join (worker registration). Small graphs are routed
+// whole by rendezvous hashing on the graph fingerprint; large graphs are
+// split with the edge-balanced partitioner, scattered across workers, and
+// merge-repaired at the coordinator. With -journal-dir, accepted fleet
+// jobs survive coordinator crashes and are re-dispatched on restart.
 package main
 
 import (
@@ -49,9 +64,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"gcolor/internal/cluster"
 	"gcolor/internal/journal"
 	"gcolor/internal/serve"
 )
@@ -88,6 +105,13 @@ func main() {
 		shardAutV = flag.Int("shard-auto-vertices", 0, "auto-shard jobs at or above this many vertices (0 = default 8192, negative disables)")
 		shardAutE = flag.Int("shard-auto-edges", 0, "auto-shard jobs at or above this many edges (0 = default 262144, negative disables)")
 		noShard   = flag.Bool("no-shard", false, "disable sharded execution entirely; every job runs on one device")
+
+		role      = flag.String("role", "server", "daemon role: server (standalone), coordinator (fleet front door, no devices), worker (server that joins a coordinator)")
+		peers     = flag.String("peers", "", "coordinator: comma-separated static worker base URLs")
+		joinURL   = flag.String("join", "", "worker: coordinator base URL to announce to")
+		advertise = flag.String("advertise", "", "worker: base URL workers advertise to the coordinator (default http://127.0.0.1:<addr port>)")
+		heartbeat = flag.Duration("heartbeat", 500*time.Millisecond, "cluster heartbeat/probe interval")
+		noScatter = flag.Bool("no-scatter", false, "coordinator: route every job whole, never scatter-gather")
 	)
 	flag.Parse()
 
@@ -125,6 +149,15 @@ func main() {
 		log.Printf("journal: %s (fsync=%s): replayed %d records (%d pending, %d completions, %d torn tails, %d corrupt segments)",
 			jrnl.Dir(), *journalFsync, rec.Stats.Records, len(rec.Pending), len(rec.Completions),
 			rec.Stats.TornTails, rec.Stats.CorruptSegments)
+	}
+
+	switch *role {
+	case "coordinator":
+		runCoordinator(*addr, *peers, *heartbeat, *noScatter, *drainTimeout, jrnl, rec)
+		return
+	case "server", "worker":
+	default:
+		log.Fatalf("gcolord: unknown -role %q (server | coordinator | worker)", *role)
 	}
 
 	srv := serve.NewServer(serve.Config{
@@ -169,6 +202,24 @@ func main() {
 		}
 	}()
 
+	// Worker role: announce this daemon to the coordinator until shutdown.
+	// Push joins complement the coordinator's pull probes, so a worker is
+	// routable even before the first probe round and re-registers itself
+	// automatically after a coordinator restart.
+	joinCtx, joinCancel := context.WithCancel(context.Background())
+	defer joinCancel()
+	if *role == "worker" {
+		if *joinURL == "" {
+			log.Fatal("gcolord: -role worker requires -join <coordinator-url>")
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = "http://127.0.0.1" + *addr
+		}
+		log.Printf("gcolord: worker joining %s as %s", *joinURL, adv)
+		go func() { _ = cluster.JoinLoop(joinCtx, nil, *joinURL, adv, *heartbeat) }()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -177,6 +228,7 @@ func main() {
 	case <-srv.DrainRequested():
 		log.Printf("gcolord: drain requested via /drainz, draining (timeout %v)", *drainTimeout)
 	}
+	joinCancel()
 
 	// Drain first: admission stops immediately, so in-flight HTTP handlers
 	// either finish with their job or fail fast with a draining error —
@@ -209,5 +261,66 @@ func main() {
 	} else if drainErr != nil {
 		log.Printf("gcolord: drain: %v", drainErr)
 		os.Exit(1)
+	}
+}
+
+// runCoordinator is the -role coordinator daemon body: no device pool,
+// just the cluster front door with the same signal/drain lifecycle as the
+// serving roles.
+func runCoordinator(addr, peers string, heartbeat time.Duration, noScatter bool, drainTimeout time.Duration, jrnl *journal.Journal, rec *journal.Recovery) {
+	var peerList []string
+	if peers != "" {
+		peerList = strings.Split(peers, ",")
+	}
+	coord := cluster.NewCoordinator(cluster.Config{
+		Peers:             peerList,
+		HeartbeatInterval: heartbeat,
+		NoScatter:         noScatter,
+		Journal:           jrnl,
+		Recovery:          rec,
+	})
+	hs := &http.Server{Addr: addr, Handler: cluster.Handler(coord)}
+	go func() {
+		log.Printf("gcolord: coordinator serving on %s (%d static peers, heartbeat %v)",
+			addr, len(peerList), heartbeat)
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("gcolord: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("gcolord: coordinator: %v received, draining (timeout %v)", s, drainTimeout)
+	case <-coord.DrainRequested():
+		log.Printf("gcolord: coordinator: drain requested via /drainz, draining (timeout %v)", drainTimeout)
+	}
+
+	dctx := context.Background()
+	if drainTimeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(dctx, drainTimeout)
+		defer cancel()
+	}
+	left := coord.Drain(dctx)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("gcolord: coordinator: http shutdown: %v", err)
+	}
+	coord.Close()
+	if jrnl != nil {
+		if err := jrnl.Close(); err != nil {
+			log.Printf("gcolord: coordinator: journal close: %v", err)
+		}
+	}
+
+	st := coord.Stats()
+	fmt.Printf("gcolord: coordinator served %d jobs (%d routed, %d scattered, %d failed, %d failovers, %d redispatches, %d cache hits) across %d workers\n",
+		st.Jobs, st.Routed, st.Scattered, st.Failed, st.RouteFailovers, st.Redispatches, st.CacheHits, st.Workers)
+	if left > 0 {
+		log.Printf("gcolord: coordinator: drain timeout with %d jobs in flight", left)
+		os.Exit(7)
 	}
 }

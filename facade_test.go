@@ -4,8 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"gcolor"
 )
@@ -159,5 +163,57 @@ func TestPublicAPIJournal(t *testing.T) {
 	}
 	if res2.NumColors != res.NumColors {
 		t.Errorf("answer changed across restart: %d vs %d colors", res2.NumColors, res.NumColors)
+	}
+}
+
+// TestPublicAPICluster walks the distributed-fleet facade: two workers
+// exposed via ServeHandler, a Coordinator fronting them, one routed job
+// and one forced scatter-gather through the public wire contract.
+func TestPublicAPICluster(t *testing.T) {
+	var workers []*httptest.Server
+	for i := 0; i < 2; i++ {
+		srv := gcolor.NewServer(gcolor.ServeConfig{Devices: 1})
+		ts := httptest.NewServer(gcolor.ServeHandler(srv))
+		t.Cleanup(func() { ts.Close(); srv.Stop() })
+		workers = append(workers, ts)
+	}
+	coord := gcolor.NewCoordinator(gcolor.ClusterConfig{
+		Peers:             []string{workers[0].URL, workers[1].URL},
+		HeartbeatInterval: -1, // liveness from static registration; no background probes
+		ExpireAfter:       time.Hour,
+	})
+	defer coord.Close()
+	front := httptest.NewServer(gcolor.ClusterHandler(coord))
+	defer front.Close()
+
+	post := func(body string) map[string]any {
+		resp, err := http.Post(front.URL+"/color", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status %d: %s", resp.StatusCode, b)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	routed := post(`{"gen":"grid:12:12","alg":"baseline"}`)
+	if routed["worker"] == "" || routed["scattered"] == true {
+		t.Fatalf("whole-graph job not routed to one worker: %v", routed)
+	}
+	scattered := post(`{"gen":"grid:16:16","alg":"baseline","shards":2,"include_colors":true}`)
+	if scattered["scattered"] != true {
+		t.Fatalf("forced 2-shard job did not scatter: %v", scattered)
+	}
+
+	st := coord.Stats()
+	if st.Workers != 2 || st.Routed != 1 || st.Scattered != 1 {
+		t.Fatalf("stats workers=%d routed=%d scattered=%d, want 2/1/1", st.Workers, st.Routed, st.Scattered)
 	}
 }

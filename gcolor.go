@@ -21,7 +21,10 @@ package gcolor
 import (
 	"context"
 	"io"
+	"net/http"
+	"time"
 
+	"gcolor/internal/cluster"
 	"gcolor/internal/color"
 	"gcolor/internal/exp"
 	"gcolor/internal/gen"
@@ -170,6 +173,11 @@ type ShardConfig = serve.ShardConfig
 
 // HandlerConfig tunes the HTTP surface (request body size limit).
 type HandlerConfig = serve.HandlerConfig
+
+// ServeHandler is a Server's HTTP surface — the gcolord wire contract
+// (POST /color, /healthz, /metricsz, ...). A Server exposed this way can
+// join a Coordinator's fleet as a worker.
+func ServeHandler(s *Server) http.Handler { return serve.Handler(s) }
 
 // Uncolored is the sentinel value of an unassigned vertex color.
 const Uncolored = color.Uncolored
@@ -354,6 +362,61 @@ func OpenJournal(dir string, opt JournalOptions) (*Journal, *JournalRecovery, er
 // RecoveryInfo reports a recovered Server's warm-start and replay
 // progress (the programmatic form of gcolord's GET /recoveryz).
 type RecoveryInfo = serve.RecoveryInfo
+
+// Distributed fleet (see internal/cluster): a coordinator fronting many
+// gcolord workers — rendezvous-hash routing of whole graphs, edge-balanced
+// scatter-gather of large ones with boundary repair at the coordinator,
+// per-worker health scores and circuit breakers, bounded re-dispatch on
+// mid-job worker failure, and the same journal-backed crash safety as a
+// single Server.
+
+// Coordinator fronts a fleet of gcolord workers.
+type Coordinator = cluster.Coordinator
+
+// ClusterConfig sizes a Coordinator: static peers, membership probing,
+// scatter thresholds, failover budgets, cache sizes, journaling.
+type ClusterConfig = cluster.Config
+
+// ClusterStats snapshots a Coordinator: job/routing/failover counters,
+// cache state, and per-worker membership detail.
+type ClusterStats = cluster.Stats
+
+// ClusterMemberInfo is one worker's membership view (address, liveness,
+// health score, breaker state, job counts).
+type ClusterMemberInfo = cluster.MemberInfo
+
+// ClusterWorkerError is a typed failure of one worker call; Retryable
+// reports whether the coordinator may fail the job over.
+type ClusterWorkerError = cluster.WorkerError
+
+// ClusterShardError reports a shard sub-job that exhausted its bounded
+// re-dispatch attempts during scatter-gather.
+type ClusterShardError = cluster.ShardError
+
+// ErrNoClusterWorkers is returned when no live, non-excluded worker
+// remains for a job.
+var ErrNoClusterWorkers = cluster.ErrNoWorkers
+
+// NewCoordinator starts a Coordinator; call Close to stop its membership
+// probing. Workers are plain gcolord servers — no special build.
+func NewCoordinator(cfg ClusterConfig) *Coordinator { return cluster.NewCoordinator(cfg) }
+
+// ClusterHandler is the Coordinator's HTTP surface: the same POST /color
+// contract as a single gcolord plus /clusterz, /cluster/join, /metricsz.
+func ClusterHandler(c *Coordinator) http.Handler { return cluster.Handler(c) }
+
+// NewClusterWorkerClient returns the pooled keep-alive HTTP client a
+// Coordinator uses for worker calls, sized for conc in-flight jobs.
+func NewClusterWorkerClient(timeout time.Duration, conc int) *http.Client {
+	return cluster.NewWorkerClient(timeout, conc)
+}
+
+// JoinCluster announces a worker to a coordinator and keeps re-announcing
+// every interval until ctx is canceled — the worker side of dynamic
+// membership. A nil client uses http.DefaultClient.
+func JoinCluster(ctx context.Context, client *http.Client, coordinatorURL, advertiseAddr string, interval time.Duration) error {
+	return cluster.JoinLoop(ctx, client, coordinatorURL, advertiseAddr, interval)
+}
 
 // ParseGraphSpec builds a deterministic synthetic graph from a compact
 // spec like "rmat:14:16:1", "gnm:10000:50000", or "grid:64:64".

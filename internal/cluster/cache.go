@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+
+	"gcolor/internal/gpucolor"
+	"gcolor/internal/serve"
+)
+
+// The coordinator's two result stores, both bounded LRUs:
+//
+//   - the merged-result cache, keyed by {graph fingerprint, policy key}.
+//     Workers are told no-cache on shard sub-jobs, so for a scattered job
+//     this is the ONLY cache holding the merged coloring — the
+//     coordinator must not double-cache by letting workers store shard
+//     fragments that can never be re-assembled.
+//   - the idempotency map, keyed by the client's Idempotency-Key, so a
+//     retried request is answered with the stored reply instead of
+//     re-dispatching fleet work.
+//
+// Entries store the full ColorResponse including Colors; the HTTP layer
+// strips Colors per-request when the client did not ask for them.
+
+// policyKey mirrors serve.Request.policyKey over the wire request: same
+// seed constant, same mix, same normalized-threshold rule, Fused excluded.
+// The two keyspaces never meet (each cache is self-consistent), but
+// keeping the derivation identical means a coordinator and a worker agree
+// on which requests are the same work.
+func policyKey(alg gpucolor.Algorithm, seed uint32, threshold int) uint64 {
+	k := uint64(0x9e3779b97f4a7c15)
+	mix := func(v uint64) {
+		k ^= v
+		k *= 0x100000001b3
+	}
+	mix(uint64(alg))
+	mix(uint64(seed))
+	mix(uint64(gpucolor.NormalizeHybridThreshold(threshold)))
+	return k
+}
+
+type resultKey struct {
+	fp     uint64
+	policy uint64
+}
+
+type resultEntry struct {
+	key resultKey
+	res *serve.ColorResponse
+}
+
+// resultCache is the fingerprint-keyed merged-result LRU.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List
+	byKey map[resultKey]*list.Element
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, order: list.New(), byKey: make(map[resultKey]*list.Element)}
+}
+
+func (c *resultCache) get(key resultKey) (*serve.ColorResponse, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*resultEntry).res, true
+}
+
+func (c *resultCache) put(key resultKey, res *serve.ColorResponse) {
+	if c.cap <= 0 || res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*resultEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&resultEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.byKey, el.Value.(*resultEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+func (c *resultCache) stats() (hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+type idemEntry struct {
+	key string
+	res *serve.ColorResponse
+}
+
+// idemCache is the Idempotency-Key LRU.
+type idemCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List
+	byKey map[string]*list.Element
+
+	hits int64
+}
+
+func newIdemCache(capacity int) *idemCache {
+	return &idemCache{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+func (c *idemCache) get(key string) (*serve.ColorResponse, bool) {
+	if c.cap <= 0 || key == "" {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*idemEntry).res, true
+}
+
+func (c *idemCache) put(key string, res *serve.ColorResponse) {
+	if c.cap <= 0 || key == "" || res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*idemEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&idemEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.byKey, el.Value.(*idemEntry).key)
+	}
+}
+
+func (c *idemCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

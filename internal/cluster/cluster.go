@@ -1,0 +1,238 @@
+// Package cluster turns gcolord into a multi-node fleet: a coordinator
+// role that owns no devices but knows every worker, and worker roles that
+// are plain gcolord daemons (internal/serve) registered with the
+// coordinator.
+//
+// The paper's load-imbalance lesson, lifted two levels now: hub vertices
+// serialize wavefronts inside a device (PR 0), whole graphs on one device
+// serialize the pool (PR 5), and whole jobs on one node serialize the
+// fleet. The coordinator spreads that load the same way the shard layer
+// spreads a graph:
+//
+//   - membership: workers join over HTTP (POST /cluster/join) or are
+//     pinned with -peers; a heartbeat loop probes /healthz, and every
+//     routed job's outcome feeds the worker's EWMA health score and
+//     circuit breaker — the PR 4 self-healing machinery re-exported by
+//     internal/serve, because a worker is just a bigger device.
+//   - routing: small graphs are forwarded whole to the worker that wins
+//     rendezvous hashing on the graph fingerprint, so repeat traffic for
+//     one graph lands on the node whose local cache already holds it,
+//     and adding a worker moves only the keys it now wins (~1/N).
+//   - scatter-gather: large graphs are split with internal/shard's
+//     edge-balanced partitioner, one sub-job per shard POSTed to a
+//     distinct worker (no-cache, so only the coordinator caches the
+//     merged result), and the merge barrier plus bounded boundary-repair
+//     loop run at the coordinator — the distributed shape of Bogle &
+//     Slota (arXiv:2107.00075) with Rokos-style repair convergence
+//     (arXiv:1505.04086).
+//   - failover: a worker failing mid-job (transport error or 5xx) gets
+//     its whole-graph route or shard re-dispatched to a different healthy
+//     worker, excluded-by-id, with bounded attempts and typed errors.
+//   - durability: with a journal attached the coordinator writes accept
+//     records before dispatch and completion records after, exactly as
+//     the PR 6 serving layer does, so a coordinator crash loses no
+//     accepted fleet work.
+//
+// Coordinator is the in-process API; Handler wraps it for gcolord
+// -role coordinator, and JoinLoop is the worker-side membership pump.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"gcolor/internal/journal"
+	"gcolor/internal/serve"
+)
+
+// ErrNoWorkers reports a coordinator with no live worker to route to:
+// none ever joined, or every member is expired or quarantined with
+// nothing to fail open onto.
+var ErrNoWorkers = errors.New("cluster: no live workers")
+
+// WorkerError is the typed failure of one worker call: transport errors
+// carry Status 0, HTTP failures the worker's status code and error kind.
+type WorkerError struct {
+	// Worker is the member's base URL.
+	Worker string
+	// Status is the HTTP status the worker returned (0 = the call never
+	// produced a response: dial/write/read failure, worker died mid-job).
+	Status int
+	// Kind is the worker's typed error kind ("queue_full", "failed", ...)
+	// or "transport".
+	Kind string
+	// Err is the underlying error.
+	Err error
+}
+
+// Error implements error.
+func (e *WorkerError) Error() string {
+	if e.Status == 0 {
+		return fmt.Sprintf("cluster: worker %s: %v", e.Worker, e.Err)
+	}
+	return fmt.Sprintf("cluster: worker %s: http %d (%s): %v", e.Worker, e.Status, e.Kind, e.Err)
+}
+
+// Unwrap exposes the underlying error.
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// Retryable reports whether another worker might succeed where this one
+// failed: transport failures, worker-side 5xx, and overload rejections
+// (429) are retryable; request errors (4xx) are not — every replica would
+// refuse the same body.
+func (e *WorkerError) Retryable() bool {
+	return e.Status == 0 || e.Status >= 500 || e.Status == http.StatusTooManyRequests
+}
+
+// ShardError is the typed failure of one shard of a scatter-gather after
+// its dispatch attempts (initial + re-dispatches) were exhausted.
+type ShardError struct {
+	Shard    int // shard index
+	Shards   int // total shards in the job
+	Attempts int // dispatch attempts made
+	Err      error
+}
+
+// Error implements error.
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("cluster: shard %d/%d failed after %d attempts: %v", e.Shard, e.Shards, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the last attempt's error.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Config sizes a Coordinator. Zero values take the documented defaults.
+type Config struct {
+	// Peers are static worker base URLs registered at startup; more
+	// workers may join dynamically via POST /cluster/join.
+	Peers []string
+
+	// HeartbeatInterval paces the membership probe loop (default 500ms;
+	// negative disables probing, leaving liveness to push joins).
+	HeartbeatInterval time.Duration
+	// ExpireAfter marks a member down when neither a probe nor a join
+	// has seen it for this long (default 6x HeartbeatInterval).
+	ExpireAfter time.Duration
+
+	// CacheEntries sizes the coordinator's fingerprint-keyed merged-result
+	// LRU (default 512; negative disables). Shard sub-jobs are sent
+	// no-cache, so this is the only place a scattered result is stored.
+	CacheEntries int
+	// IdemEntries sizes the Idempotency-Key LRU (default 4096; negative
+	// disables idempotent replay at the coordinator).
+	IdemEntries int
+
+	// ScatterVertices and ScatterEdges are the graph-size thresholds at
+	// or above which a job is scatter-gathered instead of routed whole
+	// (defaults 8192 vertices / 262144 edges, the serve.ShardConfig auto
+	// thresholds; negative disables that trigger).
+	ScatterVertices int
+	ScatterEdges    int
+	// ShardK is the shard count for scattered jobs (0 = the live worker
+	// count, capped at MaxShards).
+	ShardK int
+	// MaxShards caps the per-job shard count (default 16).
+	MaxShards int
+	// NoScatter disables scatter-gather entirely; every job is routed
+	// whole.
+	NoScatter bool
+	// MaxRepairRounds bounds the coordinator's boundary repair loop
+	// (default shard.DefaultRepairRounds).
+	MaxRepairRounds int
+
+	// RouteAttempts bounds the workers tried for one whole-graph job
+	// (default 3: initial + 2 failovers).
+	RouteAttempts int
+	// ShardAttempts bounds the workers tried for one shard sub-job
+	// (default 2: initial + exactly one re-dispatch to a different
+	// worker).
+	ShardAttempts int
+	// WorkerTimeout bounds one worker call (default 60s). A request's own
+	// deadline still applies when shorter.
+	WorkerTimeout time.Duration
+
+	// HealthAlpha and LatencySlack tune the per-worker EWMA health score
+	// (serve.FleetHealth defaults: 0.2 and 4).
+	HealthAlpha  float64
+	LatencySlack float64
+	// Breaker tunes the per-worker circuit breakers (serve.BreakerConfig
+	// defaults).
+	Breaker serve.BreakerConfig
+	// ProbationScore is the health score a re-admitted worker restarts at
+	// (default 0.6).
+	ProbationScore float64
+
+	// Journal, when set, makes the coordinator crash-safe: accepts are
+	// journaled before dispatch and completions after, exactly as the
+	// serving layer journals (PR 6). The caller owns journal.Close.
+	Journal *journal.Journal
+	// Recovery, when set, warm-starts the merged-result cache and
+	// idempotency map from replayed completions and re-dispatches pending
+	// accepts in the background.
+	Recovery *journal.Recovery
+	// ReplayParallelism bounds concurrent recovery re-dispatches
+	// (default 4).
+	ReplayParallelism int
+
+	// Client is the HTTP client for worker calls. Defaults to a pooled
+	// keep-alive client (NewWorkerClient) sized for the fleet.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.ExpireAfter <= 0 {
+		iv := c.HeartbeatInterval
+		if iv < 0 {
+			iv = 500 * time.Millisecond
+		}
+		c.ExpireAfter = 6 * iv
+	}
+	switch {
+	case c.CacheEntries < 0:
+		c.CacheEntries = 0
+	case c.CacheEntries == 0:
+		c.CacheEntries = 512
+	}
+	switch {
+	case c.IdemEntries < 0:
+		c.IdemEntries = 0
+	case c.IdemEntries == 0:
+		c.IdemEntries = 4096
+	}
+	if c.ScatterVertices == 0 {
+		c.ScatterVertices = 8192
+	}
+	if c.ScatterEdges == 0 {
+		c.ScatterEdges = 1 << 18
+	}
+	if c.MaxShards < 1 {
+		c.MaxShards = 16
+	}
+	if c.ShardK > c.MaxShards {
+		c.ShardK = c.MaxShards
+	}
+	if c.RouteAttempts < 1 {
+		c.RouteAttempts = 3
+	}
+	if c.ShardAttempts < 1 {
+		c.ShardAttempts = 2
+	}
+	if c.WorkerTimeout <= 0 {
+		c.WorkerTimeout = 60 * time.Second
+	}
+	if c.ProbationScore <= 0 || c.ProbationScore > 1 {
+		c.ProbationScore = 0.6
+	}
+	if c.ReplayParallelism < 1 {
+		c.ReplayParallelism = 4
+	}
+	if c.Client == nil {
+		c.Client = NewWorkerClient(c.WorkerTimeout, 0)
+	}
+	return c
+}

@@ -1,0 +1,467 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gcolor/internal/cluster"
+	"gcolor/internal/journal"
+	"gcolor/internal/serve"
+)
+
+// testWorker is one in-process fleet node: a real serving stack behind a
+// recording wrapper that can inject a single 5xx on demand.
+type testWorker struct {
+	srv *serve.Server
+	ts  *httptest.Server
+
+	mu         sync.Mutex
+	colorRIDs  []string
+	failSuffix string // fail the next /color whose request ID has this suffix
+	failed     int
+}
+
+func newTestWorker(t *testing.T, cfg serve.Config) *testWorker {
+	t.Helper()
+	if cfg.Devices == 0 && len(cfg.DeviceConfigs) == 0 {
+		cfg.Devices = 1
+	}
+	w := &testWorker{srv: serve.NewServer(cfg)}
+	inner := serve.Handler(w.srv)
+	w.ts = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/color" {
+			rid := r.Header.Get("X-Request-ID")
+			w.mu.Lock()
+			w.colorRIDs = append(w.colorRIDs, rid)
+			fail := w.failSuffix != "" && strings.HasSuffix(rid, w.failSuffix)
+			if fail {
+				w.failSuffix = "" // one-shot
+				w.failed++
+			}
+			w.mu.Unlock()
+			if fail {
+				rw.Header().Set("Content-Type", "application/json")
+				rw.WriteHeader(http.StatusInternalServerError)
+				fmt.Fprint(rw, `{"error":"injected fault","kind":"boom"}`)
+				return
+			}
+		}
+		inner.ServeHTTP(rw, r)
+	}))
+	t.Cleanup(func() {
+		w.ts.Close()
+		w.srv.Stop()
+	})
+	return w
+}
+
+func (w *testWorker) ridCount(rid string) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, r := range w.colorRIDs {
+		if r == rid {
+			n++
+		}
+	}
+	return n
+}
+
+func (w *testWorker) armFail(suffix string) {
+	w.mu.Lock()
+	w.failSuffix = suffix
+	w.mu.Unlock()
+}
+
+// newTestCoordinator stands up a coordinator over the given workers with
+// background probing disabled so tests are deterministic: liveness comes
+// from static registration and job outcomes only.
+func newTestCoordinator(t *testing.T, cfg cluster.Config, workers ...*testWorker) (*cluster.Coordinator, *httptest.Server) {
+	t.Helper()
+	for _, w := range workers {
+		cfg.Peers = append(cfg.Peers, w.ts.URL)
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = -1
+	}
+	if cfg.ExpireAfter == 0 {
+		cfg.ExpireAfter = time.Hour
+	}
+	coord := cluster.NewCoordinator(cfg)
+	ts := httptest.NewServer(cluster.Handler(coord))
+	t.Cleanup(func() {
+		ts.Close()
+		coord.Close()
+	})
+	return coord, ts
+}
+
+// postColor sends one /color request with optional request-ID and
+// idempotency headers and decodes either the response or the typed error.
+func postColor(t *testing.T, coordURL string, cr *serve.ColorRequest, rid, idemKey string) (*serve.ColorResponse, int, string) {
+	t.Helper()
+	body, err := json.Marshal(cr)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, coordURL+"/color", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if rid != "" {
+		req.Header.Set("X-Request-ID", rid)
+	}
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er struct {
+			Error string `json:"error"`
+			Kind  string `json:"kind"`
+		}
+		b, _ := io.ReadAll(resp.Body)
+		_ = json.Unmarshal(b, &er)
+		return nil, resp.StatusCode, er.Kind
+	}
+	var cresp serve.ColorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cresp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return &cresp, resp.StatusCode, ""
+}
+
+// Whole-graph jobs route to one worker; the second identical request is a
+// coordinator cache hit and an Idempotency-Key replays without recoloring.
+func TestRouteCacheAndIdempotency(t *testing.T) {
+	w := newTestWorker(t, serve.Config{})
+	coord, ts := newTestCoordinator(t, cluster.Config{}, w)
+
+	cr := &serve.ColorRequest{Gen: "grid:12:12", Alg: "baseline", IncludeColors: true}
+	first, code, kind := postColor(t, ts.URL, cr, "route-1", "")
+	if first == nil {
+		t.Fatalf("first request failed: %d %s", code, kind)
+	}
+	if first.Worker != w.ts.URL {
+		t.Fatalf("Worker = %q, want %q", first.Worker, w.ts.URL)
+	}
+	if first.Cached || first.Scattered {
+		t.Fatalf("first response cached=%v scattered=%v, want neither", first.Cached, first.Scattered)
+	}
+	if first.NumColors < 2 {
+		t.Fatalf("grid coloring used %d colors", first.NumColors)
+	}
+
+	second, _, _ := postColor(t, ts.URL, cr, "route-2", "")
+	if second == nil || !second.Cached {
+		t.Fatalf("second identical request not served from coordinator cache: %+v", second)
+	}
+
+	withKey := &serve.ColorRequest{Gen: "grid:13:13", Alg: "baseline", IncludeColors: true}
+	a, _, _ := postColor(t, ts.URL, withKey, "idem-1", "key-abc")
+	if a == nil {
+		t.Fatal("keyed request failed")
+	}
+	b, _, _ := postColor(t, ts.URL, withKey, "idem-2", "key-abc")
+	if b == nil || !b.IdempotentReplay {
+		t.Fatalf("repeat with same Idempotency-Key not replayed: %+v", b)
+	}
+
+	st := coord.Stats()
+	if st.Jobs < 2 || st.Routed < 2 {
+		t.Fatalf("stats jobs=%d routed=%d, want >= 2 each", st.Jobs, st.Routed)
+	}
+	if st.CacheHits < 1 {
+		t.Fatalf("stats cache_hits=%d, want >= 1", st.CacheHits)
+	}
+}
+
+// When the rendezvous owner dies mid-fleet the job fails over to another
+// worker instead of failing the client.
+func TestRouteFailoverOnDeadWorker(t *testing.T) {
+	w1 := newTestWorker(t, serve.Config{})
+	w2 := newTestWorker(t, serve.Config{})
+	coord, ts := newTestCoordinator(t, cluster.Config{}, w1, w2)
+
+	// Learn which worker owns this fingerprint, then kill exactly that one.
+	cr := &serve.ColorRequest{Gen: "grid:10:10", Alg: "baseline", NoCache: true}
+	probe, code, kind := postColor(t, ts.URL, cr, "fo-probe", "")
+	if probe == nil {
+		t.Fatalf("probe failed: %d %s", code, kind)
+	}
+	victim, survivor := w1, w2
+	if probe.Worker == w2.ts.URL {
+		victim, survivor = w2, w1
+	}
+	victim.ts.CloseClientConnections()
+	victim.ts.Close()
+
+	got, code, kind := postColor(t, ts.URL, cr, "fo-1", "")
+	if got == nil {
+		t.Fatalf("post-kill request failed: %d %s", code, kind)
+	}
+	if got.Worker != survivor.ts.URL {
+		t.Fatalf("post-kill job served by %q, want survivor %q", got.Worker, survivor.ts.URL)
+	}
+	if got.Redispatched < 1 {
+		t.Fatalf("Redispatched = %d, want >= 1 (first attempt hit the dead owner)", got.Redispatched)
+	}
+	if st := coord.Stats(); st.RouteFailovers < 1 {
+		t.Fatalf("stats route_failovers = %d, want >= 1", st.RouteFailovers)
+	}
+}
+
+// A worker answering 5xx mid-scatter gets its shard re-dispatched exactly
+// once, to a different worker, and the job still succeeds.
+func TestScatterRedispatchExactlyOnce(t *testing.T) {
+	w1 := newTestWorker(t, serve.Config{})
+	w2 := newTestWorker(t, serve.Config{})
+	coord, ts := newTestCoordinator(t, cluster.Config{}, w1, w2)
+
+	cr := &serve.ColorRequest{Gen: "grid:16:16", Alg: "baseline", Shards: 2, NoCache: true, IncludeColors: true}
+
+	// Dry run to learn the (stable) shard-to-worker assignment.
+	dry, code, kind := postColor(t, ts.URL, cr, "dry", "")
+	if dry == nil || !dry.Scattered {
+		t.Fatalf("dry run not scattered: resp=%+v code=%d kind=%s", dry, code, kind)
+	}
+	owner, other := w1, w2
+	if w2.ridCount("dry-s0") == 1 {
+		owner, other = w2, w1
+	}
+	if owner.ridCount("dry-s0") != 1 {
+		t.Fatalf("dry run: shard 0 served by neither worker exactly once (w1=%d w2=%d)",
+			w1.ridCount("dry-s0"), w2.ridCount("dry-s0"))
+	}
+
+	// Same fingerprint, same fleet: shard 0 lands on the same owner, which
+	// now rejects it once with a 500.
+	owner.armFail("-s0")
+	got, code, kind := postColor(t, ts.URL, cr, "redo", "")
+	if got == nil {
+		t.Fatalf("scatter with injected fault failed: %d %s", code, kind)
+	}
+	if !got.Scattered {
+		t.Fatal("response not scattered")
+	}
+	if got.Redispatched != 1 {
+		t.Fatalf("Redispatched = %d, want exactly 1", got.Redispatched)
+	}
+	if n := owner.ridCount("redo-s0"); n != 1 {
+		t.Fatalf("faulted worker saw shard 0 %d times, want exactly 1", n)
+	}
+	if n := other.ridCount("redo-s0"); n != 1 {
+		t.Fatalf("re-dispatch target saw shard 0 %d times, want exactly 1", n)
+	}
+	if st := coord.Stats(); st.Redispatches != 1 {
+		t.Fatalf("stats redispatches = %d, want exactly 1", st.Redispatches)
+	}
+}
+
+// Shard sub-jobs are sent no-cache: only the coordinator's LRU may hold
+// the merged result, so a re-scatter never reassembles stale shards and
+// worker memory is not spent on partial colorings.
+func TestScatterNoDoubleCache(t *testing.T) {
+	w1 := newTestWorker(t, serve.Config{})
+	w2 := newTestWorker(t, serve.Config{})
+	coord, ts := newTestCoordinator(t, cluster.Config{}, w1, w2)
+
+	cr := &serve.ColorRequest{Gen: "grid:16:16", Alg: "baseline", Shards: 2, IncludeColors: true}
+	got, code, kind := postColor(t, ts.URL, cr, "nc-1", "")
+	if got == nil || !got.Scattered {
+		t.Fatalf("scatter failed: resp=%+v code=%d kind=%s", got, code, kind)
+	}
+
+	st := coord.Stats()
+	if st.CacheEntries != 1 {
+		t.Fatalf("coordinator cache holds %d entries, want exactly the merged result", st.CacheEntries)
+	}
+	for i, w := range []*testWorker{w1, w2} {
+		if n := w.srv.Stats().CacheEntries; n != 0 {
+			t.Fatalf("worker %d cached %d shard sub-results, want 0 (sub-jobs must carry no-cache)", i, n)
+		}
+	}
+
+	// The repeat is answered from the coordinator cache without touching
+	// the fleet again.
+	before := w1.ridCount("again-s0") + w2.ridCount("again-s0")
+	again, _, _ := postColor(t, ts.URL, cr, "again", "")
+	if again == nil || !again.Cached {
+		t.Fatalf("repeat scatter not served from coordinator cache: %+v", again)
+	}
+	after := w1.ridCount("again-s0") + w2.ridCount("again-s0")
+	if before != after {
+		t.Fatal("cached repeat still dispatched shards to workers")
+	}
+}
+
+// The originating request ID crosses the coordinator into every worker's
+// journal: whole-graph jobs keep the client's ID verbatim, shard sub-jobs
+// record it with an -s<i> suffix, and the Idempotency-Key rides along on
+// whole-graph routes.
+func TestRequestIDPropagatesIntoWorkerJournal(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	j1, _, err := journal.Open(dir1, journal.Options{})
+	if err != nil {
+		t.Fatalf("open journal 1: %v", err)
+	}
+	j2, _, err := journal.Open(dir2, journal.Options{})
+	if err != nil {
+		t.Fatalf("open journal 2: %v", err)
+	}
+	w1 := newTestWorker(t, serve.Config{Journal: j1})
+	w2 := newTestWorker(t, serve.Config{Journal: j2})
+	_, ts := newTestCoordinator(t, cluster.Config{}, w1, w2)
+
+	whole := &serve.ColorRequest{Gen: "grid:11:11", Alg: "baseline", NoCache: true}
+	if got, code, kind := postColor(t, ts.URL, whole, "req-whole", "idem-xyz"); got == nil {
+		t.Fatalf("whole-graph job failed: %d %s", code, kind)
+	}
+	scat := &serve.ColorRequest{Gen: "grid:16:16", Alg: "baseline", Shards: 2, NoCache: true, IncludeColors: true}
+	if got, code, kind := postColor(t, ts.URL, scat, "req-scat", ""); got == nil || !got.Scattered {
+		t.Fatalf("scattered job failed: resp=%+v code=%d kind=%s", got, code, kind)
+	}
+
+	// Quiesce the workers, close the journals, and replay them cold — the
+	// same path a restarted worker would take.
+	w1.srv.Stop()
+	w2.srv.Stop()
+	if err := j1.Close(); err != nil {
+		t.Fatalf("close journal 1: %v", err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatalf("close journal 2: %v", err)
+	}
+	ids := map[string]string{} // rid -> idem key, across both worker journals
+	for _, dir := range []string{dir1, dir2} {
+		j, rec, err := journal.Open(dir, journal.Options{})
+		if err != nil {
+			t.Fatalf("reopen journal %s: %v", dir, err)
+		}
+		for _, cmp := range rec.Completions {
+			ids[cmp.ID] = cmp.IdemKey
+		}
+		j.Close()
+	}
+
+	if idem, ok := ids["req-whole"]; !ok {
+		t.Fatalf("no worker journal recorded the originating request ID %q (have %v)", "req-whole", keys(ids))
+	} else if idem != "idem-xyz" {
+		t.Fatalf("journal idem key for req-whole = %q, want %q", idem, "idem-xyz")
+	}
+	for i := 0; i < 2; i++ {
+		srid := fmt.Sprintf("req-scat-s%d", i)
+		idem, ok := ids[srid]
+		if !ok {
+			t.Fatalf("no worker journal recorded shard request ID %q (have %v)", srid, keys(ids))
+		}
+		// Forwarding the client key onto shards would collide K sub-jobs
+		// on one idempotency slot; it must stay at the coordinator.
+		if idem != "" {
+			t.Fatalf("shard %s carried idem key %q, want none", srid, idem)
+		}
+	}
+}
+
+func keys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Dynamic membership: a fleet of zero rejects with no_workers, a join via
+// the HTTP surface brings capacity online without a restart.
+func TestJoinGrowsFleet(t *testing.T) {
+	coord, ts := newTestCoordinator(t, cluster.Config{})
+
+	cr := &serve.ColorRequest{Gen: "grid:10:10", Alg: "baseline"}
+	if got, code, kind := postColor(t, ts.URL, cr, "j-1", ""); got != nil || code != http.StatusServiceUnavailable || kind != "no_workers" {
+		t.Fatalf("empty fleet answered resp=%v code=%d kind=%q, want 503 no_workers", got, code, kind)
+	}
+
+	w := newTestWorker(t, serve.Config{})
+	body, _ := json.Marshal(map[string]string{"addr": w.ts.URL})
+	resp, err := http.Post(ts.URL+"/cluster/join", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join status = %d", resp.StatusCode)
+	}
+	if st := coord.Stats(); st.Workers != 1 || st.Joins != 1 {
+		t.Fatalf("after join workers=%d joins=%d, want 1/1", st.Workers, st.Joins)
+	}
+	if got, code, kind := postColor(t, ts.URL, cr, "j-2", ""); got == nil {
+		t.Fatalf("post-join request failed: %d %s", code, kind)
+	}
+}
+
+// A draining coordinator refuses new work with the same typed error the
+// serving layer uses, so rolling restarts look identical fleet-wide.
+func TestDrainRefusesNewWork(t *testing.T) {
+	w := newTestWorker(t, serve.Config{})
+	coord, ts := newTestCoordinator(t, cluster.Config{}, w)
+
+	coord.RequestDrain()
+	cr := &serve.ColorRequest{Gen: "grid:10:10", Alg: "baseline"}
+	got, code, kind := postColor(t, ts.URL, cr, "d-1", "")
+	if got != nil || code != http.StatusServiceUnavailable || kind != "draining" {
+		t.Fatalf("draining coordinator answered resp=%v code=%d kind=%q, want 503 draining", got, code, kind)
+	}
+}
+
+// Crash-safety: a coordinator restarted over its journal warm-starts the
+// merged-result cache and answers the repeat without touching the fleet.
+func TestCoordinatorJournalWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	j, rec, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	w := newTestWorker(t, serve.Config{})
+
+	coord1, ts1 := newTestCoordinator(t, cluster.Config{Journal: j, Recovery: rec}, w)
+	cr := &serve.ColorRequest{Gen: "grid:12:12", Alg: "baseline", IncludeColors: true}
+	if got, code, kind := postColor(t, ts1.URL, cr, "warm-1", ""); got == nil {
+		t.Fatalf("seed request failed: %d %s", code, kind)
+	}
+	ts1.Close()
+	coord1.Close()
+	if err := j.Close(); err != nil {
+		t.Fatalf("close journal: %v", err)
+	}
+
+	j2, rec2, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	defer j2.Close()
+	coord2, ts2 := newTestCoordinator(t, cluster.Config{Journal: j2, Recovery: rec2}, w)
+	if st := coord2.Stats(); st.WarmedCache < 1 {
+		t.Fatalf("restarted coordinator warmed %d cache entries, want >= 1", st.WarmedCache)
+	}
+	jobsBefore := w.ridCount("warm-2")
+	got, _, _ := postColor(t, ts2.URL, cr, "warm-2", "")
+	if got == nil || !got.Cached {
+		t.Fatalf("repeat after restart not a warm cache hit: %+v", got)
+	}
+	if w.ridCount("warm-2") != jobsBefore {
+		t.Fatal("warm cache hit still dispatched to a worker")
+	}
+}

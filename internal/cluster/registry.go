@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gcolor/internal/serve"
+)
+
+// member is one registered worker. Members are never deleted — a worker
+// that stops heartbeating is down, not forgotten, so /clusterz keeps the
+// evidence and a returning worker reclaims its id (and its breaker
+// history) by address.
+type member struct {
+	id       int    // index into the registry's health tracker
+	addr     string // base URL, e.g. http://10.0.0.7:8421
+	addrHash uint64 // fnv1a64(addr), the rendezvous identity
+	static   bool   // pinned by -peers (true) or joined at runtime
+
+	brk *serve.Breaker
+
+	mu       sync.Mutex
+	lastSeen time.Time // last successful probe or push heartbeat
+
+	jobs      atomic.Int64 // jobs dispatched to this worker (routes + shards)
+	failures  atomic.Int64 // dispatches that failed on this worker
+	probeJobs atomic.Int64 // jobs that rode a half-open probe slot
+}
+
+// seen marks the member live now.
+func (m *member) seen(now time.Time) {
+	m.mu.Lock()
+	m.lastSeen = now
+	m.mu.Unlock()
+}
+
+// aliveAt reports whether the member has been seen within expire.
+func (m *member) aliveAt(now time.Time, expire time.Duration) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return now.Sub(m.lastSeen) <= expire
+}
+
+// registry is the coordinator's membership table: address-keyed members,
+// one shared EWMA health tracker, and one circuit breaker per member.
+// All methods are safe for concurrent use.
+type registry struct {
+	expire    time.Duration
+	brkCfg    serve.BreakerConfig
+	probation float64
+
+	health *serve.FleetHealth
+
+	mu      sync.Mutex
+	members []*member // id-indexed
+	byAddr  map[string]*member
+
+	quarantines atomic.Int64
+	readmitted  atomic.Int64
+	probes      atomic.Int64
+}
+
+func newRegistry(cfg Config) *registry {
+	return &registry{
+		expire:    cfg.ExpireAfter,
+		brkCfg:    cfg.Breaker,
+		probation: cfg.ProbationScore,
+		health:    serve.NewFleetHealth(0, cfg.HealthAlpha, cfg.LatencySlack),
+		byAddr:    make(map[string]*member),
+	}
+}
+
+// upsert registers a worker by address (idempotent: a re-join refreshes
+// liveness and returns the existing member, breaker history intact).
+func (r *registry) upsert(addr string, static bool) *member {
+	now := time.Now()
+	r.mu.Lock()
+	if m, ok := r.byAddr[addr]; ok {
+		r.mu.Unlock()
+		m.seen(now)
+		return m
+	}
+	m := &member{
+		id:       r.health.AddMember(),
+		addr:     addr,
+		addrHash: fnv1a64(addr),
+		static:   static,
+		brk:      serve.NewBreaker(r.brkCfg),
+	}
+	m.lastSeen = now
+	r.members = append(r.members, m)
+	r.byAddr[addr] = m
+	r.mu.Unlock()
+	return m
+}
+
+// all snapshots the member list (the slice is fresh; members are shared).
+func (r *registry) all() []*member {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*member, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// alive returns the members seen within the expiry window.
+func (r *registry) alive() []*member {
+	now := time.Now()
+	var out []*member
+	for _, m := range r.all() {
+		if m.aliveAt(now, r.expire) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// size returns the number of registered members.
+func (r *registry) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.members)
+}
+
+// pick selects the worker for key among the live members not in exclude:
+// rendezvous order over breaker-closed members first; failing that, a
+// half-open member whose probe slot is free (the job doubles as the
+// probe); failing that, rendezvous order over everyone alive (the
+// all-open fail-open rule — a fleet that quarantined every worker must
+// keep trying rather than refuse all traffic). probe reports that the
+// returned member's probe slot was reserved; the caller must settle it
+// with observe. ErrNoWorkers means no live non-excluded member exists.
+func (r *registry) pick(key uint64, exclude map[int]bool) (m *member, probe bool, err error) {
+	live := r.alive()
+	candidates := live[:0:0]
+	for _, mm := range live {
+		if !exclude[mm.id] {
+			candidates = append(candidates, mm)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, false, ErrNoWorkers
+	}
+	ranked := rankMembers(key, candidates)
+	for _, mm := range ranked {
+		if mm.brk.Allow() {
+			return mm, false, nil
+		}
+	}
+	for _, mm := range ranked {
+		if mm.brk.TryProbe() {
+			r.probes.Add(1)
+			mm.probeJobs.Add(1)
+			return mm, true, nil
+		}
+	}
+	// Fail open: every candidate is quarantined (or probe-busy); the
+	// rendezvous owner still gets the job so the fleet degrades to "slow
+	// and suspicious" rather than "down".
+	return ranked[0], false, nil
+}
+
+// observe folds one dispatch outcome into the member's health score and
+// breaker. reward follows the serve ladder shape: 1 for a clean answer,
+// 0.5 for an overload rejection (the worker is loaded, not broken), 0 for
+// a failure. good is what the breaker counts as failure-free.
+func (r *registry) observe(m *member, probe, good bool, reward float64, exec time.Duration) {
+	score := r.health.Observe(m.id, reward, exec)
+	if !good {
+		m.failures.Add(1)
+	}
+	if probe {
+		tripped, readmitted := m.brk.RecordProbe(good)
+		if tripped {
+			r.quarantines.Add(1)
+		}
+		if readmitted {
+			r.readmitted.Add(1)
+			r.health.Boost(m.id, r.probation)
+		}
+		return
+	}
+	if m.brk.Record(good, score) {
+		r.quarantines.Add(1)
+	}
+}
+
+// MemberInfo is the /clusterz (and Stats) view of one worker.
+type MemberInfo struct {
+	ID         int     `json:"id"`
+	Addr       string  `json:"addr"`
+	Static     bool    `json:"static"`
+	Alive      bool    `json:"alive"`
+	Health     float64 `json:"health"`
+	Breaker    string  `json:"breaker"`
+	Jobs       int64   `json:"jobs"`
+	Failures   int64   `json:"failures"`
+	ProbeJobs  int64   `json:"probe_jobs"`
+	LastSeenMS int64   `json:"last_seen_ms_ago"`
+	ExecP50US  int64   `json:"exec_p50_us"`
+	ExecP99US  int64   `json:"exec_p99_us"`
+}
+
+// info snapshots one member.
+func (r *registry) info(m *member) MemberInfo {
+	now := time.Now()
+	m.mu.Lock()
+	seenAgo := now.Sub(m.lastSeen)
+	m.mu.Unlock()
+	return MemberInfo{
+		ID:         m.id,
+		Addr:       m.addr,
+		Static:     m.static,
+		Alive:      seenAgo <= r.expire,
+		Health:     r.health.Score(m.id),
+		Breaker:    m.brk.State().String(),
+		Jobs:       m.jobs.Load(),
+		Failures:   m.failures.Load(),
+		ProbeJobs:  m.probeJobs.Load(),
+		LastSeenMS: seenAgo.Milliseconds(),
+	}
+}

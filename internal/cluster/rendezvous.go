@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"sort"
+)
+
+// Rendezvous (highest-random-weight) hashing: every (key, worker) pair
+// gets a deterministic pseudo-random score, and a key is owned by the
+// worker with the highest score. The property that makes it the routing
+// function here is minimal disruption: adding a worker reassigns only the
+// keys the new worker now wins (an expected 1/(N+1) of them), and
+// removing one reassigns only its own keys — so worker churn barely
+// disturbs which node's local result cache is warm for which graph.
+
+// fnv1a64 hashes a string (worker address) with FNV-1a.
+func fnv1a64(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection that
+// turns the xor of two hashes into an independent-looking score.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// rendezvousScore is the HRW score of one (key, worker-address) pair.
+func rendezvousScore(key uint64, addrHash uint64) uint64 {
+	return mix64(key ^ addrHash)
+}
+
+// rankMembers orders members by descending HRW score for key; the first
+// element is the owner, the rest the failover order. Ties (astronomically
+// unlikely) break by address so the order stays deterministic.
+func rankMembers(key uint64, ms []*member) []*member {
+	ranked := make([]*member, len(ms))
+	copy(ranked, ms)
+	sort.Slice(ranked, func(i, j int) bool {
+		si := rendezvousScore(key, ranked[i].addrHash)
+		sj := rendezvousScore(key, ranked[j].addrHash)
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i].addr < ranked[j].addr
+	})
+	return ranked
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func testMembers(addrs []string) []*member {
+	ms := make([]*member, len(addrs))
+	for i, a := range addrs {
+		ms[i] = &member{id: i, addr: a, addrHash: fnv1a64(a)}
+	}
+	return ms
+}
+
+func workerAddrs(n int) []string {
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("http://10.0.0.%d:8421", i+1)
+	}
+	return addrs
+}
+
+// Rankings must be a pure function of (key, member set): identical across
+// calls and independent of the order members registered in.
+func TestRendezvousDeterministic(t *testing.T) {
+	addrs := workerAddrs(7)
+	ms := testMembers(addrs)
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		key := rng.Uint64()
+		want := rankMembers(key, ms)
+
+		shuffled := append([]*member(nil), ms...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := rankMembers(key, shuffled)
+
+		if len(got) != len(want) {
+			t.Fatalf("key %#x: rank length %d != %d", key, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].addr != want[i].addr {
+				t.Fatalf("key %#x: rank[%d] = %s after shuffle, want %s", key, i, got[i].addr, want[i].addr)
+			}
+		}
+	}
+}
+
+// The defining rendezvous property: adding one worker to an N-worker fleet
+// re-owns roughly 1/(N+1) of the keyspace, and every key that moves, moves
+// TO the new worker — ownership among the incumbents never reshuffles.
+func TestRendezvousStability(t *testing.T) {
+	const nWorkers, nKeys = 8, 4000
+	before := testMembers(workerAddrs(nWorkers))
+	after := testMembers(append(workerAddrs(nWorkers), "http://10.0.1.99:8421"))
+	newAddr := after[len(after)-1].addr
+
+	rng := rand.New(rand.NewSource(7))
+	moved := 0
+	for i := 0; i < nKeys; i++ {
+		key := rng.Uint64()
+		oldOwner := rankMembers(key, before)[0].addr
+		newOwner := rankMembers(key, after)[0].addr
+		if newOwner == oldOwner {
+			continue
+		}
+		moved++
+		if newOwner != newAddr {
+			t.Fatalf("key %#x moved %s -> %s: only the added worker may take ownership", key, oldOwner, newOwner)
+		}
+	}
+
+	// Expect ~nKeys/(N+1) = ~444 moves; allow generous sampling slack in
+	// both directions but fail on anything resembling a full reshuffle.
+	expect := nKeys / (nWorkers + 1)
+	if moved < expect/2 || moved > expect*2 {
+		t.Fatalf("adding 1 of %d workers moved %d/%d keys, want about %d (<= 1/N of the keyspace)",
+			nWorkers+1, moved, nKeys, expect)
+	}
+	t.Logf("moved %d/%d keys (expected about %d)", moved, nKeys, expect)
+}
+
+// A key's owner must spread roughly evenly across the fleet (no hash
+// clumping from the splitmix64 finalizer over FNV address hashes).
+func TestRendezvousBalance(t *testing.T) {
+	const nWorkers, nKeys = 5, 5000
+	ms := testMembers(workerAddrs(nWorkers))
+	counts := map[string]int{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < nKeys; i++ {
+		counts[rankMembers(rng.Uint64(), ms)[0].addr]++
+	}
+	mean := nKeys / nWorkers
+	for addr, n := range counts {
+		if n < mean/2 || n > mean*2 {
+			t.Fatalf("worker %s owns %d/%d keys, mean %d: load is clumped", addr, n, nKeys, mean)
+		}
+	}
+}

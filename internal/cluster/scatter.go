@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"gcolor/internal/graph"
+	"gcolor/internal/serve"
+	"gcolor/internal/shard"
+)
+
+// errScatterUnavailable is the internal "fall back to whole-graph
+// routing" signal: the job qualified for scatter but the fleet cannot
+// host one right now (fewer than two live workers).
+var errScatterUnavailable = errors.New("cluster: scatter unavailable")
+
+// scatter runs one job as a cross-worker scatter-gather: partition with
+// the edge-balanced splitter, POST one sub-job per shard to rendezvous-
+// chosen workers in parallel, barrier on the gather, and reconcile the
+// per-shard colorings with the bounded boundary repair loop — at the
+// coordinator, because only the coordinator holds the whole graph.
+//
+// Failover: a shard whose worker fails retryably is re-dispatched to a
+// different worker (exclude-failed), bounded by ShardAttempts — with the
+// default 2, exactly one re-dispatch. Sub-jobs are sent no-cache so
+// workers do not stash shard fragments under the subgraph's fingerprint;
+// the merged result lives only in the coordinator's cache.
+func (c *Coordinator) scatter(ctx context.Context, g *graph.Graph, cr *serve.ColorRequest, rid string, fp uint64) (*serve.ColorResponse, error) {
+	live := len(c.reg.alive())
+	if live < 2 {
+		return nil, errScatterUnavailable
+	}
+	k := c.cfg.ShardK
+	if cr.Shards >= 2 {
+		k = cr.Shards
+	}
+	if k <= 0 {
+		k = live
+	}
+	if k > c.cfg.MaxShards {
+		k = c.cfg.MaxShards
+	}
+	if k > g.NumVertices() {
+		k = g.NumVertices()
+	}
+	if k < 2 {
+		return nil, errScatterUnavailable
+	}
+	plan, err := shard.Partition(g, k, true)
+	if err != nil {
+		return nil, err
+	}
+
+	type shardOut struct {
+		colors     []int32
+		cycles     int64
+		iterations int
+		attempts   int
+		err        error
+	}
+	outs := make([]shardOut, plan.K)
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := range plan.Subs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			colors, cycles, iters, attempts, err := c.dispatchShard(sctx, plan.Subs[i], cr, rid, fp, i, plan.K)
+			outs[i] = shardOut{colors: colors, cycles: cycles, iterations: iters, attempts: attempts, err: err}
+			if err != nil {
+				cancel() // a lost shard fails the merge; reel the siblings in
+			}
+		}(i)
+	}
+	wg.Wait() // merge barrier: every shard decided
+
+	// Prefer the error of the shard that actually failed over siblings
+	// that merely observed the cancellation.
+	var firstErr error
+	redispatched := 0
+	for i := range outs {
+		if outs[i].attempts > 1 {
+			redispatched += outs[i].attempts - 1
+		}
+		e := outs[i].err
+		if e == nil {
+			continue
+		}
+		if firstErr == nil || (errors.Is(firstErr, context.Canceled) && !errors.Is(e, context.Canceled)) {
+			firstErr = e
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	parts := make([][]int32, plan.K)
+	for i := range outs {
+		parts[i] = outs[i].colors
+	}
+	colors, st, err := shard.MergeRepair(g, plan, parts, cr.Seed, c.cfg.MaxRepairRounds, cr.NoCPUFallback)
+	if err != nil {
+		return nil, err
+	}
+	res := &serve.ColorResponse{
+		Colors:            colors,
+		NumColors:         st.NumColors,
+		Vertices:          g.NumVertices(),
+		Edges:             g.NumEdges(),
+		Shards:            plan.K,
+		ShardConflicts:    st.Conflicts,
+		ShardRepairRounds: st.Rounds,
+		ShardRecolored:    st.Recolored,
+		Device:            -1, // the job spanned several workers
+		Scattered:         true,
+		Redispatched:      redispatched,
+	}
+	for i := range outs {
+		res.Cycles += outs[i].cycles // serial-equivalent fleet work
+		if outs[i].iterations > res.Iterations {
+			res.Iterations = outs[i].iterations
+		}
+	}
+	return res, nil
+}
+
+// dispatchShard sends one shard sub-job, failing over across workers up
+// to ShardAttempts times. The shard's rendezvous key decorrelates from
+// the whole graph's (and from sibling shards') so the K sub-jobs of one
+// scatter spread across the fleet instead of piling onto fp's owner.
+func (c *Coordinator) dispatchShard(ctx context.Context, sub *graph.Graph, cr *serve.ColorRequest, rid string, fp uint64, i, k int) (colors []int32, cycles int64, iterations, attempts int, err error) {
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, sub); err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("cluster: shard %d: serialize: %w", i, err)
+	}
+	req := serve.ColorRequest{
+		Graph:         buf.String(),
+		Alg:           cr.Alg,
+		Seed:          cr.Seed + uint32(i), // decorrelate per-shard priorities
+		Threshold:     cr.Threshold,
+		Fused:         cr.Fused,
+		CycleBudget:   cr.CycleBudget,
+		MaxRetries:    cr.MaxRetries,
+		NoCPUFallback: cr.NoCPUFallback,
+		NoCache:       true, // only the coordinator caches the merged result
+		IncludeColors: true,
+	}
+	// rid-s<i> keeps the worker journal's evidence trail pointing at the
+	// originating coordinator request while keeping shard records distinct.
+	shardRID := ""
+	if rid != "" {
+		shardRID = rid + "-s" + strconv.Itoa(i)
+	}
+	key := mix64(fp ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+	exclude := make(map[int]bool)
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.ShardAttempts; attempt++ {
+		m, probe, err := c.reg.pick(key, exclude)
+		if err != nil {
+			break // no worker left to try; report the shard's last failure
+		}
+		m.jobs.Add(1)
+		attempts++
+		start := time.Now()
+		resp, err := callWorker(ctx, c.client, m.addr, &req, shardRID, "")
+		exec := time.Since(start)
+		if err == nil {
+			if len(resp.Colors) != sub.NumVertices() {
+				err = &WorkerError{
+					Worker: m.addr, Status: 200, Kind: "bad_shard_reply",
+					Err: fmt.Errorf("shard %d: got %d colors for %d vertices", i, len(resp.Colors), sub.NumVertices()),
+				}
+			} else {
+				m.seen(time.Now())
+				c.reg.observe(m, probe, true, 1, exec)
+				return resp.Colors, resp.Cycles, resp.Iterations, attempts, nil
+			}
+		}
+		lastErr = err
+		we, _ := err.(*WorkerError)
+		if we != nil && we.Status > 0 {
+			m.seen(time.Now())
+		}
+		good, reward := judgeWorkerError(we)
+		c.reg.observe(m, probe, good, reward, exec)
+		if ctx.Err() != nil {
+			return nil, 0, 0, attempts, ctx.Err()
+		}
+		if we == nil || !we.Retryable() {
+			break
+		}
+		exclude[m.id] = true
+		c.redispatches.Add(1)
+	}
+	if lastErr == nil {
+		lastErr = ErrNoWorkers
+	}
+	return nil, 0, 0, attempts, &ShardError{Shard: i, Shards: k, Attempts: attempts, Err: lastErr}
+}

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Worker-side membership: a worker is a plain gcolord daemon; its only
+// cluster duty is announcing itself. JoinLoop POSTs /cluster/join to the
+// coordinator on the heartbeat cadence — push liveness complements the
+// coordinator's pull probes, and re-joining after a coordinator restart
+// is automatic because every join is idempotent.
+
+// JoinLoop announces advertiseAddr to the coordinator every interval
+// until ctx is done. The first join is attempted immediately; failures
+// are retried on the same cadence (the coordinator may simply not be up
+// yet). It returns ctx.Err.
+func JoinLoop(ctx context.Context, client *http.Client, coordinatorURL, advertiseAddr string, interval time.Duration) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	coordinatorURL = normalizeAddr(coordinatorURL)
+	body, _ := json.Marshal(map[string]string{"addr": normalizeAddr(advertiseAddr)})
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		_ = joinOnce(ctx, client, coordinatorURL, body)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+func joinOnce(ctx context.Context, client *http.Client, coordinatorURL string, body []byte) error {
+	jctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(jctx, http.MethodPost, coordinatorURL+"/cluster/join", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("cluster: join: http %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -94,6 +94,23 @@ func newFleetHealth(n int, alpha, slack float64) *fleetHealth {
 	return h
 }
 
+// add appends one device/member at full health and returns its index.
+// The pool's fleet is fixed-size; the cluster layer's membership grows at
+// runtime (workers join), which is the only caller.
+func (h *fleetHealth) add() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.scores = append(h.scores, 1)
+	return len(h.scores) - 1
+}
+
+// len returns the number of tracked scores.
+func (h *fleetHealth) len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.scores)
+}
+
 // observe folds one finished job into device idx's score and returns the
 // updated value. exec == 0 skips the latency signal (CPU-fallback runs
 // and tests).

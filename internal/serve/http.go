@@ -77,6 +77,15 @@ type ColorResponse struct {
 	// journaled completion and the stored result was returned.
 	RequestID        string `json:"request_id"`
 	IdempotentReplay bool   `json:"idempotent_replay,omitempty"`
+
+	// Cluster evidence, set only by a coordinator (internal/cluster):
+	// Worker is the node that executed a routed job ("" for locally
+	// answered and scattered jobs), Scattered reports the job ran as a
+	// cross-worker scatter-gather, and Redispatched counts shard or route
+	// attempts that were re-dispatched to another worker after a failure.
+	Worker       string `json:"worker,omitempty"`
+	Scattered    bool   `json:"scattered,omitempty"`
+	Redispatched int    `json:"redispatched,omitempty"`
 }
 
 // errorResponse is the JSON body of any non-2xx /color reply.
@@ -101,6 +110,15 @@ func requestID(r *http.Request) string {
 	}
 	return "req-" + hex.EncodeToString(b[:])
 }
+
+// RequestIDFor is the exported form of requestID for layers that front
+// this package over their own HTTP surface (the cluster coordinator must
+// mint and sanitize IDs by exactly the same rules so IDs survive the
+// coordinator -> worker hop into the worker's journal).
+func RequestIDFor(r *http.Request) string { return requestID(r) }
+
+// SanitizeRequestID is the exported form of sanitizeRequestID.
+func SanitizeRequestID(id string) string { return sanitizeRequestID(id) }
 
 // sanitizeRequestID keeps a client-supplied ID only when it is safe to
 // echo into headers and journal records: printable ASCII, no separators

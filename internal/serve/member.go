@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"time"
+)
+
+// This file is the exported face of the self-healing machinery
+// (health.go, breaker.go) for layers above the device pool. The cluster
+// coordinator (internal/cluster) scores and quarantines whole worker
+// nodes with exactly the mechanism the pool applies to devices — a worker
+// is just a bigger device — so the EWMA health tracker and the circuit
+// breaker state machine are re-exported here as thin wrappers instead of
+// being re-implemented one package up.
+
+// BreakerConfig tunes an exported circuit breaker. Zero values take the
+// same defaults as SelfHealConfig: FailureThreshold 5, OpenBelow 0.25,
+// Cooldown 2s, MaxCooldown 8x, ProbeSuccesses 3.
+type BreakerConfig struct {
+	// FailureThreshold trips closed -> open after this many consecutive
+	// failures regardless of score.
+	FailureThreshold int
+	// OpenBelow trips closed -> open when the member's health score falls
+	// below it.
+	OpenBelow float64
+	// Cooldown is the quarantine time before the breaker goes half-open;
+	// repeated probe failures double it up to MaxCooldown.
+	Cooldown    time.Duration
+	MaxCooldown time.Duration
+	// ProbeSuccesses is the number of consecutive clean probes a half-open
+	// member needs for re-admission.
+	ProbeSuccesses int
+}
+
+// Breaker is the per-member circuit breaker: the same
+// closed -> open -> half-open state machine the device pool runs (see
+// breaker.go for the transition rules), exported for the cluster layer.
+// All methods are safe for concurrent use.
+type Breaker struct{ b *breaker }
+
+// NewBreaker builds a breaker with the wall clock.
+func NewBreaker(cfg BreakerConfig) *Breaker { return NewBreakerAt(cfg, nil) }
+
+// NewBreakerAt is NewBreaker with an injectable clock for tests.
+func NewBreakerAt(cfg BreakerConfig, now func() time.Time) *Breaker {
+	return &Breaker{b: newBreaker(breakerConfig{
+		failureThreshold: cfg.FailureThreshold,
+		openBelow:        cfg.OpenBelow,
+		cooldown:         cfg.Cooldown,
+		maxCooldown:      cfg.MaxCooldown,
+		probeSuccesses:   cfg.ProbeSuccesses,
+	}, now)}
+}
+
+// State returns the current state, applying the time-based
+// open -> half-open transition lazily.
+func (br *Breaker) State() BreakerState { return br.b.State() }
+
+// Allow reports whether the member may take a regular (non-probe) job.
+func (br *Breaker) Allow() bool { return br.b.allowNormal() }
+
+// TryProbe reserves the single probe slot of a half-open member. The
+// reservation is released by RecordProbe or ReleaseProbe.
+func (br *Breaker) TryProbe() bool { return br.b.tryProbe() }
+
+// ReleaseProbe frees the probe slot without judging the member.
+func (br *Breaker) ReleaseProbe() { br.b.releaseProbe() }
+
+// Record folds one normal job outcome into the breaker; score is the
+// member's post-observation health score. It reports whether the outcome
+// tripped the breaker open.
+func (br *Breaker) Record(good bool, score float64) (tripped bool) {
+	return br.b.record(good, score) == breakerTripped
+}
+
+// RecordProbe folds one probe outcome into a half-open breaker and
+// reports the transition it caused: re-opened (tripped) or re-admitted.
+func (br *Breaker) RecordProbe(good bool) (tripped, readmitted bool) {
+	switch br.b.recordProbe(good) {
+	case breakerTripped:
+		return true, false
+	case breakerReadmitted:
+		return false, true
+	}
+	return false, false
+}
+
+// FleetHealth is the exported per-member EWMA health tracker: one score
+// in [0, 1] per member plus a shared recent-latency ring from which the
+// fleet-median latency penalty is derived (see health.go). Unlike the
+// pool's fixed-size fleet, cluster membership grows at runtime, so
+// members are added with AddMember. All methods are safe for concurrent
+// use.
+type FleetHealth struct{ h *fleetHealth }
+
+// NewFleetHealth builds a tracker for n initial members (all scored 1.0).
+// alpha is the EWMA weight of the newest observation (<= 0 means the 0.2
+// default); slack the multiples of the fleet-median latency before a
+// success's reward is cut (< 1 means the default 4).
+func NewFleetHealth(n int, alpha, slack float64) *FleetHealth {
+	return &FleetHealth{h: newFleetHealth(n, alpha, slack)}
+}
+
+// AddMember appends one member at full health and returns its index.
+func (f *FleetHealth) AddMember() int { return f.h.add() }
+
+// Len returns the number of tracked members.
+func (f *FleetHealth) Len() int { return f.h.len() }
+
+// Observe folds one finished job into member idx's score and returns the
+// updated value; exec == 0 skips the latency signal.
+func (f *FleetHealth) Observe(idx int, reward float64, exec time.Duration) float64 {
+	return f.h.observe(idx, reward, exec)
+}
+
+// Score returns member idx's current health score.
+func (f *FleetHealth) Score(idx int) float64 { return f.h.score(idx) }
+
+// Boost raises member idx's score to at least floor (the probation reset
+// applied on breaker re-admission).
+func (f *FleetHealth) Boost(idx int, floor float64) { f.h.boost(idx, floor) }
