@@ -156,6 +156,10 @@ func defaultMixThroughput() (mixSection, error) {
 
 type allocBudget struct {
 	MaxAllocsPerRequest int64 `json:"max_allocs_per_request"`
+	// MaxBinaryIngestRatio caps binary-CSR ingest allocations as a
+	// fraction of the JSON path's, enforced by -batch (0 = use the
+	// default gate).
+	MaxBinaryIngestRatio float64 `json:"max_binary_ingest_alloc_ratio"`
 }
 
 // measureHost runs fn n times after a warmup call and returns the

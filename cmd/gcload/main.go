@@ -11,6 +11,7 @@
 //	gcload -addr http://localhost:8421 -conc 8 -duration 10s
 //	gcload -mode open -rate 200 -duration 5s -mix "grid:40:40=3,rmat:9:8:1=1"
 //	gcload -baseline -conc 8 -n 200 -json load.json
+//	gcload -wire binary -conc 8 -duration 10s  # binary CSR frames, options in query
 //	gcload -crash-drill -json BENCH_PR6.json   # kill -9 / restart / replay drill
 //
 // The mix is spec=weight pairs (specs as in serve.ParseGraphSpec); -unique
@@ -28,6 +29,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -36,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gcolor/internal/graph"
 	"gcolor/internal/serve"
 )
 
@@ -88,6 +91,7 @@ func main() {
 		alg      = flag.String("alg", "baseline", "algorithm for every request")
 		policy   = flag.String("policy", "static", "scheduling policy for every request")
 		priority = flag.String("priority", "normal", "priority for every request")
+		wire     = flag.String("wire", "json", "request wire format: json (ColorRequest body) or binary (application/x-gcolor-csr CSR frame, options in the query string; graphs are generated client-side)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		baseline = flag.Bool("baseline", false, "first measure serial no-cache throughput on the same mix and report speedup")
@@ -151,6 +155,13 @@ func main() {
 
 	sum := summary{Mode: *mode, Errors: map[string]int64{}}
 	gen := newReqGen(mix, *unique, *alg, *policy, *priority, timeout.Milliseconds(), *seed)
+	switch *wire {
+	case "json":
+	case "binary":
+		gen.useBinaryWire()
+	default:
+		fatal(fmt.Errorf("unknown wire format %q (json | binary)", *wire))
+	}
 
 	if *baseline {
 		n := *count
@@ -217,6 +228,14 @@ func newLoadClient(timeout time.Duration, conc int) *http.Client {
 	}
 }
 
+// loadReq is one prepared request: the body plus the wire framing it
+// needs. A zero contentType means the JSON ColorRequest wire.
+type loadReq struct {
+	body        []byte
+	contentType string
+	query       string // binary wire only: options as query parameters
+}
+
 // reqGen produces the request stream: weighted spec choice plus
 // cache-busting unique-seed rewrites. It is safe for concurrent use.
 type reqGen struct {
@@ -227,6 +246,13 @@ type reqGen struct {
 	unique   float64
 	uniqueID atomic.Int64
 	body     serve.ColorRequest
+
+	// Binary wire mode: requests ship graph.EncodeWireCSR frames with
+	// options in the query string instead of JSON envelopes. Frames are
+	// generated client-side and memoized per spec.
+	binary   bool
+	binQuery string
+	frames   map[string][]byte
 }
 
 func newReqGen(mix []mixEntry, unique float64, alg, policy, priority string, timeoutMS int64, seed int64) *reqGen {
@@ -245,11 +271,37 @@ func newReqGen(mix []mixEntry, unique float64, alg, policy, priority string, tim
 func (g *reqGen) baselineVariant() *reqGen {
 	b := newReqGen(g.mix, g.unique, g.body.Alg, g.body.Policy, g.body.Priority, g.body.TimeoutMS, g.rng.Int63())
 	b.body.NoCache = true
+	if g.binary {
+		b.useBinaryWire()
+	}
 	return b
 }
 
-// next returns the JSON body of one request.
-func (g *reqGen) next() []byte {
+// useBinaryWire switches the generator to the binary CSR wire format:
+// every request body becomes an application/x-gcolor-csr frame and the
+// option fields move into a query string built once here.
+func (g *reqGen) useBinaryWire() {
+	g.binary = true
+	g.frames = make(map[string][]byte)
+	q := url.Values{}
+	for k, v := range map[string]string{
+		"alg": g.body.Alg, "policy": g.body.Policy, "priority": g.body.Priority,
+	} {
+		if v != "" {
+			q.Set(k, v)
+		}
+	}
+	if g.body.TimeoutMS > 0 {
+		q.Set("timeout_ms", strconv.FormatInt(g.body.TimeoutMS, 10))
+	}
+	if g.body.NoCache {
+		q.Set("no_cache", "true")
+	}
+	g.binQuery = q.Encode()
+}
+
+// next returns one prepared request for the configured wire format.
+func (g *reqGen) next() loadReq {
 	g.mu.Lock()
 	pick := g.rng.Intn(g.total)
 	uniq := g.rng.Float64() < g.unique
@@ -265,10 +317,37 @@ func (g *reqGen) next() []byte {
 	if uniq {
 		spec = reseedSpec(spec, g.uniqueID.Add(1))
 	}
+	if g.binary {
+		return loadReq{body: g.frameFor(spec), contentType: serve.ContentTypeBinaryCSR, query: g.binQuery}
+	}
 	body := g.body
 	body.Gen = spec
 	b, _ := json.Marshal(&body)
-	return b
+	return loadReq{body: b}
+}
+
+// frameFor returns the memoized binary CSR frame for spec, generating it
+// on first use. Cache-busting unique seeds make the spec space unbounded,
+// so the memo resets past a residency cap instead of growing forever.
+func (g *reqGen) frameFor(spec string) []byte {
+	g.mu.Lock()
+	if f, ok := g.frames[spec]; ok {
+		g.mu.Unlock()
+		return f
+	}
+	g.mu.Unlock()
+	gr, err := serve.ParseGraphSpec(spec)
+	if err != nil {
+		fatal(fmt.Errorf("generate %q: %v", spec, err))
+	}
+	f := graph.EncodeWireCSR(gr)
+	g.mu.Lock()
+	if len(g.frames) >= 4096 {
+		g.frames = make(map[string][]byte)
+	}
+	g.frames[spec] = f
+	g.mu.Unlock()
+	return f
 }
 
 // reseedSpec swaps the trailing seed field of a seeded spec for id, making
@@ -316,9 +395,17 @@ func (r reqResult) endpoint() string {
 	return ""
 }
 
-func doRequest(client *http.Client, addr string, body []byte) reqResult {
+func doRequest(client *http.Client, addr string, lr loadReq) reqResult {
+	url := addr + "/color"
+	if lr.query != "" {
+		url += "?" + lr.query
+	}
+	ct := lr.contentType
+	if ct == "" {
+		ct = "application/json"
+	}
 	start := time.Now()
-	resp, err := client.Post(addr+"/color", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(url, ct, bytes.NewReader(lr.body))
 	r := reqResult{lat: time.Since(start)}
 	if err != nil {
 		r.kind = "transport"

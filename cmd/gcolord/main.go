@@ -11,6 +11,7 @@
 //	gcolord -pprof                                  # + /debug/pprof/ endpoints
 //	gcolord -drain-timeout 30s                      # graceful-drain deadline
 //	gcolord -shard-auto-vertices 4096 -max-body 8388608   # sharding + body cap
+//	gcolord -batch-max-jobs 32 -batch-linger 200us        # small-graph batching
 //	gcolord -journal-dir /var/lib/gcolord/wal             # crash-safe serving
 //
 // With -journal-dir set, every accepted job is journaled before it is
@@ -106,6 +107,12 @@ func main() {
 		shardAutE = flag.Int("shard-auto-edges", 0, "auto-shard jobs at or above this many edges (0 = default 262144, negative disables)")
 		noShard   = flag.Bool("no-shard", false, "disable sharded execution entirely; every job runs on one device")
 
+		noBatch     = flag.Bool("no-batch", false, "disable block-diagonal batching; every small graph gets its own kernel launch")
+		batchJobs   = flag.Int("batch-max-jobs", 0, "max compatible small graphs fused into one batched launch (0 = default 16, below 2 disables)")
+		batchVerts  = flag.Int("batch-max-vertices", 0, "max vertices in a batched union CSR (0 = default 16384)")
+		batchEdges  = flag.Int("batch-max-edges", 0, "max arcs in a batched union CSR (0 = default 262144)")
+		batchLinger = flag.Duration("batch-linger", 0, "how long a lone batch-eligible job waits for company before running solo (0 = batch only from queue depth)")
+
 		role      = flag.String("role", "server", "daemon role: server (standalone), coordinator (fleet front door, no devices), worker (server that joins a coordinator)")
 		peers     = flag.String("peers", "", "coordinator: comma-separated static worker base URLs")
 		joinURL   = flag.String("join", "", "worker: coordinator base URL to announce to")
@@ -175,6 +182,13 @@ func main() {
 			K:            *shardK,
 			AutoVertices: *shardAutV,
 			AutoEdges:    *shardAutE,
+		},
+		Batch: serve.BatchConfig{
+			Disabled:    *noBatch,
+			MaxJobs:     *batchJobs,
+			MaxVertices: *batchVerts,
+			MaxEdges:    *batchEdges,
+			Linger:      *batchLinger,
 		},
 	})
 

@@ -1,8 +1,8 @@
 package cluster
 
 import (
-	"bytes"
 	"context"
+	"encoding/base64"
 	"errors"
 	"fmt"
 	"strconv"
@@ -135,12 +135,12 @@ func (c *Coordinator) scatter(ctx context.Context, g *graph.Graph, cr *serve.Col
 // the whole graph's (and from sibling shards') so the K sub-jobs of one
 // scatter spread across the fleet instead of piling onto fp's owner.
 func (c *Coordinator) dispatchShard(ctx context.Context, sub *graph.Graph, cr *serve.ColorRequest, rid string, fp uint64, i, k int) (colors []int32, cycles int64, iterations, attempts int, err error) {
-	var buf bytes.Buffer
-	if err := graph.WriteEdgeList(&buf, sub); err != nil {
-		return nil, 0, 0, 0, fmt.Errorf("cluster: shard %d: serialize: %w", i, err)
-	}
+	// Shards travel as binary CSR frames (base64 in the JSON envelope),
+	// not edge-list text: the worker decodes the frame straight into its
+	// CSR arrays instead of re-parsing and re-sorting an edge list whose
+	// text form is several times the frame size.
 	req := serve.ColorRequest{
-		Graph:         buf.String(),
+		GraphCSRB64:   base64.StdEncoding.EncodeToString(graph.EncodeWireCSR(sub)),
 		Alg:           cr.Alg,
 		Seed:          cr.Seed + uint32(i), // decorrelate per-shard priorities
 		Threshold:     cr.Threshold,

@@ -1,0 +1,78 @@
+package gpucolor
+
+import (
+	"slices"
+	"testing"
+
+	"gcolor/internal/gen"
+	"gcolor/internal/graph"
+)
+
+// TestBatchedPrioritySegments is the correctness contract behind kernel
+// batching: coloring a block-diagonal union with per-member priority
+// segments yields, for every member, exactly the colors a solo run of that
+// member would produce with the same seed — for every algorithm, fused and
+// unfused. The union has no cross-member arcs and every algorithm's
+// decisions are local to a vertex's component given its priority, so the
+// per-component trajectories are identical by construction; this test keeps
+// that property from regressing as kernels evolve.
+func TestBatchedPrioritySegments(t *testing.T) {
+	members := []*graph.Graph{
+		gen.Grid2D(8, 9),
+		gen.GNM(120, 480, 2),
+		gen.Star(40), // hub vertex exercises the hybrid big-vertex path
+		gen.GNM(60, 90, 9),
+	}
+	seeds := []uint32{0, 7, 1234, 7} // 0 must behave like a solo Seed: 0 run
+
+	union, starts := graph.ConcatDisjoint(members...)
+	segs := make([]PrioritySegment, len(members))
+	for i := range members {
+		segs[i] = PrioritySegment{Start: starts[i], End: starts[i+1], Seed: seeds[i]}
+	}
+
+	for _, alg := range Algorithms() {
+		for _, fused := range []bool{false, true} {
+			batched, err := Color(testDev(), union, alg, Options{Fused: fused, PrioritySegments: segs})
+			if err != nil {
+				t.Fatalf("%v fused=%v: batched run: %v", alg, fused, err)
+			}
+			for i, g := range members {
+				solo, err := Color(testDev(), g, alg, Options{Seed: seeds[i], Fused: fused})
+				if err != nil {
+					t.Fatalf("%v fused=%v member %d: solo run: %v", alg, fused, i, err)
+				}
+				sub := batched.Colors[starts[i]:starts[i+1]]
+				if !slices.Equal(sub, solo.Colors) {
+					t.Errorf("%v fused=%v member %d: batched colors differ from solo", alg, fused, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedPooledRunnerMatchesTransient: the pooled runner honours
+// PrioritySegments identically to a transient run (the serving batch path
+// goes through pooled runners).
+func TestBatchedPooledRunnerMatchesTransient(t *testing.T) {
+	members := []*graph.Graph{gen.Grid2D(10, 7), gen.GNM(200, 800, 5)}
+	union, starts := graph.ConcatDisjoint(members...)
+	segs := []PrioritySegment{
+		{Start: starts[0], End: starts[1], Seed: 3},
+		{Start: starts[1], End: starts[2], Seed: 11},
+	}
+	opt := Options{Fused: true, PrioritySegments: segs}
+	want, err := Color(testDev(), union, AlgBaseline, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := NewRunner(testDev())
+	defer rn.Release()
+	got, err := rn.Color(union, AlgBaseline, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(want.Colors, got.Colors) || want.Cycles != got.Cycles {
+		t.Fatalf("pooled batched run differs from transient (cycles %d vs %d)", got.Cycles, want.Cycles)
+	}
+}

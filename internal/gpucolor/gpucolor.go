@@ -77,6 +77,17 @@ type Options struct {
 	// chrome-trace export); off by default to keep memory flat.
 	Trace bool
 
+	// PrioritySegments, when non-empty, replaces the single-seed priority
+	// fill for block-diagonal batched runs: vertices in [Start, End) get
+	// exactly the priorities member graph i would have received in a solo
+	// run with Seed — ids rebased to Start, the same 0->1 seed default
+	// applied. Every coloring algorithm here is deterministic given the
+	// priority array and touches only same-component state, so a batch
+	// member's colors are bit-identical to its solo run (see
+	// TestBatchedPrioritySegments). Segments must be disjoint, sorted, and
+	// cover 0..n exactly; Options.Seed is ignored when set.
+	PrioritySegments []PrioritySegment
+
 	// guard, when set, is invoked at every outer-loop iteration boundary
 	// with the iteration number, the active-vertex count entering it, and
 	// the cycles simulated so far; a non-nil return aborts the run with
@@ -104,11 +115,32 @@ func NormalizeHybridThreshold(t int) int {
 	return t
 }
 
+// PrioritySegment assigns an independent priority stream to the contiguous
+// vertex range [Start, End) of a block-diagonal batch graph (see
+// Options.PrioritySegments and graph.ConcatDisjoint).
+type PrioritySegment struct {
+	Start, End int32
+	Seed       uint32
+}
+
 func (o Options) seed() uint32 {
 	if o.Seed == 0 {
 		return 1
 	}
 	return o.Seed
+}
+
+// fillSegmentPriorities writes per-segment solo-run priorities into dst.
+func fillSegmentPriorities(segs []PrioritySegment, dst []int32) {
+	for _, s := range segs {
+		seed := s.Seed
+		if seed == 0 {
+			seed = 1 // mirror Options.seed(): solo runs map 0 to 1 too
+		}
+		for v := s.Start; v < s.End; v++ {
+			dst[v] = int32(color.Priority(v-s.Start, seed))
+		}
+	}
 }
 
 func (o Options) maxIters(n int) int {
@@ -233,7 +265,11 @@ func (r *runner) reset(g *graph.Graph, opt Options) {
 		r.dev.Rebind(r.off, g.Offsets())
 		r.dev.Rebind(r.adj, g.Adj())
 	}
-	color.PrioritiesInto(g, opt.seed(), r.fit(&r.prio, n).Data())
+	if len(opt.PrioritySegments) > 0 {
+		fillSegmentPriorities(opt.PrioritySegments, r.fit(&r.prio, n).Data())
+	} else {
+		color.PrioritiesInto(g, opt.seed(), r.fit(&r.prio, n).Data())
+	}
 	r.fit(&r.col, n).Fill(color.Uncolored)
 	r.fit(&r.win, n).Fill(0)
 	wlA := r.fit(&r.wlA, n)

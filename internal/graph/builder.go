@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -77,7 +78,7 @@ func (b *Builder) Build() *Graph {
 	for v := 0; v < b.n; v++ {
 		lo, hi := offsets[v], offsets[v+1]
 		rng := adj[lo:hi]
-		sort.Slice(rng, func(i, j int) bool { return rng[i] < rng[j] })
+		slices.Sort(rng)
 		newOffsets[v] = int32(len(out))
 		var prev int32 = -1
 		for _, u := range rng {
@@ -96,12 +97,68 @@ func (b *Builder) Build() *Graph {
 // FromEdges builds a graph with n vertices from an undirected edge list.
 // Edges may appear in any order and direction; duplicates and self loops are
 // ignored.
+//
+// Unlike the incremental Builder (which buffers arcs and materializes the
+// adjacency twice), FromEdges builds the CSR directly from the pair slice:
+// degree count, prefix sum, scatter, then an in-place sort+dedup compaction.
+// It allocates exactly one offsets array and one adjacency array, which is
+// what keeps the JSON/edge-list ingest path cheap (see hotpath_test.go).
 func FromEdges(n int, edges [][2]int32) *Graph {
-	b := NewBuilder(n)
-	for _, e := range edges {
-		b.AddEdge(e[0], e[1])
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
 	}
-	return b.Build()
+	offsets := make([]int32, n+1)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, n))
+		}
+		if u == v {
+			continue
+		}
+		offsets[u+1]++
+		offsets[v+1]++
+	}
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	adj := make([]int32, offsets[n])
+	// Scatter using offsets[v] itself as the write cursor; afterwards every
+	// offsets[v] has advanced to the old offsets[v+1], so shift the array
+	// back one slot instead of allocating a separate cursor array.
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v {
+			continue
+		}
+		adj[offsets[u]] = v
+		offsets[u]++
+		adj[offsets[v]] = u
+		offsets[v]++
+	}
+	for v := n; v > 0; v-- {
+		offsets[v] = offsets[v-1]
+	}
+	offsets[0] = 0
+	// Sort each range and dedup, compacting in place (write position never
+	// passes the read position, so no second adjacency materialization).
+	w := int32(0)
+	for v := 0; v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		rng := adj[lo:hi]
+		slices.Sort(rng)
+		offsets[v] = w
+		var prev int32 = -1
+		for _, u := range rng {
+			if u != prev {
+				adj[w] = u
+				w++
+				prev = u
+			}
+		}
+	}
+	offsets[n] = w
+	return &Graph{offsets: offsets, adj: adj[:w]}
 }
 
 // Relabel returns a copy of g with vertices renamed by perm: new id of

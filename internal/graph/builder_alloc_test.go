@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"testing"
+)
+
+// TestFromEdgesAllocs pins the direct CSR build's allocation count: one
+// offsets array, one adjacency array, one Graph header — no arc buffer, no
+// cursor array, no second adjacency materialization, no per-row sort
+// closures. This is the ingest half of the serving hot path (every inline
+// edge-list upload lands here through ReadEdgeList).
+func TestFromEdgesAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; budget only holds without it")
+	}
+	// A messy input on purpose: duplicates, both directions, self loops.
+	edges := make([][2]int32, 0, 4000)
+	for i := int32(0); i < 1000; i++ {
+		u, v := i%97, (i*31+7)%89
+		edges = append(edges, [2]int32{u, v}, [2]int32{v, u}, [2]int32{u, u})
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		FromEdges(100, edges)
+	})
+	if allocs > 3 {
+		t.Fatalf("FromEdges allocates %.0f objects, want at most 3 (offsets, adj, header)", allocs)
+	}
+}
+
+// TestWireCSRDecodeAllocs pins the binary frame decoder's allocation
+// count: a single backing array shared by offsets and adjacency, plus the
+// Graph header. This is what makes the binary ingest path allocate a
+// fraction of the text path's per-line costs (see serve's ingest budget
+// test for the end-to-end ratio).
+func TestWireCSRDecodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; budget only holds without it")
+	}
+	g := FromEdges(200, func() [][2]int32 {
+		var es [][2]int32
+		for i := int32(0); i < 199; i++ {
+			es = append(es, [2]int32{i, i + 1})
+		}
+		return es
+	}())
+	frame := EncodeWireCSR(g)
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := DecodeWireCSR(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("DecodeWireCSR allocates %.0f objects, want at most 2 (backing array, header)", allocs)
+	}
+}

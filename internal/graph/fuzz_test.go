@@ -54,6 +54,40 @@ func FuzzDIMACS(f *testing.F) {
 	})
 }
 
+// FuzzWireCSR drives the binary CSR decoder with arbitrary frames through
+// the small-cap variant. Invariants: never panic, never over-allocate past
+// the cap, any accepted frame passes full structural validation, and the
+// streaming fingerprint matches the canonical Graph.Fingerprint().
+func FuzzWireCSR(f *testing.F) {
+	// Valid frames as mutation seeds: empty graph, a triangle, a path with
+	// isolated tail vertices.
+	for _, text := range []string{"", "0 1\n1 2\n2 0\n", "# n 6\n0 1\n1 2\n"} {
+		g, err := readEdgeListLimit(strings.NewReader(text), fuzzMaxVertices)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(EncodeWireCSR(g))
+	}
+	f.Add([]byte("GCSR"))                                                 // truncated header
+	f.Add([]byte("GCSR\x01\x00\x00\x00\xff\xff\xff\xff\x00\x00\x00\x00")) // huge n, no body
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		g, fp, err := decodeWireCSRLimit(frame, fuzzMaxVertices)
+		if err != nil {
+			return
+		}
+		if g.NumVertices() > fuzzMaxVertices {
+			t.Fatalf("vertex count %d exceeds the cap", g.NumVertices())
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted frame built an invalid graph: %v", verr)
+		}
+		if want := g.Fingerprint(); fp != want {
+			t.Fatalf("streaming fingerprint %016x != canonical %016x", fp, want)
+		}
+	})
+}
+
 func FuzzMatrixMarket(f *testing.F) {
 	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n1 2\n2 3\n")
 	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3.5\n")

@@ -1,0 +1,7 @@
+//go:build race
+
+package graph
+
+// raceEnabled reports that the race detector is active; its
+// instrumentation allocates, so allocation budgets don't hold.
+const raceEnabled = true

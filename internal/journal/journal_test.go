@@ -129,6 +129,47 @@ func TestReplayRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAppendCompletesGroup: a grouped completion append settles every
+// member on replay exactly as individual appends would, costs one fsync for
+// the whole group under FsyncAlways, and an empty group is a no-op.
+func TestAppendCompletesGroup(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{Fsync: FsyncAlways})
+	var group []CompleteRecord
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("g%d", i)
+		if err := j.AppendAccept(acceptRec(id, uint64(i), uint64(10*i))); err != nil {
+			t.Fatal(err)
+		}
+		group = append(group, completeRec(id, uint64(i), uint64(10*i), []int32{int32(i)}))
+	}
+	before := j.Stats()
+	if err := j.AppendCompletes(nil); err != nil {
+		t.Fatalf("empty group: %v", err)
+	}
+	if got := j.Stats(); got.Appends != before.Appends || got.Fsyncs != before.Fsyncs {
+		t.Fatalf("empty group touched the journal: %+v -> %+v", before, got)
+	}
+	if err := j.AppendCompletes(group); err != nil {
+		t.Fatal(err)
+	}
+	after := j.Stats()
+	if after.Appends != before.Appends+5 {
+		t.Fatalf("appends = %d, want %d", after.Appends, before.Appends+5)
+	}
+	if after.Fsyncs != before.Fsyncs+1 {
+		t.Fatalf("fsyncs = %d, want exactly one for the group (was %d)", after.Fsyncs, before.Fsyncs)
+	}
+	j.Close()
+	_, rec := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	if len(rec.Pending) != 0 {
+		t.Fatalf("pending after grouped completions: %+v", rec.Pending)
+	}
+	if len(rec.Completions) != 5 {
+		t.Fatalf("completions = %d, want 5", len(rec.Completions))
+	}
+}
+
 // TestNewestCompletionWins checks the (fp, pk) dedupe keeps the latest
 // result in replay order.
 func TestNewestCompletionWins(t *testing.T) {

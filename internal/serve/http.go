@@ -4,12 +4,15 @@ import (
 	"container/list"
 	"context"
 	"crypto/rand"
+	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -19,11 +22,17 @@ import (
 )
 
 // ColorRequest is the JSON body of POST /color. Exactly one of Graph
-// (inline edge-list text) or Gen (generator spec, see ParseGraphSpec) must
-// be set.
+// (inline edge-list text), Gen (generator spec, see ParseGraphSpec), or
+// GraphCSRB64 (base64 binary CSR frame, see graph.EncodeWireCSR) must be
+// set.
 type ColorRequest struct {
 	Graph string `json:"graph,omitempty"` // edge-list text, one "u v" per line
 	Gen   string `json:"gen,omitempty"`   // generator spec, e.g. "rmat:10:8:1"
+	// GraphCSRB64 is a base64-encoded binary CSR wire frame. It is how a
+	// binary upload round-trips through JSON contexts: the journal replay
+	// envelope for ContentTypeBinaryCSR requests, and cluster shard
+	// dispatch (no edge-list re-parse on the worker).
+	GraphCSRB64 string `json:"graph_csr_b64,omitempty"`
 
 	Alg       string `json:"alg,omitempty"`       // algorithm name (default baseline)
 	Seed      uint32 `json:"seed,omitempty"`      // vertex priority seed
@@ -62,6 +71,8 @@ type ColorResponse struct {
 	Cached    bool  `json:"cached"`
 	Coalesced bool  `json:"coalesced"`
 	Hedged    bool  `json:"hedged,omitempty"`
+	Batched   bool  `json:"batched,omitempty"`
+	BatchSize int   `json:"batch_size,omitempty"`
 	Device    int   `json:"device"`
 	WaitUS    int64 `json:"wait_us"`
 	ExecUS    int64 `json:"exec_us"`
@@ -337,18 +348,54 @@ func handleColor(s *Server, specs *specCache, hc HandlerConfig, w http.ResponseW
 		writeErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("read: %v", err), rid)
 		return
 	}
-	if err := json.Unmarshal(raw, &cr); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decode: %v", err), rid)
-		return
-	}
-	req, g, err := buildRequest(&cr, specs)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad_request", err.Error(), rid)
-		return
+	var req *Request
+	var g *graph.Graph
+	if isBinaryCSR(r.Header.Get("Content-Type")) {
+		// Binary CSR fast path: the body IS the graph — no JSON envelope,
+		// no edge-list text, no intermediate representation. The frame
+		// decodes into arena-style contiguous buffers with the content
+		// fingerprint computed streaming during the same pass, and the
+		// coloring options ride in the query string.
+		s.reg.Counter("wire_binary_requests_total").Inc()
+		if err := colorRequestFromQuery(&cr, r.URL.Query()); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad_request", err.Error(), rid)
+			return
+		}
+		var fp uint64
+		g, fp, err = graph.DecodeWireCSR(raw)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("csr frame: %v", err), rid)
+			return
+		}
+		req, err = requestFromOptions(&cr, g, fp)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad_request", err.Error(), rid)
+			return
+		}
+		if s.jrnl != nil {
+			// Journal replay rebuilds requests from JSON, so a binary
+			// request journals a synthesized envelope with the frame
+			// base64-wrapped. The cost is paid only when journaling is on.
+			env := cr
+			env.GraphCSRB64 = base64.StdEncoding.EncodeToString(raw)
+			if wire, jerr := json.Marshal(&env); jerr == nil {
+				req.Wire = wire
+			}
+		}
+	} else {
+		if err := json.Unmarshal(raw, &cr); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decode: %v", err), rid)
+			return
+		}
+		req, g, err = buildRequest(&cr, specs)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad_request", err.Error(), rid)
+			return
+		}
+		req.Wire = raw
 	}
 	req.RequestID = rid
 	req.IdemKey = sanitizeRequestID(r.Header.Get("Idempotency-Key"))
-	req.Wire = raw
 	ctx := r.Context()
 	if cr.TimeoutMS > 0 {
 		var cancel context.CancelFunc
@@ -377,6 +424,8 @@ func handleColor(s *Server, specs *specCache, hc HandlerConfig, w http.ResponseW
 		Cached:      res.Cached,
 		Coalesced:   res.Coalesced,
 		Hedged:      res.Hedged,
+		Batched:     res.Batched,
+		BatchSize:   res.BatchSize,
 		Device:      res.Device,
 		WaitUS:      res.Wait.Microseconds(),
 		ExecUS:      res.Exec.Microseconds(),
@@ -400,40 +449,126 @@ func handleColor(s *Server, specs *specCache, hc HandlerConfig, w http.ResponseW
 	}
 }
 
+// ContentTypeBinaryCSR is the POST /color media type for the binary CSR
+// wire format (graph.EncodeWireCSR frames). Bodies of this type carry the
+// graph alone; coloring options ride in the query string (same names as
+// the ColorRequest JSON fields).
+const ContentTypeBinaryCSR = "application/x-gcolor-csr"
+
+// isBinaryCSR matches the binary CSR media type, ignoring parameters.
+func isBinaryCSR(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == ContentTypeBinaryCSR
+}
+
+// colorRequestFromQuery fills cr's option fields from URL query
+// parameters — the option channel for binary-body uploads, which have no
+// JSON envelope to carry them. Parameter names match the JSON field names.
+func colorRequestFromQuery(cr *ColorRequest, q url.Values) error {
+	cr.Alg = q.Get("alg")
+	cr.Policy = q.Get("policy")
+	cr.Priority = q.Get("priority")
+	for _, p := range []struct {
+		name string
+		dst  any
+	}{
+		{"seed", &cr.Seed},
+		{"threshold", &cr.Threshold},
+		{"fused", &cr.Fused},
+		{"cycle_budget", &cr.CycleBudget},
+		{"max_retries", &cr.MaxRetries},
+		{"no_cpu_fallback", &cr.NoCPUFallback},
+		{"no_cache", &cr.NoCache},
+		{"shards", &cr.Shards},
+		{"timeout_ms", &cr.TimeoutMS},
+		{"include_colors", &cr.IncludeColors},
+	} {
+		v := q.Get(p.name)
+		if v == "" {
+			continue
+		}
+		var err error
+		switch dst := p.dst.(type) {
+		case *uint32:
+			var u uint64
+			u, err = strconv.ParseUint(v, 10, 32)
+			*dst = uint32(u)
+		case *int:
+			*dst, err = strconv.Atoi(v)
+		case *int64:
+			*dst, err = strconv.ParseInt(v, 10, 64)
+		case *bool:
+			*dst, err = strconv.ParseBool(v)
+		}
+		if err != nil {
+			return fmt.Errorf("query param %s: %v", p.name, err)
+		}
+	}
+	return nil
+}
+
 // buildRequest converts the wire request to a serve.Request.
 func buildRequest(cr *ColorRequest, specs *specCache) (*Request, *graph.Graph, error) {
 	var g *graph.Graph
+	var fp uint64
 	var err error
+	set := 0
+	for _, s := range []string{cr.Gen, cr.Graph, cr.GraphCSRB64} {
+		if s != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, nil, errors.New("set exactly one of graph, gen, and graph_csr_b64")
+	}
 	switch {
-	case cr.Gen != "" && cr.Graph != "":
-		return nil, nil, errors.New("set exactly one of graph and gen")
 	case cr.Gen != "":
 		g, err = specs.get(cr.Gen)
 	case cr.Graph != "":
 		g, err = graph.ReadEdgeList(strings.NewReader(cr.Graph))
 	default:
-		return nil, nil, errors.New("set exactly one of graph and gen")
+		var frame []byte
+		frame, err = base64.StdEncoding.DecodeString(cr.GraphCSRB64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph_csr_b64: %v", err)
+		}
+		g, fp, err = graph.DecodeWireCSR(frame)
 	}
 	if err != nil {
 		return nil, nil, err
 	}
+	req, err := requestFromOptions(cr, g, fp)
+	if err != nil {
+		return nil, nil, err
+	}
+	return req, g, nil
+}
+
+// requestFromOptions builds a serve.Request from a resolved graph and the
+// wire request's option fields. fp may be the frame-streaming fingerprint
+// (binary ingest) or zero (Submit computes it).
+func requestFromOptions(cr *ColorRequest, g *graph.Graph, fp uint64) (*Request, error) {
 	alg := gpucolor.AlgBaseline
+	var err error
 	if cr.Alg != "" {
 		alg, err = gpucolor.ParseAlgorithm(cr.Alg)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 	pol, err := ParseSchedPolicy(cr.Policy)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	prio, ok := ParsePriority(cr.Priority)
 	if !ok {
-		return nil, nil, fmt.Errorf("unknown priority %q", cr.Priority)
+		return nil, fmt.Errorf("unknown priority %q", cr.Priority)
 	}
 	return &Request{
 		Graph:           g,
+		Fingerprint:     fp,
 		Algorithm:       alg,
 		Seed:            cr.Seed,
 		HybridThreshold: cr.Threshold,
@@ -445,7 +580,7 @@ func buildRequest(cr *ColorRequest, specs *specCache) (*Request, *graph.Graph, e
 		NoCPUFallback:   cr.NoCPUFallback,
 		NoCache:         cr.NoCache,
 		Shards:          cr.Shards,
-	}, g, nil
+	}, nil
 }
 
 // classifyErr maps serve/gpucolor failures to HTTP status + error kind.

@@ -128,6 +128,11 @@ type Request struct {
 	// key — including retries across a server restart — are answered from
 	// the journal-backed idempotency map instead of recoloring.
 	IdemKey string
+	// Fingerprint, when non-zero, is the graph's precomputed content
+	// fingerprint (graph.Fingerprint). The binary CSR ingest path computes
+	// it streaming while decoding the upload and passes it here so Submit
+	// does not hash the graph a second time; zero means compute.
+	Fingerprint uint64
 	// Wire is the request's own wire form (ColorRequest JSON). A request
 	// carrying it is replayable: the server journals its acceptance and
 	// can rebuild and re-run it after a crash. Requests without Wire are
@@ -192,6 +197,15 @@ type Response struct {
 	// re-dispatched to a second device (whichever attempt won, exactly one
 	// result was returned and the loser was canceled).
 	Hedged bool
+
+	// Batched reports that the job ran as one member of a block-diagonal
+	// batch: BatchSize compatible small graphs fused into a single kernel
+	// launch on one device. Colors are bit-identical to a solo run of this
+	// graph with the same seed; Cycles, Iterations, and Exec are the whole
+	// batch's (the members shared one launch, so per-member device cost is
+	// not separable).
+	Batched   bool
+	BatchSize int
 
 	// Shards is the number of shards the job ran as (1 for single-device
 	// execution). The remaining Shard* fields are zero unless Shards > 1:

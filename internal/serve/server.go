@@ -146,6 +146,47 @@ func (c ShardConfig) withDefaults(devices int) ShardConfig {
 	return c
 }
 
+// BatchConfig tunes block-diagonal kernel batching: compatible small
+// graphs (below the shard auto thresholds) dequeued together are fused
+// into one disjoint-union CSR and colored in a single launch through one
+// pooled runner, with per-graph result splitting. Per-member colorings are
+// bit-identical to solo runs (gpucolor.PrioritySegments carries each
+// member's seed), so batching is invisible except in the evidence fields.
+// Zero values take the documented defaults.
+type BatchConfig struct {
+	// Disabled turns batching off entirely.
+	Disabled bool
+	// MaxJobs caps the members fused into one launch (default 16; values
+	// below 2 disable batching, since a batch of one is a solo run).
+	MaxJobs int
+	// MaxVertices and MaxEdges cap the union CSR: a member only joins
+	// while the running totals stay at or below these (defaults 16384
+	// vertices / 262144 arcs). Members above the caps run solo.
+	MaxVertices int
+	MaxEdges    int
+	// Linger is how long a worker holding a single batch-eligible job
+	// waits for company before running it solo (default 0: batches form
+	// only from jobs already queued at dequeue time — under load the queue
+	// has depth and lingering just adds latency).
+	Linger time.Duration
+}
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 16
+	}
+	if c.MaxVertices == 0 {
+		c.MaxVertices = 16384
+	}
+	if c.MaxEdges == 0 {
+		c.MaxEdges = 1 << 18
+	}
+	if c.Linger < 0 {
+		c.Linger = 0
+	}
+	return c
+}
+
 // Config sizes a Server. Zero values take the documented defaults.
 type Config struct {
 	// Devices is the pool size (default 4). Ignored when DeviceConfigs is
@@ -172,6 +213,8 @@ type Config struct {
 	SelfHeal SelfHealConfig
 	// Shard tunes sharded scatter-gather execution.
 	Shard ShardConfig
+	// Batch tunes block-diagonal kernel batching of small graphs.
+	Batch BatchConfig
 
 	// Journal, when set, makes the server crash-safe: every replayable
 	// request is journaled before enqueue and every finished job journals
@@ -226,6 +269,7 @@ func (c Config) withDefaults() Config {
 	}
 	c.SelfHeal = c.SelfHeal.withDefaults()
 	c.Shard = c.Shard.withDefaults(c.Devices)
+	c.Batch = c.Batch.withDefaults()
 	return c
 }
 
@@ -261,6 +305,11 @@ type Server struct {
 
 	mu       sync.Mutex
 	inflight map[cacheKey]*flight
+
+	// batchRunHook, when set (tests only), intercepts the fused batch
+	// run's raw result so a test can fault individual members and exercise
+	// the per-member salvage/solo-retry path.
+	batchRunHook func(union *graph.Graph, starts []int32, res *gpucolor.Result, err error) (*gpucolor.Result, error)
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -317,6 +366,8 @@ func NewServer(cfg Config) *Server {
 		"idem_hits_total", "journal_append_errors_total",
 		"replay_enqueued_total", "replay_completed_total",
 		"replay_expired_total", "replay_failed_total",
+		"batches_total", "batched_jobs_total", "batch_member_retries_total",
+		"wire_binary_requests_total",
 	} {
 		s.reg.Counter(name)
 	}
@@ -324,6 +375,8 @@ func NewServer(cfg Config) *Server {
 	s.reg.Gauge("devices_busy")
 	s.reg.Histogram("wait_us")
 	s.reg.Histogram("exec_us")
+	s.reg.Histogram("batch_size")
+	s.reg.Histogram("batch_linger_us")
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -464,7 +517,10 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 		return nil, ErrDraining
 	}
 	s.reg.Counter("requests_total").Inc()
-	fp := req.Graph.Fingerprint()
+	fp := req.Fingerprint
+	if fp == 0 {
+		fp = req.Graph.Fingerprint()
+	}
 	shards := s.effectiveShards(req)
 	key := keyOf(req, fp, shards)
 
@@ -614,6 +670,10 @@ func (s *Server) worker() {
 			return
 		}
 		s.reg.Gauge("queue_depth").Set(int64(s.queue.depth()))
+		if members := s.gatherBatch(j); len(members) > 1 {
+			s.runBatch(members)
+			continue
+		}
 		wait := time.Since(j.enqueued)
 		s.reg.Histogram("wait_us").Add(wait.Microseconds())
 		s.runJob(j, wait)
@@ -1059,6 +1119,12 @@ type Stats struct {
 	ShardRecolored int64 // vertices recolored by boundary repair
 	ShardFallbacks int64 // sharded jobs that degraded to the CPU greedy
 
+	// Block-diagonal kernel batching.
+	Batches            int64 // fused multi-graph launches executed
+	BatchedJobs        int64 // jobs that rode in a fused launch
+	BatchMemberRetries int64 // batch members re-run solo after a batch failure
+	WireBinaryRequests int64 // POST /color bodies in the binary CSR wire format
+
 	// Self-healing.
 	Hedges        int64 // hedged re-dispatches launched
 	HedgeWins     int64 // hedge attempt beat the primary
@@ -1104,6 +1170,11 @@ func (s *Server) Stats() Stats {
 		ShardConflicts:  snap["shard_conflicts_total"],
 		ShardRecolored:  snap["shard_recolored_total"],
 		ShardFallbacks:  snap["shard_fallback_total"],
+
+		Batches:            snap["batches_total"],
+		BatchedJobs:        snap["batched_jobs_total"],
+		BatchMemberRetries: snap["batch_member_retries_total"],
+		WireBinaryRequests: snap["wire_binary_requests_total"],
 		Hedges:          snap["hedges_total"],
 		HedgeWins:       snap["hedge_wins_total"],
 		HedgeLosses:     snap["hedge_losses_total"],

@@ -1,6 +1,9 @@
 package simt
 
-import "sync/atomic"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // Per-wavefront cost accounting. Lanes of one wavefront execute in lockstep,
 // so the wavefront pays for its busiest lane's ALU work, and each memory
@@ -19,6 +22,11 @@ type laneAcc struct {
 type ordAcc struct {
 	active int      // lanes issuing an access at this ordinal
 	segs   []uint64 // distinct segments touched (deduplicated, <= width entries)
+	// filter is a 256-bit bloom filter over segs. The FIFO cache model
+	// makes cost order-sensitive, so segs must stay in first-touch order
+	// and dedup must happen at record time; the filter lets scattered
+	// access patterns append without scanning the whole slice.
+	filter [4]uint64
 }
 
 // wfAcc accumulates one wavefront's activity. It is scratch memory reused
@@ -35,8 +43,6 @@ type wfAcc struct {
 	// by field assignment each lane. Bodies must not retain it past their
 	// invocation (the documented Ctx contract).
 	ctx Ctx
-	// bankCounts is ldsCost's per-bank scratch, reused across cost-outs.
-	bankCounts []int
 }
 
 func newWfAcc(width int) *wfAcc {
@@ -50,6 +56,7 @@ func (w *wfAcc) reset() {
 	for i := 0; i < w.nOrds; i++ {
 		w.ords[i].active = 0
 		w.ords[i].segs = w.ords[i].segs[:0]
+		w.ords[i].filter = [4]uint64{}
 	}
 	w.nOrds = 0
 	for i := 0; i < w.nLdsOrds; i++ {
@@ -73,12 +80,31 @@ func (w *wfAcc) record(l int, buf, idx, segElems int32) {
 	}
 	o := &w.ords[k]
 	o.active++
-	seg := uint64(uint32(buf))<<40 | uint64(uint32(idx))/uint64(uint32(segElems))
-	for _, s := range o.segs {
-		if s == seg {
-			return
+	// SegmentElems is a power of two on every stock cost model, and this
+	// runs once per simulated memory access: shift instead of divide.
+	var segIdx uint64
+	if e := uint32(segElems); e&(e-1) == 0 {
+		segIdx = uint64(uint32(idx)) >> uint(bits.TrailingZeros32(e))
+	} else {
+		segIdx = uint64(uint32(idx)) / uint64(uint32(segElems))
+	}
+	seg := uint64(uint32(buf))<<40 | segIdx
+	// Coalesced fast path: lanes walk memory with spatial locality, so a
+	// duplicate segment is overwhelmingly the one just appended.
+	if n := len(o.segs); n > 0 && o.segs[n-1] == seg {
+		return
+	}
+	h := (seg * segHashMul) >> 56
+	bit := uint64(1) << (h & 63)
+	if o.filter[h>>6]&bit != 0 {
+		// Possibly seen before (or a filter collision): confirm by scan.
+		for i := len(o.segs) - 2; i >= 0; i-- {
+			if o.segs[i] == seg {
+				return
+			}
 		}
 	}
+	o.filter[h>>6] |= bit
 	o.segs = append(o.segs, seg)
 }
 

@@ -9,22 +9,47 @@ package simt
 // scheduling policy is simulated — see the package comment).
 
 // segCache is a fixed-capacity FIFO set of segment ids.
+//
+// Membership is tracked by an open-addressed seg -> ring-slot table rather
+// than a Go map: touch runs once per simulated memory transaction, hot
+// enough that map hashing dominated serving profiles. A table entry is live
+// iff the ring slot it names still holds its key, so FIFO eviction needs no
+// table deletion — the evicted segment's entry goes stale on its own and is
+// swept by rebuilding from the ring once stale entries fill half the table.
 type segCache struct {
-	cap     int
-	ring    []uint64
-	next    int
-	present map[uint64]int // seg -> count of live ring entries
+	cap  int
+	ring []uint64
+	next int
+
+	keys  []uint64
+	slots []int32 // ring index per key, -1 = empty table slot
+	used  int     // occupied table slots, live or stale
+	shift uint    // 64 - log2(len(keys)), for the fibonacci hash
 }
+
+const segHashMul = 0x9E3779B97F4A7C15 // 2^64 / golden ratio
 
 func newSegCache(capacity int) *segCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &segCache{
-		cap:     capacity,
-		ring:    make([]uint64, 0, capacity),
-		present: make(map[uint64]int, capacity),
+	// Table at least 4x capacity: rebuilds start from <= 25% load, and the
+	// 50% rebuild trigger then guarantees an empty slot for every probe.
+	tabBits := 3
+	for 1<<tabBits < 4*capacity {
+		tabBits++
 	}
+	c := &segCache{
+		cap:   capacity,
+		ring:  make([]uint64, 0, capacity),
+		keys:  make([]uint64, 1<<tabBits),
+		slots: make([]int32, 1<<tabBits),
+		shift: uint(64 - tabBits),
+	}
+	for i := range c.slots {
+		c.slots[i] = -1
+	}
+	return c
 }
 
 func (c *segCache) reset() {
@@ -33,7 +58,45 @@ func (c *segCache) reset() {
 	}
 	c.ring = c.ring[:0]
 	c.next = 0
-	clear(c.present)
+	for i := range c.slots {
+		c.slots[i] = -1
+	}
+	c.used = 0
+}
+
+// find probes for seg, returning either the slot holding its key (found)
+// or the empty slot where it belongs (not found).
+func (c *segCache) find(seg uint64) (int, bool) {
+	mask := uint64(len(c.keys) - 1)
+	i := (seg * segHashMul) >> c.shift
+	for {
+		if c.slots[i] < 0 {
+			return int(i), false
+		}
+		if c.keys[i] == seg {
+			return int(i), true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// rebuild resets the table and reinserts only the segments live in the
+// ring, discarding stale entries left behind by FIFO eviction.
+func (c *segCache) rebuild() {
+	for i := range c.slots {
+		c.slots[i] = -1
+	}
+	c.used = 0
+	mask := uint64(len(c.keys) - 1)
+	for idx, seg := range c.ring {
+		i := (seg * segHashMul) >> c.shift
+		for c.slots[i] >= 0 {
+			i = (i + 1) & mask
+		}
+		c.keys[i] = seg
+		c.slots[i] = int32(idx)
+		c.used++
+	}
 }
 
 // touch returns whether seg was cached, inserting it either way.
@@ -41,21 +104,30 @@ func (c *segCache) touch(seg uint64) bool {
 	if c == nil {
 		return false
 	}
-	if c.present[seg] > 0 {
+	i, found := c.find(seg)
+	if found && c.ring[c.slots[i]] == seg {
 		return true
 	}
+	var ringIdx int32
 	if len(c.ring) < c.cap {
+		ringIdx = int32(len(c.ring))
 		c.ring = append(c.ring, seg)
 	} else {
-		old := c.ring[c.next]
-		if n := c.present[old] - 1; n > 0 {
-			c.present[old] = n
-		} else {
-			delete(c.present, old)
-		}
+		ringIdx = int32(c.next)
 		c.ring[c.next] = seg
 		c.next = (c.next + 1) % c.cap
 	}
-	c.present[seg]++
+	if found {
+		// Stale entry for the same segment: revive it in place.
+		c.slots[i] = ringIdx
+		return false
+	}
+	if 2*(c.used+1) > len(c.keys) {
+		c.rebuild()
+		i, _ = c.find(seg)
+	}
+	c.keys[i] = seg
+	c.slots[i] = ringIdx
+	c.used++
 	return false
 }

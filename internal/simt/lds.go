@@ -1,5 +1,7 @@
 package simt
 
+import "slices"
+
 // Local data share (LDS): workgroup-scoped scratch memory with a banked
 // cost model. An LDS access instruction completes in one LDSOp when the
 // wavefront's lanes hit distinct banks (or broadcast-read the same
@@ -71,8 +73,10 @@ func (a *ldsArena) alloc(n int) *LDSBuf {
 // pairs its lanes touched.
 type ldsOrd struct {
 	active int
-	// pairs holds bank<<32 | address entries, deduplicated: a repeated
-	// address is a broadcast and costs nothing extra.
+	// pairs holds bank<<32 | address entries, possibly with duplicates;
+	// ldsCost deduplicates by sorting (a repeated address is a broadcast
+	// and costs nothing extra). Bank-conflict cost only depends on the set
+	// of pairs, not their order, so recording can be append-only.
 	pairs []uint64
 }
 
@@ -89,35 +93,40 @@ func (w *wfAcc) recordLDS(l int, idx int32, banks int32) {
 	}
 	o := &w.ldsOrds[k]
 	o.active++
-	bank := uint64(uint32(idx) % uint32(banks))
-	pair := bank<<32 | uint64(uint32(idx))
-	for _, p := range o.pairs {
-		if p == pair {
-			return
-		}
+	// LDSBanks is a power of two on every stock cost model, and this runs
+	// once per simulated LDS access: mask instead of modulo.
+	var bank uint64
+	if b := uint32(banks); b&(b-1) == 0 {
+		bank = uint64(uint32(idx) & (b - 1))
+	} else {
+		bank = uint64(uint32(idx) % uint32(banks))
 	}
-	o.pairs = append(o.pairs, pair)
+	o.pairs = append(o.pairs, bank<<32|uint64(uint32(idx)))
 }
 
 // ldsCost folds the wavefront's LDS activity into cycles: per ordinal,
-// LDSOp times the worst bank's distinct-address count.
+// LDSOp times the worst bank's distinct-address count. Sorting groups each
+// bank's pairs together (bank occupies the high bits) with duplicate
+// addresses adjacent, so one pass counts the longest distinct run per bank.
 func (w *wfAcc) ldsCost(cm *CostModel) (cycles int64, accesses int64) {
-	banks := int(cm.LDSBanks)
-	if cap(w.bankCounts) < banks {
-		w.bankCounts = make([]int, banks)
-	}
-	counts := w.bankCounts[:banks]
 	for k := 0; k < w.nLdsOrds; k++ {
 		o := &w.ldsOrds[k]
-		for i := range counts {
-			counts[i] = 0
-		}
+		slices.Sort(o.pairs)
 		worst := 1
+		run := 0
+		prev := ^uint64(0)
 		for _, p := range o.pairs {
-			b := p >> 32 // bank index, already reduced mod banks
-			counts[b]++
-			if counts[b] > worst {
-				worst = counts[b]
+			if p == prev {
+				continue // broadcast: same bank, same address
+			}
+			if p>>32 == prev>>32 {
+				run++
+			} else {
+				run = 1
+			}
+			prev = p
+			if run > worst {
+				worst = run
 			}
 		}
 		cycles += cm.LDSOp * int64(worst)
