@@ -49,9 +49,20 @@ func main() {
 		batchBench = flag.Bool("batch", false, "run the batched-dispatch benchmark (block-diagonal batching + binary CSR ingest) instead of the paper experiments")
 		batchOut   = flag.String("batch-json", "BENCH_PR8.json", "output file for -batch")
 		batchFloor = flag.Float64("batch-floor", 1.5, "minimum default-mix throughput gain vs the PR 3 baseline for -batch")
+
+		partBench = flag.Bool("partition", false, "run the partition-tolerance drill (standby failover under network chaos + gray-failure demotion) instead of the paper experiments")
+		partOut   = flag.String("partition-json", "BENCH_PR9.json", "output file for -partition")
+		partW     = flag.Int("partition-workers", 3, "worker daemons for -partition")
 	)
 	flag.Parse()
 
+	if *partBench {
+		if err := runPartitionBench(*partOut, *partW); err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *batchBench {
 		if err := runBatchBench(*batchOut, *budgetArg, *batchFloor); err != nil {
 			fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)

@@ -57,6 +57,9 @@ type summary struct {
 	Cached      int64                   `json:"cached"`
 	Coalesced   int64                   `json:"coalesced"`
 	Errors      map[string]int64        `json:"errors,omitempty"`
+	Retried     int64                   `json:"retried,omitempty"`    // requests that needed >= 1 retry
+	Retries     int64                   `json:"retries,omitempty"`    // total extra attempts
+	BackoffMS   int64                   `json:"backoff_ms,omitempty"` // total time slept between attempts
 	Throughput  float64                 `json:"throughput_rps"`
 	LatencyUS   map[string]int64        `json:"latency_us"`
 	Endpoints   map[string]endpointStat `json:"endpoints,omitempty"`
@@ -93,6 +96,11 @@ func main() {
 		priority = flag.String("priority", "normal", "priority for every request")
 		wire     = flag.String("wire", "json", "request wire format: json (ColorRequest body) or binary (application/x-gcolor-csr CSR frame, options in the query string; graphs are generated client-side)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+
+		retries   = flag.Int("retries", 3, "retry attempts after a retryable failure (transport, 429, 5xx); 0 disables")
+		retryBase = flag.Duration("retry-base", 100*time.Millisecond, "full-jitter backoff base delay")
+		retryCap  = flag.Duration("retry-cap", 5*time.Second, "backoff delay ceiling (also caps honored Retry-After hints)")
+
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		baseline = flag.Bool("baseline", false, "first measure serial no-cache throughput on the same mix and report speedup")
 		jsonOut  = flag.String("json", "", "also write the summary as JSON to this file")
@@ -147,6 +155,15 @@ func main() {
 	}
 	if *mode != "closed" && *mode != "open" {
 		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if *retries > 0 {
+		retryPol = retryPolicy{max: *retries, base: *retryBase, cap: *retryCap}
+		if retryPol.base <= 0 {
+			retryPol.base = 100 * time.Millisecond
+		}
+		if retryPol.cap < retryPol.base {
+			retryPol.cap = retryPol.base
+		}
 	}
 	client := newLoadClient(*timeout+5*time.Second, *conc)
 	if err := waitHealthy(client, *addr, 10*time.Second); err != nil {
@@ -371,13 +388,76 @@ func reseedSpec(spec string, id int64) string {
 }
 
 type reqResult struct {
-	lat       time.Duration
-	ok        bool
-	kind      string
-	cached    bool
-	coalesced bool
-	worker    string // cluster only: worker that served a routed job
-	scattered bool   // cluster only: job was scatter-gathered across workers
+	lat        time.Duration
+	ok         bool
+	kind       string
+	status     int           // HTTP status of the last attempt (0 = transport failure)
+	retryAfter time.Duration // server's Retry-After hint, when it sent one
+	cached     bool
+	coalesced  bool
+	worker     string // cluster only: worker that served a routed job
+	scattered  bool   // cluster only: job was scatter-gathered across workers
+
+	retries int           // extra attempts this request needed
+	backoff time.Duration // total time slept between attempts
+}
+
+// retryPolicy is the client-side backoff discipline: full-jitter
+// exponential delays, overridden upward by the server's Retry-After hint
+// when it sends one (the server knows its queue; the client only knows
+// its attempt count). Zero max means single-attempt (the pre-backoff
+// behaviour, kept for the drills that manage retries themselves).
+type retryPolicy struct {
+	max  int           // retry attempts after the first try
+	base time.Duration // first-retry delay ceiling
+	cap  time.Duration // per-delay ceiling
+}
+
+// retryPol is set once from flags before any load runs.
+var retryPol retryPolicy
+
+// retryable reports whether another attempt could succeed: transport
+// failures, overload rejections, and server-side errors. 4xx other than
+// 429 would fail identically every time.
+func (r reqResult) retryable() bool {
+	return r.status == 0 || r.status == http.StatusTooManyRequests || r.status >= 500
+}
+
+// delay computes the sleep before retry #attempt (0-based): full jitter
+// over an exponentially growing window, floored by the server's hint.
+func (p retryPolicy) delay(attempt int, hint time.Duration) time.Duration {
+	window := p.base << attempt
+	if window > p.cap || window <= 0 {
+		window = p.cap
+	}
+	d := time.Duration(rand.Int63n(int64(window) + 1))
+	if hint > 0 {
+		if hint > p.cap {
+			hint = p.cap
+		}
+		if d < hint {
+			d = hint
+		}
+	}
+	return d
+}
+
+// doWithRetry runs one logical request through the retry policy. The
+// reported latency is the last attempt's alone; the time spent backing
+// off is accounted separately so overload windows show up as backoff,
+// not as phantom tail latency.
+func doWithRetry(client *http.Client, addr string, lr loadReq) reqResult {
+	var backoff time.Duration
+	for attempt := 0; ; attempt++ {
+		r := doRequest(client, addr, lr)
+		r.retries, r.backoff = attempt, backoff
+		if r.ok || attempt >= retryPol.max || !r.retryable() {
+			return r
+		}
+		d := retryPol.delay(attempt, r.retryAfter)
+		time.Sleep(d)
+		backoff += d
+	}
 }
 
 // endpoint buckets a successful response for the per-endpoint report.
@@ -431,6 +511,12 @@ func doRequest(client *http.Client, addr string, lr loadReq) reqResult {
 	}
 	r.lat = time.Since(start)
 	r.kind = er.Kind
+	r.status = resp.StatusCode
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			r.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	return r
 }
 
@@ -454,7 +540,7 @@ func runClosed(client *http.Client, addr string, gen *reqGen, conc, n int, d tim
 				} else if !time.Now().Before(stop) {
 					return
 				}
-				results <- doRequest(client, addr, gen.next())
+				results <- doWithRetry(client, addr, gen.next())
 			}
 		}()
 	}
@@ -501,7 +587,7 @@ func runOpen(client *http.Client, addr string, gen *reqGen, rate float64, n int,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results <- doRequest(client, addr, gen.next())
+			results <- doWithRetry(client, addr, gen.next())
 		}()
 	}
 	done := make(chan struct{})
@@ -524,6 +610,11 @@ func runOpen(client *http.Client, addr string, gen *reqGen, rate float64, n int,
 
 func collect(sum *summary, lats *[]time.Duration, eps map[string][]time.Duration, r reqResult) {
 	sum.Requests++
+	if r.retries > 0 {
+		sum.Retried++
+		sum.Retries += int64(r.retries)
+		sum.BackoffMS += r.backoff.Milliseconds()
+	}
 	if r.ok {
 		sum.OK++
 		if r.cached {
@@ -687,6 +778,10 @@ func printSummary(s *summary) {
 		for _, k := range keys {
 			fmt.Printf("%-22s %d\n", "errors."+k, s.Errors[k])
 		}
+	}
+	if s.Retried > 0 {
+		fmt.Printf("%-22s %d requests retried (%d extra attempts, %s backing off)\n",
+			"backoff", s.Retried, s.Retries, time.Duration(s.BackoffMS)*time.Millisecond)
 	}
 	fmt.Printf("%-22s %.1f req/s\n", "throughput", s.Throughput)
 	for _, q := range []string{"p50", "p90", "p99", "mean", "max"} {

@@ -45,6 +45,14 @@
 //
 //	gcolord -role coordinator -addr :8420 -peers http://h1:8421,http://h2:8421
 //	gcolord -role worker -addr :8421 -join http://coord:8420 -advertise http://h1:8421
+//	gcolord -standby http://coord:8420 -addr :8420 -journal-dir /shared/wal
+//
+// A journaled coordinator acquires a fencing epoch from a lease file in
+// its journal directory; every dispatch carries the epoch and workers
+// reject dispatches from older epochs (409 stale_epoch). A -standby
+// process tails the same journal directory, probes the primary, and on
+// sustained silence takes over the front-door address at the next epoch,
+// re-dispatching accepted-but-unfinished jobs with zero loss.
 //
 // The coordinator serves the same POST /color contract, plus
 // GET /clusterz (membership: per-worker health, breaker state, liveness)
@@ -119,8 +127,23 @@ func main() {
 		advertise = flag.String("advertise", "", "worker: base URL workers advertise to the coordinator (default http://127.0.0.1:<addr port>)")
 		heartbeat = flag.Duration("heartbeat", 500*time.Millisecond, "cluster heartbeat/probe interval")
 		noScatter = flag.Bool("no-scatter", false, "coordinator: route every job whole, never scatter-gather")
+
+		standbyURL    = flag.String("standby", "", "coordinator standby mode: primary coordinator base URL to watch; tails -journal-dir and takes over on -addr when the primary stops answering")
+		standbyMisses = flag.Int("standby-misses", 3, "standby: consecutive missed primary probes before takeover")
+		leaseOwner    = flag.String("lease-owner", "", "coordinator/standby: name recorded in the epoch lease file (default the hostname)")
 	)
 	flag.Parse()
+
+	// Standby mode watches the primary's journal directory with a read-only
+	// follower, so it must run before the append-mode journal open below.
+	if *standbyURL != "" {
+		if *journalDir == "" {
+			log.Fatal("gcolord: -standby requires -journal-dir (the primary's journal directory)")
+		}
+		runStandby(*addr, *standbyURL, *journalDir, *journalFsync, *journalSeg,
+			*heartbeat, *standbyMisses, *leaseOwner, *peers, *noScatter, *drainTimeout)
+		return
+	}
 
 	devCfg := serve.DeviceConfig{
 		NumCUs:         *cus,
@@ -160,7 +183,19 @@ func main() {
 
 	switch *role {
 	case "coordinator":
-		runCoordinator(*addr, *peers, *heartbeat, *noScatter, *drainTimeout, jrnl, rec)
+		// A journaled coordinator owns an epoch lease: each (re)start bumps
+		// the epoch, so workers fence dispatches from any older incarnation
+		// (a deposed primary that a standby already replaced).
+		var epoch uint64
+		if *journalDir != "" && !*noJournal {
+			lease, err := cluster.AcquireLease(*journalDir, ownerName(*leaseOwner))
+			if err != nil {
+				log.Fatalf("gcolord: lease: %v", err)
+			}
+			epoch = lease.Epoch
+			log.Printf("gcolord: coordinator holds epoch %d (lease owner %s)", lease.Epoch, lease.Owner)
+		}
+		runCoordinator(*addr, *peers, *heartbeat, *noScatter, *drainTimeout, epoch, jrnl, rec)
 		return
 	case "server", "worker":
 	default:
@@ -192,7 +227,10 @@ func main() {
 		},
 	})
 
-	handler := serve.HandlerWith(srv, serve.HandlerConfig{MaxBodyBytes: *maxBody})
+	// Every worker carries an epoch guard even standalone: it is inert until
+	// a fenced coordinator's first dispatch ratchets it.
+	guard := &serve.EpochGuard{}
+	handler := serve.HandlerWith(srv, serve.HandlerConfig{MaxBodyBytes: *maxBody, Epoch: guard})
 	if *pprofOn {
 		// Mount the profiling endpoints next to the API so `go tool pprof
 		// http://host/debug/pprof/heap` can watch the hot path live; off by
@@ -230,8 +268,15 @@ func main() {
 		if adv == "" {
 			adv = "http://127.0.0.1" + *addr
 		}
-		log.Printf("gcolord: worker joining %s as %s", *joinURL, adv)
-		go func() { _ = cluster.JoinLoop(joinCtx, nil, *joinURL, adv, *heartbeat) }()
+		j := &cluster.Joiner{
+			CoordinatorURL: *joinURL,
+			AdvertiseAddr:  adv,
+			Instance:       cluster.NewInstanceID(),
+			Interval:       *heartbeat,
+			Guard:          guard,
+		}
+		log.Printf("gcolord: worker joining %s as %s (instance %s)", *joinURL, adv, j.Instance)
+		go func() { _ = j.Run(joinCtx) }()
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -281,7 +326,7 @@ func main() {
 // runCoordinator is the -role coordinator daemon body: no device pool,
 // just the cluster front door with the same signal/drain lifecycle as the
 // serving roles.
-func runCoordinator(addr, peers string, heartbeat time.Duration, noScatter bool, drainTimeout time.Duration, jrnl *journal.Journal, rec *journal.Recovery) {
+func runCoordinator(addr, peers string, heartbeat time.Duration, noScatter bool, drainTimeout time.Duration, epoch uint64, jrnl *journal.Journal, rec *journal.Recovery) {
 	var peerList []string
 	if peers != "" {
 		peerList = strings.Split(peers, ",")
@@ -290,13 +335,14 @@ func runCoordinator(addr, peers string, heartbeat time.Duration, noScatter bool,
 		Peers:             peerList,
 		HeartbeatInterval: heartbeat,
 		NoScatter:         noScatter,
+		Epoch:             epoch,
 		Journal:           jrnl,
 		Recovery:          rec,
 	})
 	hs := &http.Server{Addr: addr, Handler: cluster.Handler(coord)}
 	go func() {
-		log.Printf("gcolord: coordinator serving on %s (%d static peers, heartbeat %v)",
-			addr, len(peerList), heartbeat)
+		log.Printf("gcolord: coordinator serving on %s (%d static peers, heartbeat %v, epoch %d)",
+			addr, len(peerList), heartbeat, epoch)
 		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("gcolord: %v", err)
 		}
@@ -337,4 +383,114 @@ func runCoordinator(addr, peers string, heartbeat time.Duration, noScatter bool,
 		log.Printf("gcolord: coordinator: drain timeout with %d jobs in flight", left)
 		os.Exit(7)
 	}
+}
+
+// runStandby is the warm-standby daemon body: tail the primary's journal,
+// probe its healthz, and on sustained silence take over the front-door
+// address at a fresh fencing epoch. A SIGTERM/SIGINT before takeover exits
+// cleanly; after takeover the promoted coordinator drains like any other.
+func runStandby(addr, primaryURL, dir, fsync string, segBytes int64,
+	heartbeat time.Duration, misses int, owner, peers string,
+	noScatter bool, drainTimeout time.Duration) {
+	mode, err := journal.ParseFsyncMode(fsync)
+	if err != nil {
+		log.Fatalf("gcolord: -journal-fsync: %v", err)
+	}
+	var peerList []string
+	if peers != "" {
+		peerList = strings.Split(peers, ",")
+	}
+	sb := cluster.NewStandby(cluster.StandbyConfig{
+		JournalDir:        dir,
+		PrimaryURL:        primaryURL,
+		TakeoverAddr:      addr,
+		HeartbeatInterval: heartbeat,
+		MissThreshold:     misses,
+		Owner:             ownerName(owner),
+		Journal:           journal.Options{Fsync: mode, SegmentBytes: segBytes},
+		Cluster: cluster.Config{
+			Peers:             peerList,
+			HeartbeatInterval: heartbeat,
+			NoScatter:         noScatter,
+		},
+		Logf: log.Printf,
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s, ok := <-sig
+		if ok {
+			log.Printf("gcolord: standby: %v received before takeover, exiting", s)
+			cancel()
+		}
+	}()
+
+	log.Printf("gcolord: standby watching %s (journal %s, probe %v, %d misses to take over)",
+		primaryURL, dir, heartbeat, misses)
+	tk, err := sb.Run(ctx)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return
+		}
+		log.Fatalf("gcolord: standby: %v", err)
+	}
+	signal.Stop(sig)
+	close(sig)
+	coord := tk.Coordinator
+
+	hs := &http.Server{Handler: cluster.Handler(coord)}
+	go func() {
+		log.Printf("gcolord: standby promoted: serving on %s at epoch %d (%d pending jobs replaying, takeover %dms)",
+			addr, tk.Epoch, tk.Pending, tk.ReadyAt.Sub(tk.DetectedAt).Milliseconds())
+		if err := hs.Serve(tk.Listener); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("gcolord: %v", err)
+		}
+	}()
+
+	sig2 := make(chan os.Signal, 1)
+	signal.Notify(sig2, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig2:
+		log.Printf("gcolord: coordinator: %v received, draining (timeout %v)", s, drainTimeout)
+	case <-coord.DrainRequested():
+		log.Printf("gcolord: coordinator: drain requested via /drainz, draining (timeout %v)", drainTimeout)
+	}
+
+	dctx := context.Background()
+	if drainTimeout > 0 {
+		var dcancel context.CancelFunc
+		dctx, dcancel = context.WithTimeout(dctx, drainTimeout)
+		defer dcancel()
+	}
+	left := coord.Drain(dctx)
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Printf("gcolord: coordinator: http shutdown: %v", err)
+	}
+	coord.Close()
+	if err := tk.Journal.Close(); err != nil {
+		log.Printf("gcolord: coordinator: journal close: %v", err)
+	}
+	st := coord.Stats()
+	fmt.Printf("gcolord: coordinator served %d jobs (%d routed, %d scattered, %d failed, %d failovers, %d redispatches, %d cache hits) across %d workers\n",
+		st.Jobs, st.Routed, st.Scattered, st.Failed, st.RouteFailovers, st.Redispatches, st.CacheHits, st.Workers)
+	if left > 0 {
+		log.Printf("gcolord: coordinator: drain timeout with %d jobs in flight", left)
+		os.Exit(7)
+	}
+}
+
+// ownerName resolves the lease-owner label: the flag if set, else the
+// hostname, else the pid.
+func ownerName(flagVal string) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return fmt.Sprintf("pid-%d", os.Getpid())
 }

@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"gcolor/internal/serve"
@@ -26,9 +28,44 @@ func NewWorkerClient(timeout time.Duration, conc int) *http.Client {
 	return &http.Client{
 		Timeout: timeout,
 		Transport: &http.Transport{
+			// A hung worker must never hang the merge barrier: dials and TLS
+			// handshakes are bounded here regardless of the request context.
+			// ResponseHeaderTimeout is deliberately NOT set — a routed job
+			// legitimately computes for seconds before the first header byte,
+			// and the per-call context deadline (workerCtx) bounds that.
+			DialContext: (&net.Dialer{
+				Timeout:   2 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			TLSHandshakeTimeout: 2 * time.Second,
 			MaxIdleConns:        4 * conc,
 			MaxIdleConnsPerHost: conc,
 			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}
+
+// newControlClient builds the client for control-plane calls (join,
+// heartbeat probes, standby watch). Unlike worker job calls these are
+// small and fast, so the response header itself is deadline-bounded: a
+// peer that accepts the connection and then wedges is indistinguishable
+// from a dead one within timeout.
+func newControlClient(timeout time.Duration) *http.Client {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   timeout,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			TLSHandshakeTimeout:   timeout,
+			ResponseHeaderTimeout: timeout,
+			MaxIdleConns:          64,
+			MaxIdleConnsPerHost:   4,
+			IdleConnTimeout:       90 * time.Second,
 		},
 	}
 }
@@ -39,8 +76,10 @@ func NewWorkerClient(timeout time.Duration, conc int) *http.Client {
 // cross-hop evidence trail) and idemKey, when non-empty, as
 // Idempotency-Key (whole-graph routes only; shard sub-jobs never forward
 // it, a single client key fanned out to K shards would collide in the
-// workers' idempotency maps). Any failure returns a *WorkerError.
-func callWorker(ctx context.Context, client *http.Client, workerURL string, cr *serve.ColorRequest, rid, idemKey string) (*serve.ColorResponse, error) {
+// workers' idempotency maps). epoch, when non-zero, rides as X-GC-Epoch
+// so the worker can fence a deposed coordinator. Any failure returns a
+// *WorkerError; a worker's Retry-After hint is preserved on it.
+func callWorker(ctx context.Context, client *http.Client, workerURL string, cr *serve.ColorRequest, rid, idemKey string, epoch uint64) (*serve.ColorResponse, error) {
 	body, err := json.Marshal(cr)
 	if err != nil {
 		return nil, &WorkerError{Worker: workerURL, Kind: "encode", Err: err}
@@ -55,6 +94,9 @@ func callWorker(ctx context.Context, client *http.Client, workerURL string, cr *
 	}
 	if idemKey != "" {
 		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	if epoch > 0 {
+		req.Header.Set(serve.EpochHeader, strconv.FormatUint(epoch, 10))
 	}
 	resp, err := client.Do(req)
 	if err != nil {
@@ -78,11 +120,18 @@ func callWorker(ctx context.Context, client *http.Client, workerURL string, cr *
 			kind = er.Kind
 			msg = er.Error
 		}
+		retryAfter := 0
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+				retryAfter = secs
+			}
+		}
 		return nil, &WorkerError{
-			Worker: workerURL,
-			Status: resp.StatusCode,
-			Kind:   kind,
-			Err:    fmt.Errorf("%s", firstNonEmpty(msg, http.StatusText(resp.StatusCode))),
+			Worker:     workerURL,
+			Status:     resp.StatusCode,
+			Kind:       kind,
+			RetryAfter: retryAfter,
+			Err:        fmt.Errorf("%s", firstNonEmpty(msg, http.StatusText(resp.StatusCode))),
 		}
 	}
 	var out serve.ColorResponse

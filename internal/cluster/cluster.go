@@ -52,6 +52,11 @@ import (
 // nothing to fail open onto.
 var ErrNoWorkers = errors.New("cluster: no live workers")
 
+// ErrFleetBusy reports a submission refused by the coordinator's
+// admission cap (Config.MaxInflight); the HTTP layer maps it to 429 with
+// a Retry-After computed from worker-reported queue depths.
+var ErrFleetBusy = errors.New("cluster: fleet at max inflight")
+
 // WorkerError is the typed failure of one worker call: transport errors
 // carry Status 0, HTTP failures the worker's status code and error kind.
 type WorkerError struct {
@@ -63,6 +68,9 @@ type WorkerError struct {
 	// Kind is the worker's typed error kind ("queue_full", "failed", ...)
 	// or "transport".
 	Kind string
+	// RetryAfter is the worker's Retry-After hint in seconds (0 = none);
+	// the coordinator propagates it upstream on 429/503 replies.
+	RetryAfter int
 	// Err is the underlying error.
 	Err error
 }
@@ -115,6 +123,31 @@ type Config struct {
 	// ExpireAfter marks a member down when neither a probe nor a join
 	// has seen it for this long (default 6x HeartbeatInterval).
 	ExpireAfter time.Duration
+	// HeartbeatMisses is the consecutive probe failures that demote a
+	// member (default 3); ReadmitStreak the consecutive successes that
+	// re-admit it (default 2). Hysteresis so a flapping link does not
+	// oscillate membership.
+	HeartbeatMisses int
+	ReadmitStreak   int
+
+	// Epoch is the coordinator's fencing epoch, sent as X-GC-Epoch on
+	// every worker call and returned in join replies. Workers reject calls
+	// from epochs below their high-water mark, so a deposed primary cannot
+	// keep dispatching after a standby takeover. 0 means "no epoch"
+	// (single-coordinator deployments; nothing is fenced).
+	Epoch uint64
+
+	// GrayScore is the health score below which a member loses its
+	// rendezvous preference while its breaker is still closed — the
+	// gray-failure demotion (default 0.5; negative disables).
+	GrayScore float64
+
+	// MaxInflight caps concurrently admitted jobs at the coordinator;
+	// excess submissions are refused with ErrFleetBusy and a Retry-After
+	// computed from worker-reported queue depths, so overload sheds at the
+	// fleet's edge instead of timing out mid-scatter (default 1024;
+	// negative disables).
+	MaxInflight int
 
 	// CacheEntries sizes the coordinator's fingerprint-keyed merged-result
 	// LRU (default 512; negative disables). Shard sub-jobs are sent
@@ -227,6 +260,24 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbationScore <= 0 || c.ProbationScore > 1 {
 		c.ProbationScore = 0.6
+	}
+	if c.HeartbeatMisses < 1 {
+		c.HeartbeatMisses = 3
+	}
+	if c.ReadmitStreak < 1 {
+		c.ReadmitStreak = 2
+	}
+	switch {
+	case c.GrayScore < 0:
+		c.GrayScore = 0
+	case c.GrayScore == 0:
+		c.GrayScore = 0.5
+	}
+	switch {
+	case c.MaxInflight < 0:
+		c.MaxInflight = 0
+	case c.MaxInflight == 0:
+		c.MaxInflight = 1024
 	}
 	if c.ReplayParallelism < 1 {
 		c.ReplayParallelism = 4

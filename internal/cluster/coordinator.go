@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -23,13 +24,15 @@ import (
 // when configured — the write-ahead journal. One Coordinator serves many
 // concurrent Submit calls.
 type Coordinator struct {
-	cfg    Config
-	reg    *registry
-	cache  *resultCache
-	idem   *idemCache
-	specs  *specMemo
-	client *http.Client
-	jnl    *journal.Journal
+	cfg      Config
+	epoch    uint64 // fencing epoch, immutable after construction (0 = unfenced)
+	reg      *registry
+	cache    *resultCache
+	idem     *idemCache
+	specs    *specMemo
+	client   *http.Client
+	hbClient *http.Client // control-plane client (header-timeout bounded)
+	jnl      *journal.Journal
 
 	draining  atomic.Bool
 	drainCh   chan struct{}
@@ -43,9 +46,20 @@ type Coordinator struct {
 	routed         atomic.Int64 // jobs forwarded whole
 	scattered      atomic.Int64 // jobs scatter-gathered
 	failed         atomic.Int64
+	shed           atomic.Int64 // submissions refused by the admission cap
 	redispatches   atomic.Int64 // shard re-dispatches after a worker failure
 	routeFailovers atomic.Int64 // whole-graph failovers after a worker failure
 	joins          atomic.Int64
+
+	// Epoch fencing evidence: fenced flips when a worker (or a worker's
+	// join/healthz) proves a newer epoch exists — this coordinator is
+	// deposed and drains itself rather than fighting the new primary.
+	fenced       atomic.Bool
+	staleRejects atomic.Int64 // dispatches a worker refused as stale
+
+	// Takeover provenance, set by Standby on the coordinator it builds.
+	takeoverMS   atomic.Int64 // detect→serving latency of the takeover (0 = not a takeover)
+	recReplayErr atomic.Int64 // replayed pending jobs that failed
 
 	recWarmCache atomic.Int64
 	recWarmIdem  atomic.Int64
@@ -62,6 +76,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 	cfg = cfg.withDefaults()
 	c := &Coordinator{
 		cfg:     cfg,
+		epoch:   cfg.Epoch,
 		reg:     newRegistry(cfg),
 		cache:   newResultCache(cfg.CacheEntries),
 		idem:    newIdemCache(cfg.IdemEntries),
@@ -71,9 +86,10 @@ func NewCoordinator(cfg Config) *Coordinator {
 		drainCh: make(chan struct{}),
 		stopHB:  make(chan struct{}),
 	}
+	c.hbClient = newControlClient(c.probeTimeout())
 	for _, p := range cfg.Peers {
 		if p = strings.TrimSpace(p); p != "" {
-			c.reg.upsert(normalizeAddr(p), true)
+			c.reg.upsert(normalizeAddr(p), "", true)
 		}
 	}
 	if cfg.HeartbeatInterval > 0 {
@@ -97,11 +113,43 @@ func normalizeAddr(a string) string {
 	return strings.TrimRight(a, "/")
 }
 
-// Join registers (or refreshes) a worker by address and returns its info.
-func (c *Coordinator) Join(addr string) MemberInfo {
-	m := c.reg.upsert(normalizeAddr(addr), false)
+// Join registers (or refreshes) a worker and returns the join reply. A
+// join carrying an epoch above this coordinator's proves a newer primary
+// exists: the worker is NOT registered, the coordinator fences itself, and
+// the typed *StaleEpochError tells the worker to keep its allegiance.
+func (c *Coordinator) Join(jr JoinRequest) (JoinResponse, error) {
+	if c.epoch > 0 && jr.Epoch > c.epoch {
+		c.fenceSelf()
+		c.staleRejects.Add(1)
+		return JoinResponse{}, &StaleEpochError{Got: c.epoch, Current: jr.Epoch}
+	}
+	m := c.reg.upsert(normalizeAddr(jr.Addr), jr.ID, false)
 	c.joins.Add(1)
-	return c.reg.info(m)
+	return JoinResponse{Epoch: c.epoch, Member: c.reg.info(m)}, nil
+}
+
+// JoinAddr is the legacy single-address join (tests, in-process fleets).
+func (c *Coordinator) JoinAddr(addr string) MemberInfo {
+	res, _ := c.Join(JoinRequest{Addr: addr})
+	return res.Member
+}
+
+// Epoch returns the coordinator's fencing epoch (0 = unfenced).
+func (c *Coordinator) Epoch() uint64 { return c.epoch }
+
+// Fenced reports whether this coordinator has observed proof of a newer
+// epoch and deposed itself.
+func (c *Coordinator) Fenced() bool { return c.fenced.Load() }
+
+// fenceSelf deposes this coordinator: a worker (or joining peer) holds a
+// higher epoch, so a standby has taken over. The only safe move is to stop
+// accepting work — draining refuses new submissions while in-flight jobs
+// finish (their dispatches will be individually fenced by workers if the
+// new primary got there first).
+func (c *Coordinator) fenceSelf() {
+	if c.fenced.CompareAndSwap(false, true) {
+		c.RequestDrain()
+	}
 }
 
 // Membership snapshots every registered worker.
@@ -158,9 +206,11 @@ func (c *Coordinator) Close() {
 }
 
 // heartbeatLoop probes every registered worker's /healthz on the
-// configured interval; a 2xx refreshes liveness. Probe failures are left
-// to expiry — a missed heartbeat is absence of evidence, and the breaker
-// already handles workers that fail real jobs.
+// configured interval. A 2xx refreshes liveness and harvests the worker's
+// backpressure telemetry (queue depth, device count, exec P50) for the
+// fleet-level Retry-After; a failure feeds the hysteresis state machine —
+// HeartbeatMisses consecutive failures demote, ReadmitStreak consecutive
+// successes re-admit, so a flapping link cannot oscillate membership.
 func (c *Coordinator) heartbeatLoop() {
 	defer c.hbWG.Done()
 	t := time.NewTicker(c.cfg.HeartbeatInterval)
@@ -177,23 +227,61 @@ func (c *Coordinator) heartbeatLoop() {
 			wg.Add(1)
 			go func(m *member) {
 				defer wg.Done()
-				ctx, cancel := context.WithTimeout(context.Background(), c.probeTimeout())
-				defer cancel()
-				req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.addr+"/healthz", nil)
-				if err != nil {
-					return
-				}
-				resp, err := c.client.Do(req)
-				if err != nil {
-					return
-				}
-				resp.Body.Close()
-				if resp.StatusCode < 300 {
-					m.seen(time.Now())
-				}
+				c.probeMember(m)
 			}(m)
 		}
 		wg.Wait()
+	}
+}
+
+// workerHealth is the slice of a worker /healthz reply the coordinator
+// consumes on heartbeats.
+type workerHealth struct {
+	Devices    int    `json:"devices"`
+	QueueDepth int64  `json:"queue_depth"`
+	ExecP50US  int64  `json:"exec_p50_us"`
+	Epoch      uint64 `json:"epoch"`
+}
+
+// probeMember runs one heartbeat probe and settles it through the
+// hysteresis machine.
+func (c *Coordinator) probeMember(m *member) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.probeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.addr+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.hbClient.Do(req)
+	if err != nil {
+		if m.missed() {
+			c.reg.hbDemotions.Add(1)
+		}
+		return
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		if m.missed() {
+			c.reg.hbDemotions.Add(1)
+		}
+		return
+	}
+	var wh workerHealth
+	if json.Unmarshal(raw, &wh) == nil {
+		m.queueDepth.Store(wh.QueueDepth)
+		m.execP50.Store(wh.ExecP50US)
+		if wh.Devices > 0 {
+			m.devices.Store(int64(wh.Devices))
+		}
+		// A worker already serving a higher epoch is proof this
+		// coordinator was deposed.
+		if c.epoch > 0 && wh.Epoch > c.epoch {
+			c.fenceSelf()
+		}
+	}
+	if m.seen(time.Now()) {
+		c.reg.hbReadmits.Add(1)
 	}
 }
 
@@ -216,6 +304,12 @@ func (c *Coordinator) probeTimeout() time.Duration {
 func (c *Coordinator) Submit(ctx context.Context, cr *serve.ColorRequest, rid, idemKey string, wire []byte) (*serve.ColorResponse, error) {
 	if c.draining.Load() {
 		return nil, serve.ErrDraining
+	}
+	// Admission: shed at the edge while the client can still back off
+	// cheaply, instead of admitting work that will time out mid-scatter.
+	if c.cfg.MaxInflight > 0 && c.inflight.Load() >= int64(c.cfg.MaxInflight) {
+		c.shed.Add(1)
+		return nil, ErrFleetBusy
 	}
 	c.inflight.Add(1)
 	defer c.inflight.Add(-1)
@@ -302,6 +396,8 @@ func (c *Coordinator) shouldScatter(g *graph.Graph, cr *serve.ColorRequest) bool
 func (c *Coordinator) route(ctx context.Context, cr *serve.ColorRequest, rid, idemKey string, fp uint64) (*serve.ColorResponse, error) {
 	out := *cr
 	out.IncludeColors = true // the coordinator caches full colorings
+	ctx, cancel := c.workerCtx(ctx)
+	defer cancel()
 	exclude := make(map[int]bool)
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.RouteAttempts; attempt++ {
@@ -314,7 +410,7 @@ func (c *Coordinator) route(ctx context.Context, cr *serve.ColorRequest, rid, id
 		}
 		m.jobs.Add(1)
 		start := time.Now()
-		resp, err := callWorker(ctx, c.client, m.addr, &out, rid, idemKey)
+		resp, err := callWorker(ctx, c.client, m.addr, &out, rid, idemKey, c.epoch)
 		exec := time.Since(start)
 		if err == nil {
 			m.seen(time.Now())
@@ -328,6 +424,9 @@ func (c *Coordinator) route(ctx context.Context, cr *serve.ColorRequest, rid, id
 		if we != nil && we.Status > 0 {
 			m.seen(time.Now()) // it answered; sick is not dead
 		}
+		if c.noteStaleEpoch(we) {
+			return nil, err
+		}
 		good, reward := judgeWorkerError(we)
 		c.reg.observe(m, probe, good, reward, exec)
 		if ctx.Err() != nil {
@@ -340,6 +439,29 @@ func (c *Coordinator) route(ctx context.Context, cr *serve.ColorRequest, rid, id
 		c.routeFailovers.Add(1)
 	}
 	return nil, fmt.Errorf("cluster: route exhausted %d attempts: %w", c.cfg.RouteAttempts, lastErr)
+}
+
+// workerCtx guarantees every worker dispatch carries a deadline: a caller
+// context without one is bounded by WorkerTimeout, so a hung worker can
+// never hang a route or the scatter merge barrier indefinitely.
+func (c *Coordinator) workerCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.cfg.WorkerTimeout)
+}
+
+// noteStaleEpoch reacts to a worker fencing one of our dispatches: a newer
+// primary exists, so this coordinator deposes itself. Reports whether the
+// error was a stale-epoch rejection (which is never failed over — every
+// other worker will refuse it too).
+func (c *Coordinator) noteStaleEpoch(we *WorkerError) bool {
+	if we == nil || we.Kind != "stale_epoch" {
+		return false
+	}
+	c.staleRejects.Add(1)
+	c.fenceSelf()
+	return true
 }
 
 // judgeWorkerError maps a failed worker call to its health observation.
@@ -558,7 +680,25 @@ func (c *Coordinator) replayOne(a journal.AcceptRecord) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.WorkerTimeout)
 	defer cancel()
-	_, _ = c.Submit(ctx, &cr, a.ID, a.IdemKey, a.Wire)
+	if _, err := c.Submit(ctx, &cr, a.ID, a.IdemKey, a.Wire); err != nil {
+		c.recReplayErr.Add(1)
+	}
+}
+
+// SetTakeoverMS records the detect→serving latency of the standby
+// takeover that built this coordinator (surfaced in Stats/metrics so the
+// partition drill can gate on it).
+func (c *Coordinator) SetTakeoverMS(ms int64) { c.takeoverMS.Store(ms) }
+
+// RetryAfterHint computes the fleet-level Retry-After for a rejected
+// request: the policy is serve.ComputeRetryAfter fed with the aggregate
+// queue depth, device count, and worst exec P50 the workers reported on
+// their heartbeats. The coordinator's own admitted-but-unfinished jobs
+// count toward the backlog too — they will land on those same queues.
+func (c *Coordinator) RetryAfterHint(kind string) int {
+	depth, devices, p50 := c.reg.fleetLoad()
+	depth += int(c.inflight.Load())
+	return serve.ComputeRetryAfter(kind, depth, devices, p50, c.draining.Load())
 }
 
 // Stats is the coordinator's observable state.
@@ -566,10 +706,16 @@ type Stats struct {
 	Workers      int `json:"workers"`
 	AliveWorkers int `json:"alive_workers"`
 
+	Epoch        uint64 `json:"epoch"`
+	Fenced       bool   `json:"fenced"`
+	StaleRejects int64  `json:"stale_epoch_rejects"`
+	TakeoverMS   int64  `json:"takeover_ms,omitempty"`
+
 	Jobs           int64 `json:"jobs"`
 	Routed         int64 `json:"routed"`
 	Scattered      int64 `json:"scattered"`
 	Failed         int64 `json:"failed"`
+	Shed           int64 `json:"shed"`
 	RouteFailovers int64 `json:"route_failovers"`
 	Redispatches   int64 `json:"redispatches"`
 	Joins          int64 `json:"joins"`
@@ -577,6 +723,14 @@ type Stats struct {
 	Quarantines int64 `json:"quarantines"`
 	Readmitted  int64 `json:"readmitted"`
 	Probes      int64 `json:"probes"`
+
+	GrayDemotions         int64 `json:"gray_demotions"`
+	HeartbeatDemotions    int64 `json:"heartbeat_demotions"`
+	HeartbeatReadmissions int64 `json:"heartbeat_readmissions"`
+	Rebinds               int64 `json:"rebinds"`
+
+	FleetQueueDepth int `json:"fleet_queue_depth"`
+	FleetDevices    int `json:"fleet_devices"`
 
 	CacheHits      int64 `json:"cache_hits"`
 	CacheMisses    int64 `json:"cache_misses"`
@@ -590,6 +744,7 @@ type Stats struct {
 	RecoveryDone     bool  `json:"recovery_done"`
 	RecoveryPending  int64 `json:"recovery_pending"`
 	RecoveryReplayed int64 `json:"recovery_replayed"`
+	RecoveryFailed   int64 `json:"recovery_failed"`
 	WarmedCache      int64 `json:"warmed_cache"`
 	WarmedIdem       int64 `json:"warmed_idem"`
 
@@ -599,14 +754,21 @@ type Stats struct {
 // Stats snapshots the coordinator.
 func (c *Coordinator) Stats() Stats {
 	hits, misses, evict := c.cache.stats()
+	depth, devices, _ := c.reg.fleetLoad()
 	st := Stats{
 		Workers:      c.reg.size(),
 		AliveWorkers: len(c.reg.alive()),
+
+		Epoch:        c.epoch,
+		Fenced:       c.fenced.Load(),
+		StaleRejects: c.staleRejects.Load(),
+		TakeoverMS:   c.takeoverMS.Load(),
 
 		Jobs:           c.jobs.Load(),
 		Routed:         c.routed.Load(),
 		Scattered:      c.scattered.Load(),
 		Failed:         c.failed.Load(),
+		Shed:           c.shed.Load(),
 		RouteFailovers: c.routeFailovers.Load(),
 		Redispatches:   c.redispatches.Load(),
 		Joins:          c.joins.Load(),
@@ -614,6 +776,14 @@ func (c *Coordinator) Stats() Stats {
 		Quarantines: c.reg.quarantines.Load(),
 		Readmitted:  c.reg.readmitted.Load(),
 		Probes:      c.reg.probes.Load(),
+
+		GrayDemotions:         c.reg.grayDemotions.Load(),
+		HeartbeatDemotions:    c.reg.hbDemotions.Load(),
+		HeartbeatReadmissions: c.reg.hbReadmits.Load(),
+		Rebinds:               c.reg.rebinds.Load(),
+
+		FleetQueueDepth: depth,
+		FleetDevices:    devices,
 
 		CacheHits:      hits,
 		CacheMisses:    misses,
@@ -627,6 +797,7 @@ func (c *Coordinator) Stats() Stats {
 		RecoveryDone:     c.recDone.Load(),
 		RecoveryPending:  c.recPending.Load(),
 		RecoveryReplayed: c.recReplayed.Load(),
+		RecoveryFailed:   c.recReplayErr.Load(),
 		WarmedCache:      c.recWarmCache.Load(),
 		WarmedIdem:       c.recWarmIdem.Load(),
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -33,8 +34,8 @@ func Handler(c *Coordinator) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := c.Stats()
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"status":"ok","role":"coordinator","workers":%d,"alive_workers":%d}`+"\n",
-			st.Workers, st.AliveWorkers)
+		fmt.Fprintf(w, `{"status":"ok","role":"coordinator","workers":%d,"alive_workers":%d,"epoch":%d,"fenced":%v,"queue_depth":%d}`+"\n",
+			st.Workers, st.AliveWorkers, st.Epoch, st.Fenced, st.FleetQueueDepth)
 	})
 	mux.HandleFunc("GET /metricsz", func(w http.ResponseWriter, r *http.Request) {
 		st := c.Stats()
@@ -61,8 +62,20 @@ func Handler(c *Coordinator) http.Handler {
 		fmt.Fprintf(&sb, "cluster_recovery_done %d\n", boolToInt(st.RecoveryDone))
 		fmt.Fprintf(&sb, "cluster_recovery_pending %d\n", st.RecoveryPending)
 		fmt.Fprintf(&sb, "cluster_recovery_replayed %d\n", st.RecoveryReplayed)
+		fmt.Fprintf(&sb, "cluster_recovery_failed %d\n", st.RecoveryFailed)
 		fmt.Fprintf(&sb, "cluster_recovery_warmed_cache %d\n", st.WarmedCache)
 		fmt.Fprintf(&sb, "cluster_recovery_warmed_idem %d\n", st.WarmedIdem)
+		fmt.Fprintf(&sb, "cluster_epoch %d\n", st.Epoch)
+		fmt.Fprintf(&sb, "cluster_fenced %d\n", boolToInt(st.Fenced))
+		fmt.Fprintf(&sb, "cluster_stale_epoch_rejects_total %d\n", st.StaleRejects)
+		fmt.Fprintf(&sb, "cluster_takeover_ms %d\n", st.TakeoverMS)
+		fmt.Fprintf(&sb, "cluster_shed_total %d\n", st.Shed)
+		fmt.Fprintf(&sb, "cluster_gray_demotions_total %d\n", st.GrayDemotions)
+		fmt.Fprintf(&sb, "cluster_heartbeat_demotions_total %d\n", st.HeartbeatDemotions)
+		fmt.Fprintf(&sb, "cluster_heartbeat_readmissions_total %d\n", st.HeartbeatReadmissions)
+		fmt.Fprintf(&sb, "cluster_rebinds_total %d\n", st.Rebinds)
+		fmt.Fprintf(&sb, "cluster_fleet_queue_depth %d\n", st.FleetQueueDepth)
+		fmt.Fprintf(&sb, "cluster_fleet_devices %d\n", st.FleetDevices)
 		for _, m := range st.Members {
 			fmt.Fprintf(&sb, "cluster_worker_health_%d %.4f\n", m.ID, m.Health)
 			fmt.Fprintf(&sb, "cluster_worker_alive_%d %d\n", m.ID, boolToInt(m.Alive))
@@ -79,16 +92,28 @@ func Handler(c *Coordinator) http.Handler {
 		_ = json.NewEncoder(w).Encode(st)
 	})
 	mux.HandleFunc("POST /cluster/join", func(w http.ResponseWriter, r *http.Request) {
-		var body struct {
-			Addr string `json:"addr"`
-		}
-		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&body); err != nil || strings.TrimSpace(body.Addr) == "" {
-			writeClusterErr(w, http.StatusBadRequest, "bad_request", "join body must be {\"addr\":\"http://host:port\"}", "")
+		raw, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+		if err != nil {
+			writeClusterErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("read: %v", err), "")
 			return
 		}
-		info := c.Join(body.Addr)
+		jr, err := ParseJoinRequest(raw)
+		if err != nil {
+			writeClusterErr(w, http.StatusBadRequest, "bad_request", err.Error(), "")
+			return
+		}
+		res, err := c.Join(jr)
+		if err != nil {
+			var stale *StaleEpochError
+			if errors.As(err, &stale) {
+				writeClusterErr(w, http.StatusConflict, "stale_epoch", err.Error(), "")
+				return
+			}
+			writeClusterErr(w, http.StatusBadRequest, "bad_request", err.Error(), "")
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(info)
+		_ = json.NewEncoder(w).Encode(res)
 	})
 	drainStatus := func(w http.ResponseWriter) {
 		st := c.Stats()
@@ -161,6 +186,20 @@ func handleColor(c *Coordinator, w http.ResponseWriter, r *http.Request) {
 	res, err := c.Submit(ctx, &cr, rid, idemKey, raw)
 	if err != nil {
 		status, kind := classifyClusterErr(err)
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			// End-to-end backpressure: prefer the failing worker's own hint,
+			// else compute one from the fleet's reported queue depths, so the
+			// client's backoff reflects actual fleet load either way.
+			secs := 0
+			var we *WorkerError
+			if errors.As(err, &we) {
+				secs = we.RetryAfter
+			}
+			if secs <= 0 {
+				secs = c.RetryAfterHint(kind)
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
 		writeClusterErr(w, status, kind, err.Error(), rid)
 		return
 	}
@@ -184,6 +223,8 @@ func classifyClusterErr(err error) (int, string) {
 		return http.StatusBadRequest, "bad_request"
 	case errors.Is(err, serve.ErrDraining):
 		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, ErrFleetBusy):
+		return http.StatusTooManyRequests, "fleet_busy"
 	case errors.Is(err, ErrNoWorkers):
 		return http.StatusServiceUnavailable, "no_workers"
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// The coordinator lease: a monotonic epoch persisted next to the journal.
+// A coordinator serves under the epoch it acquired; a standby taking over
+// acquires epoch+1 and workers fence out the old epoch (serve.EpochGuard).
+//
+// The lease file is NOT a distributed lock — two processes that both
+// believe they own the fleet can both write it. It does not need to be:
+// correctness comes from epoch fencing at the workers (the higher epoch
+// wins every dispatch), the lease only makes epochs durable and monotonic
+// across restarts of the same control-plane host.
+
+// leaseFile is the lease's name inside the journal directory.
+const leaseFile = "coordinator.lease"
+
+// Lease is the persisted epoch record.
+type Lease struct {
+	Epoch          uint64 `json:"epoch"`
+	Owner          string `json:"owner"`
+	AcquiredUnixMS int64  `json:"acquired_unix_ms"`
+}
+
+// ReadLease loads the lease from dir. A missing file is a zero Lease, not
+// an error (first boot). A corrupt file is an error — guessing an epoch
+// risks re-using one.
+func ReadLease(dir string) (Lease, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, leaseFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return Lease{}, nil
+	}
+	if err != nil {
+		return Lease{}, err
+	}
+	var l Lease
+	if err := json.Unmarshal(raw, &l); err != nil {
+		return Lease{}, fmt.Errorf("cluster: corrupt lease %s: %w", filepath.Join(dir, leaseFile), err)
+	}
+	return l, nil
+}
+
+// AcquireLease advances the persisted epoch by one and returns the new
+// lease. The write is atomic (tmp + rename) and fsynced, so a crash
+// between acquire and serve never loses the epoch bump.
+func AcquireLease(dir, owner string) (Lease, error) {
+	prev, err := ReadLease(dir)
+	if err != nil {
+		return Lease{}, err
+	}
+	l := Lease{
+		Epoch:          prev.Epoch + 1,
+		Owner:          owner,
+		AcquiredUnixMS: time.Now().UnixMilli(),
+	}
+	raw, err := json.Marshal(&l)
+	if err != nil {
+		return Lease{}, err
+	}
+	tmp := filepath.Join(dir, leaseFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return Lease{}, err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return Lease{}, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return Lease{}, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return Lease{}, err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, leaseFile)); err != nil {
+		os.Remove(tmp)
+		return Lease{}, err
+	}
+	return l, nil
+}

@@ -1,0 +1,95 @@
+package cluster
+
+// Heartbeat hysteresis. A single dropped probe on a lossy link must not
+// flip a worker out of membership, and a single lucky probe must not flip
+// a genuinely sick worker back in — oscillating membership reshuffles
+// rendezvous ownership on every flap, which defeats the cache locality the
+// routing exists for. So demotion requires missThreshold consecutive
+// misses and re-admission requires readmitStreak consecutive hits, and any
+// opposite observation resets the other streak.
+//
+// hysteresis is a pure state machine (no clocks, no locks) so the flapping
+// behavior is table-testable; member wraps it under its mutex.
+type hysteresis struct {
+	missThreshold int // consecutive misses that demote (>=1)
+	readmitStreak int // consecutive hits that re-admit (>=1)
+
+	down   bool
+	misses int // consecutive misses while up
+	hits   int // consecutive hits while down
+}
+
+// hit records a successful probe (or any positive liveness evidence: a
+// push join, a job answered). It reports whether this hit re-admitted a
+// demoted member.
+func (h *hysteresis) hit() (readmitted bool) {
+	h.misses = 0
+	if !h.down {
+		return false
+	}
+	h.hits++
+	if h.hits >= h.readmitStreak {
+		h.down = false
+		h.hits = 0
+		return true
+	}
+	return false
+}
+
+// miss records a failed probe. It reports whether this miss demoted the
+// member.
+func (h *hysteresis) miss() (demoted bool) {
+	h.hits = 0
+	if h.down {
+		return false
+	}
+	h.misses++
+	if h.misses >= h.missThreshold {
+		h.down = true
+		h.misses = 0
+		return true
+	}
+	return false
+}
+
+// latRing is a small fixed ring of recent per-dispatch latencies (µs) used
+// for the /clusterz exec percentiles — the observable that makes a gray
+// worker visible before its breaker ever trips.
+type latRing struct {
+	buf [64]int64
+	n   int // filled entries (<= len(buf))
+	i   int // next write position
+}
+
+func (r *latRing) add(us int64) {
+	r.buf[r.i] = us
+	r.i = (r.i + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// quantile returns the q-quantile (0..1) of the ring, 0 when empty. The
+// ring is tiny, so a copy + insertion sort per call is cheaper than
+// maintaining order on the hot path.
+func (r *latRing) quantile(q float64) int64 {
+	if r.n == 0 {
+		return 0
+	}
+	var tmp [64]int64
+	s := tmp[:r.n]
+	copy(s, r.buf[:r.n])
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	idx := int(q * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

@@ -1,0 +1,65 @@
+package cluster
+
+import "testing"
+
+// The hysteresis machine is a pure function of the observation sequence,
+// so the whole contract is table-testable: N consecutive misses demote,
+// M consecutive hits re-admit, and any opposite observation resets the
+// other streak — which is exactly why a flapping link cannot oscillate
+// membership.
+func TestHysteresisTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		seq     string // 'h' = probe hit, 'm' = probe miss
+		down    bool   // expected final state
+		demos   int    // expected demotion transitions
+		readmit int    // expected re-admission transitions
+	}{
+		{"fresh is up", "", false, 0, 0},
+		{"two misses hold", "mm", false, 0, 0},
+		{"three misses demote", "mmm", true, 1, 0},
+		{"extra misses don't re-demote", "mmmmm", true, 1, 0},
+		{"hit resets the miss streak", "mmhmm", false, 0, 0},
+		{"flapping never demotes", "mhmhmhmhmhmhmhmhmhmh", false, 0, 0},
+		{"two-miss flaps never demote", "mmhmmhmmhmmhmmh", false, 0, 0},
+		{"demote then one hit holds down", "mmmh", true, 1, 0},
+		{"demote then hit streak re-admits", "mmmhh", false, 1, 1},
+		{"miss resets the readmit streak", "mmmhmhmh", true, 1, 0},
+		{"full cycle twice", "mmmhhmmmhh", false, 2, 2},
+		{"flapping while down stays down", "mmmhmhmhmhmhmhmhmhmh", true, 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hy := hysteresis{missThreshold: 3, readmitStreak: 2}
+			demos, readmits := 0, 0
+			for _, c := range tc.seq {
+				switch c {
+				case 'h':
+					if hy.hit() {
+						readmits++
+					}
+				case 'm':
+					if hy.miss() {
+						demos++
+					}
+				}
+			}
+			if hy.down != tc.down || demos != tc.demos || readmits != tc.readmit {
+				t.Fatalf("seq %q: down=%v demotions=%d readmissions=%d, want %v/%d/%d",
+					tc.seq, hy.down, demos, readmits, tc.down, tc.demos, tc.readmit)
+			}
+		})
+	}
+}
+
+// Single-miss demotion must still work for deployments that want the old
+// hair-trigger behaviour.
+func TestHysteresisThresholdOne(t *testing.T) {
+	hy := hysteresis{missThreshold: 1, readmitStreak: 1}
+	if !hy.miss() {
+		t.Fatal("first miss did not demote at threshold 1")
+	}
+	if !hy.hit() {
+		t.Fatal("first hit did not re-admit at streak 1")
+	}
+}

@@ -21,34 +21,59 @@ type member struct {
 	brk *serve.Breaker
 
 	mu       sync.Mutex
-	lastSeen time.Time // last successful probe or push heartbeat
+	lastSeen time.Time  // last successful probe or push heartbeat
+	instance string     // worker-supplied stable instance ID ("" until a join carries one)
+	hy       hysteresis // heartbeat demotion/re-admission streaks
+	lat      latRing    // recent dispatch latencies (µs)
 
 	jobs      atomic.Int64 // jobs dispatched to this worker (routes + shards)
 	failures  atomic.Int64 // dispatches that failed on this worker
 	probeJobs atomic.Int64 // jobs that rode a half-open probe slot
+
+	// Reported by the worker's /healthz on each heartbeat; the fleet-level
+	// Retry-After is computed from these.
+	queueDepth atomic.Int64
+	devices    atomic.Int64
+	execP50    atomic.Int64 // worker-reported exec P50 (µs)
 }
 
-// seen marks the member live now.
-func (m *member) seen(now time.Time) {
+// seen marks the member live now; the return reports whether this
+// evidence re-admitted a heartbeat-demoted member.
+func (m *member) seen(now time.Time) (readmitted bool) {
 	m.mu.Lock()
 	m.lastSeen = now
+	readmitted = m.hy.hit()
 	m.mu.Unlock()
+	return readmitted
 }
 
-// aliveAt reports whether the member has been seen within expire.
+// missed records a failed heartbeat probe; the return reports whether this
+// miss demoted the member.
+func (m *member) missed() (demoted bool) {
+	m.mu.Lock()
+	demoted = m.hy.miss()
+	m.mu.Unlock()
+	return demoted
+}
+
+// aliveAt reports whether the member has been seen within expire and is
+// not heartbeat-demoted.
 func (m *member) aliveAt(now time.Time, expire time.Duration) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return now.Sub(m.lastSeen) <= expire
+	return !m.hy.down && now.Sub(m.lastSeen) <= expire
 }
 
 // registry is the coordinator's membership table: address-keyed members,
 // one shared EWMA health tracker, and one circuit breaker per member.
 // All methods are safe for concurrent use.
 type registry struct {
-	expire    time.Duration
-	brkCfg    serve.BreakerConfig
-	probation float64
+	expire        time.Duration
+	brkCfg        serve.BreakerConfig
+	probation     float64
+	grayScore     float64
+	missThreshold int
+	readmitStreak int
 
 	health *serve.FleetHealth
 
@@ -59,39 +84,76 @@ type registry struct {
 	quarantines atomic.Int64
 	readmitted  atomic.Int64
 	probes      atomic.Int64
+
+	grayDemotions atomic.Int64 // picks where a gray member lost its rendezvous rank
+	hbDemotions   atomic.Int64 // heartbeat-miss-streak demotions
+	hbReadmits    atomic.Int64 // hit-streak re-admissions
+	rebinds       atomic.Int64 // instance IDs re-joining from a new address
 }
 
 func newRegistry(cfg Config) *registry {
 	return &registry{
-		expire:    cfg.ExpireAfter,
-		brkCfg:    cfg.Breaker,
-		probation: cfg.ProbationScore,
-		health:    serve.NewFleetHealth(0, cfg.HealthAlpha, cfg.LatencySlack),
-		byAddr:    make(map[string]*member),
+		expire:        cfg.ExpireAfter,
+		brkCfg:        cfg.Breaker,
+		probation:     cfg.ProbationScore,
+		grayScore:     cfg.GrayScore,
+		missThreshold: cfg.HeartbeatMisses,
+		readmitStreak: cfg.ReadmitStreak,
+		health:        serve.NewFleetHealth(0, cfg.HealthAlpha, cfg.LatencySlack),
+		byAddr:        make(map[string]*member),
 	}
 }
 
 // upsert registers a worker by address (idempotent: a re-join refreshes
 // liveness and returns the existing member, breaker history intact).
-func (r *registry) upsert(addr string, static bool) *member {
+// instance, when non-empty, is the worker's stable identity: a join whose
+// instance is already bound to a different address means the worker
+// restarted on a new port, so the old address is force-expired rather than
+// left to linger as a phantom second copy of the same worker.
+func (r *registry) upsert(addr, instance string, static bool) *member {
 	now := time.Now()
 	r.mu.Lock()
-	if m, ok := r.byAddr[addr]; ok {
-		r.mu.Unlock()
-		m.seen(now)
-		return m
+	m, ok := r.byAddr[addr]
+	if !ok {
+		m = &member{
+			id:       r.health.AddMember(),
+			addr:     addr,
+			addrHash: fnv1a64(addr),
+			static:   static,
+			brk:      serve.NewBreaker(r.brkCfg),
+		}
+		m.hy.missThreshold = r.missThreshold
+		m.hy.readmitStreak = r.readmitStreak
+		m.lastSeen = now
+		r.members = append(r.members, m)
+		r.byAddr[addr] = m
 	}
-	m := &member{
-		id:       r.health.AddMember(),
-		addr:     addr,
-		addrHash: fnv1a64(addr),
-		static:   static,
-		brk:      serve.NewBreaker(r.brkCfg),
+	if instance != "" {
+		for _, other := range r.members {
+			if other == m {
+				continue
+			}
+			other.mu.Lock()
+			stale := other.instance == instance
+			if stale {
+				// The instance moved: its old address is dead even if its
+				// expiry window has not elapsed yet.
+				other.instance = ""
+				other.lastSeen = time.Time{}
+			}
+			other.mu.Unlock()
+			if stale {
+				r.rebinds.Add(1)
+			}
+		}
+		m.mu.Lock()
+		m.instance = instance
+		m.mu.Unlock()
 	}
-	m.lastSeen = now
-	r.members = append(r.members, m)
-	r.byAddr[addr] = m
 	r.mu.Unlock()
+	if m.seen(now) {
+		r.hbReadmits.Add(1)
+	}
 	return m
 }
 
@@ -124,13 +186,21 @@ func (r *registry) size() int {
 }
 
 // pick selects the worker for key among the live members not in exclude:
-// rendezvous order over breaker-closed members first; failing that, a
-// half-open member whose probe slot is free (the job doubles as the
-// probe); failing that, rendezvous order over everyone alive (the
+// rendezvous order over breaker-closed members whose health clears the
+// gray threshold first; then breaker-closed gray members (slow beats
+// refused); then a half-open member whose probe slot is free (the job
+// doubles as the probe); then rendezvous order over everyone alive (the
 // all-open fail-open rule — a fleet that quarantined every worker must
 // keep trying rather than refuse all traffic). probe reports that the
 // returned member's probe slot was reserved; the caller must settle it
 // with observe. ErrNoWorkers means no live non-excluded member exists.
+//
+// The gray pass is the load-imbalance lesson at fleet granularity: a
+// worker that answers 2xx but 10x slower than its peers drags every job it
+// owns, and its breaker — which counts failures, not slowness — never
+// trips. Its EWMA health (latency-vs-fleet-median penalized) does sag, so
+// members below GrayScore lose their rendezvous preference while staying
+// in the fleet for overflow and recovery.
 func (r *registry) pick(key uint64, exclude map[int]bool) (m *member, probe bool, err error) {
 	live := r.alive()
 	candidates := live[:0:0]
@@ -143,10 +213,25 @@ func (r *registry) pick(key uint64, exclude map[int]bool) (m *member, probe bool
 		return nil, false, ErrNoWorkers
 	}
 	ranked := rankMembers(key, candidates)
+	var gray []*member
 	for _, mm := range ranked {
-		if mm.brk.Allow() {
-			return mm, false, nil
+		if !mm.brk.Allow() {
+			continue
 		}
+		if r.grayScore > 0 && len(ranked) > 1 && r.health.Score(mm.id) < r.grayScore {
+			gray = append(gray, mm)
+			continue
+		}
+		if len(gray) > 0 {
+			// A healthy member is serving a key a gray member ranked higher
+			// for: that is the demotion, observable before any breaker state
+			// changes.
+			r.grayDemotions.Add(1)
+		}
+		return mm, false, nil
+	}
+	for _, mm := range gray {
+		return mm, false, nil
 	}
 	for _, mm := range ranked {
 		if mm.brk.TryProbe() {
@@ -167,6 +252,9 @@ func (r *registry) pick(key uint64, exclude map[int]bool) (m *member, probe bool
 // a failure. good is what the breaker counts as failure-free.
 func (r *registry) observe(m *member, probe, good bool, reward float64, exec time.Duration) {
 	score := r.health.Observe(m.id, reward, exec)
+	m.mu.Lock()
+	m.lat.add(exec.Microseconds())
+	m.mu.Unlock()
 	if !good {
 		m.failures.Add(1)
 	}
@@ -190,14 +278,18 @@ func (r *registry) observe(m *member, probe, good bool, reward float64, exec tim
 type MemberInfo struct {
 	ID         int     `json:"id"`
 	Addr       string  `json:"addr"`
+	Instance   string  `json:"instance,omitempty"`
 	Static     bool    `json:"static"`
 	Alive      bool    `json:"alive"`
+	Down       bool    `json:"down,omitempty"` // heartbeat-demoted (hysteresis), awaiting a hit streak
+	Gray       bool    `json:"gray,omitempty"` // health below the gray threshold; rendezvous-demoted
 	Health     float64 `json:"health"`
 	Breaker    string  `json:"breaker"`
 	Jobs       int64   `json:"jobs"`
 	Failures   int64   `json:"failures"`
 	ProbeJobs  int64   `json:"probe_jobs"`
 	LastSeenMS int64   `json:"last_seen_ms_ago"`
+	QueueDepth int64   `json:"queue_depth"`
 	ExecP50US  int64   `json:"exec_p50_us"`
 	ExecP99US  int64   `json:"exec_p99_us"`
 }
@@ -207,17 +299,42 @@ func (r *registry) info(m *member) MemberInfo {
 	now := time.Now()
 	m.mu.Lock()
 	seenAgo := now.Sub(m.lastSeen)
+	down := m.hy.down
+	instance := m.instance
+	p50 := m.lat.quantile(0.50)
+	p99 := m.lat.quantile(0.99)
 	m.mu.Unlock()
+	health := r.health.Score(m.id)
 	return MemberInfo{
 		ID:         m.id,
 		Addr:       m.addr,
+		Instance:   instance,
 		Static:     m.static,
-		Alive:      seenAgo <= r.expire,
-		Health:     r.health.Score(m.id),
+		Alive:      !down && seenAgo <= r.expire,
+		Down:       down,
+		Gray:       r.grayScore > 0 && health < r.grayScore,
+		Health:     health,
 		Breaker:    m.brk.State().String(),
 		Jobs:       m.jobs.Load(),
 		Failures:   m.failures.Load(),
 		ProbeJobs:  m.probeJobs.Load(),
 		LastSeenMS: seenAgo.Milliseconds(),
+		QueueDepth: m.queueDepth.Load(),
+		ExecP50US:  p50,
+		ExecP99US:  p99,
 	}
+}
+
+// fleetLoad aggregates the worker-reported backpressure signals: total
+// queued jobs, total devices, and the worst live exec P50 — the inputs to
+// the fleet-level Retry-After.
+func (r *registry) fleetLoad() (queueDepth, devices int, execP50us int64) {
+	for _, m := range r.alive() {
+		queueDepth += int(m.queueDepth.Load())
+		devices += int(m.devices.Load())
+		if p := m.execP50.Load(); p > execP50us {
+			execP50us = p
+		}
+	}
+	return queueDepth, devices, execP50us
 }

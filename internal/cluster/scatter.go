@@ -64,6 +64,11 @@ func (c *Coordinator) scatter(ctx context.Context, g *graph.Graph, cr *serve.Col
 		err        error
 	}
 	outs := make([]shardOut, plan.K)
+	// Every shard dispatch is deadline-bounded even when the caller's
+	// context is not: a single hung worker must never hang the merge
+	// barrier below.
+	ctx, wcancel := c.workerCtx(ctx)
+	defer wcancel()
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var wg sync.WaitGroup
@@ -168,7 +173,7 @@ func (c *Coordinator) dispatchShard(ctx context.Context, sub *graph.Graph, cr *s
 		m.jobs.Add(1)
 		attempts++
 		start := time.Now()
-		resp, err := callWorker(ctx, c.client, m.addr, &req, shardRID, "")
+		resp, err := callWorker(ctx, c.client, m.addr, &req, shardRID, "", c.epoch)
 		exec := time.Since(start)
 		if err == nil {
 			if len(resp.Colors) != sub.NumVertices() {
@@ -186,6 +191,9 @@ func (c *Coordinator) dispatchShard(ctx context.Context, sub *graph.Graph, cr *s
 		we, _ := err.(*WorkerError)
 		if we != nil && we.Status > 0 {
 			m.seen(time.Now())
+		}
+		if c.noteStaleEpoch(we) {
+			break // every worker will fence us; stop the shard here
 		}
 		good, reward := judgeWorkerError(we)
 		c.reg.observe(m, probe, good, reward, exec)

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/url"
+	"strings"
+
+	"gcolor/internal/serve"
+)
+
+// Typed parsing for the cluster's control-plane wire messages (join,
+// heartbeat, epoch fencing). Everything here is reachable from untrusted
+// bytes, so the contract is: never panic, never accept garbage silently,
+// always fail with a typed error the handlers can map to a status code.
+
+// ErrStaleEpoch is the sentinel for epoch-fencing rejections; the concrete
+// error is always a *StaleEpochError carrying both epochs.
+var ErrStaleEpoch = errors.New("cluster: stale epoch")
+
+// StaleEpochError reports a message carrying an epoch below the observer's
+// high-water mark — evidence of a deposed coordinator (or of this
+// coordinator being the deposed one, when a worker claims a newer epoch).
+type StaleEpochError struct {
+	// Got is the epoch the message carried; Current the observer's
+	// high-water mark.
+	Got, Current uint64
+}
+
+// Error implements error.
+func (e *StaleEpochError) Error() string {
+	return fmt.Sprintf("cluster: stale epoch %d (current %d)", e.Got, e.Current)
+}
+
+// Is makes errors.Is(err, ErrStaleEpoch) match.
+func (e *StaleEpochError) Is(target error) bool { return target == ErrStaleEpoch }
+
+// BadWireError reports a malformed control-plane message (undecodable
+// JSON, missing or unusable fields). Handlers map it to 400.
+type BadWireError struct{ Err error }
+
+// Error implements error.
+func (e *BadWireError) Error() string { return "cluster: bad wire message: " + e.Err.Error() }
+
+// Unwrap exposes the underlying error.
+func (e *BadWireError) Unwrap() error { return e.Err }
+
+// JoinRequest is the POST /cluster/join body. Addr is required; ID is an
+// optional stable worker instance identity (a worker that restarts on a
+// new port re-joins with the same ID and rebinds it, so the fleet does not
+// double-count one instance under two addresses); Epoch is the highest
+// coordinator epoch the worker has observed, letting a deposed coordinator
+// learn it was deposed from its own workers.
+type JoinRequest struct {
+	Addr  string `json:"addr"`
+	ID    string `json:"id,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// JoinResponse is the join reply: the coordinator's current epoch plus the
+// member's registry view. Workers ratchet their epoch guard from Epoch.
+type JoinResponse struct {
+	Epoch  uint64     `json:"epoch"`
+	Member MemberInfo `json:"member"`
+}
+
+// maxJoinAddrBytes bounds an advertised address; anything longer is an
+// attack or a bug, not a URL.
+const maxJoinAddrBytes = 512
+
+// ParseJoinRequest decodes and validates a join body. It never panics on
+// any input; every failure is a *BadWireError.
+func ParseJoinRequest(data []byte) (JoinRequest, error) {
+	var jr JoinRequest
+	if err := json.Unmarshal(data, &jr); err != nil {
+		return JoinRequest{}, &BadWireError{Err: err}
+	}
+	jr.Addr = strings.TrimSpace(jr.Addr)
+	if jr.Addr == "" {
+		return JoinRequest{}, &BadWireError{Err: errors.New(`join body must set "addr"`)}
+	}
+	if len(jr.Addr) > maxJoinAddrBytes {
+		return JoinRequest{}, &BadWireError{Err: fmt.Errorf("addr exceeds %d bytes", maxJoinAddrBytes)}
+	}
+	jr.Addr = normalizeAddr(jr.Addr)
+	u, err := url.Parse(jr.Addr)
+	if err != nil {
+		return JoinRequest{}, &BadWireError{Err: fmt.Errorf("addr: %v", err)}
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return JoinRequest{}, &BadWireError{Err: fmt.Errorf("addr %q is not an http(s) base URL", jr.Addr)}
+	}
+	// IDs travel into headers, logs, and /clusterz; hold them to the same
+	// character discipline as request IDs.
+	if jr.ID != "" && serve.SanitizeRequestID(jr.ID) == "" {
+		return JoinRequest{}, &BadWireError{Err: fmt.Errorf("id %q has unsafe characters", jr.ID)}
+	}
+	return jr, nil
+}
+
+// ValidateEpoch checks a message's epoch against the observer's current
+// one. Epoch 0 ("no epoch", pre-HA senders) always passes. A lower epoch
+// returns *StaleEpochError; the (possibly advanced) current value is
+// returned for ratcheting.
+func ValidateEpoch(current, got uint64) (uint64, error) {
+	if got == 0 {
+		return current, nil
+	}
+	if got < current {
+		return current, &StaleEpochError{Got: got, Current: current}
+	}
+	return got, nil
+}

@@ -3,10 +3,15 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
+
+	"gcolor/internal/serve"
 )
 
 // Worker-side membership: a worker is a plain gcolord daemon; its only
@@ -15,23 +20,83 @@ import (
 // coordinator's pull probes, and re-joining after a coordinator restart
 // is automatic because every join is idempotent.
 
+// Joiner is the worker-side membership pump configuration.
+type Joiner struct {
+	// Client is the HTTP client for join calls (default: a bounded
+	// control-plane client — a wedged coordinator must not wedge the pump).
+	Client *http.Client
+	// CoordinatorURL is the coordinator's base URL.
+	CoordinatorURL string
+	// AdvertiseAddr is this worker's base URL as the coordinator should
+	// dial it.
+	AdvertiseAddr string
+	// Instance is the worker's stable identity across restarts of the
+	// pump ("" = generate a random one). When the worker restarts on a new
+	// port, the coordinator uses it to retire the old address immediately.
+	Instance string
+	// Interval paces the joins (default 500ms).
+	Interval time.Duration
+	// Guard, when set, is ratcheted with the epoch of every join reply, so
+	// the worker's /color fences dispatches from coordinators older than
+	// the one it most recently joined.
+	Guard *serve.EpochGuard
+}
+
+// NewInstanceID returns a random stable worker identity ("w-" + 8 random
+// bytes, hex).
+func NewInstanceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Degraded but functional: identity becomes address-only.
+		return ""
+	}
+	return "w-" + hex.EncodeToString(b[:])
+}
+
 // JoinLoop announces advertiseAddr to the coordinator every interval
 // until ctx is done. The first join is attempted immediately; failures
 // are retried on the same cadence (the coordinator may simply not be up
-// yet). It returns ctx.Err.
+// yet). It returns ctx.Err. Legacy signature; Run on a Joiner carries the
+// instance identity and epoch guard too.
 func JoinLoop(ctx context.Context, client *http.Client, coordinatorURL, advertiseAddr string, interval time.Duration) error {
-	if client == nil {
-		client = http.DefaultClient
+	j := Joiner{
+		Client:         client,
+		CoordinatorURL: coordinatorURL,
+		AdvertiseAddr:  advertiseAddr,
+		Interval:       interval,
 	}
+	return j.Run(ctx)
+}
+
+// Run drives the join pump until ctx is done; it returns ctx.Err.
+func (j Joiner) Run(ctx context.Context) error {
+	client := j.Client
+	if client == nil {
+		client = newControlClient(0)
+	}
+	interval := j.Interval
 	if interval <= 0 {
 		interval = 500 * time.Millisecond
 	}
-	coordinatorURL = normalizeAddr(coordinatorURL)
-	body, _ := json.Marshal(map[string]string{"addr": normalizeAddr(advertiseAddr)})
+	coordinatorURL := normalizeAddr(j.CoordinatorURL)
+	instance := j.Instance
+	if instance == "" {
+		instance = NewInstanceID()
+	}
+	jr := JoinRequest{Addr: normalizeAddr(j.AdvertiseAddr), ID: instance}
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
-		_ = joinOnce(ctx, client, coordinatorURL, body)
+		// Every join advertises the highest epoch this worker has been
+		// governed by — a stale coordinator learns it was deposed from the
+		// join itself, before it dispatches anything.
+		if j.Guard != nil {
+			jr.Epoch = j.Guard.Current()
+		}
+		body, _ := json.Marshal(jr)
+		if res, err := joinOnce(ctx, client, coordinatorURL, body); err == nil && j.Guard != nil {
+			j.Guard.Observe(res.Epoch)
+		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
@@ -40,21 +105,26 @@ func JoinLoop(ctx context.Context, client *http.Client, coordinatorURL, advertis
 	}
 }
 
-func joinOnce(ctx context.Context, client *http.Client, coordinatorURL string, body []byte) error {
+func joinOnce(ctx context.Context, client *http.Client, coordinatorURL string, body []byte) (JoinResponse, error) {
+	var out JoinResponse
 	jctx, cancel := context.WithTimeout(ctx, 2*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(jctx, http.MethodPost, coordinatorURL+"/cluster/join", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return out, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return err
+		return out, err
 	}
 	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	if resp.StatusCode >= 300 {
-		return fmt.Errorf("cluster: join: http %d", resp.StatusCode)
+		return out, fmt.Errorf("cluster: join: http %d", resp.StatusCode)
 	}
-	return nil
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return out, fmt.Errorf("cluster: join: decode: %w", err)
+	}
+	return out, nil
 }

@@ -1,0 +1,269 @@
+package netchaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDecideDeterministic(t *testing.T) {
+	lh := fnv1a64("10.0.0.7:8421")
+	for seed := uint64(1); seed <= 3; seed++ {
+		for n := uint64(1); n <= 200; n++ {
+			a := decide(seed, classDrop, lh, n, 0.3)
+			b := decide(seed, classDrop, lh, n, 0.3)
+			if a != b {
+				t.Fatalf("decide not deterministic at seed=%d n=%d", seed, n)
+			}
+		}
+	}
+	if decide(42, classDrop, lh, 1, 0) {
+		t.Fatal("rate 0 fired")
+	}
+	if !decide(42, classDrop, lh, 1, 1) {
+		t.Fatal("rate 1 did not fire")
+	}
+}
+
+func TestDecideRateRoughlyHonored(t *testing.T) {
+	lh := fnv1a64("worker:1")
+	hits := 0
+	const trials = 20000
+	for n := uint64(1); n <= trials; n++ {
+		if decide(7, classDrop, lh, n, 0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if got < 0.20 || got > 0.30 {
+		t.Fatalf("drop rate 0.25 observed %.3f", got)
+	}
+}
+
+func TestInjectorSameSeedSameDecisions(t *testing.T) {
+	run := func() []bool {
+		in := New(99)
+		in.DropRate = 0.5
+		out := make([]bool, 0, 64)
+		for i := 0; i < 64; i++ {
+			out = append(out, in.traverse("w:1").drop)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded decision stream diverged at %d", i)
+		}
+	}
+}
+
+func TestArmDisarm(t *testing.T) {
+	in := New(1)
+	in.DropRate = 1
+	if !in.Armed() {
+		t.Fatal("zero value should be armed")
+	}
+	if !in.traverse("w:1").drop {
+		t.Fatal("armed traversal should drop at rate 1")
+	}
+	in.Disarm()
+	if v := in.traverse("w:1"); v.drop || v.blocked || v.delay != 0 {
+		t.Fatalf("disarmed traversal faulted: %+v", v)
+	}
+	in.Arm()
+	if !in.traverse("w:1").drop {
+		t.Fatal("re-armed traversal should drop again")
+	}
+	st := in.Stats()
+	if st.Drops != 2 || st.Requests != 2 {
+		t.Fatalf("stats = %+v, want 2 drops over 2 armed requests", st)
+	}
+}
+
+func TestTransportPassThrough(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	cl := &http.Client{Transport: New(5).Transport(nil)}
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("healthy link: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestTransportPartitionAndHeal(t *testing.T) {
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		io.Copy(io.Discard, r.Body)
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+
+	in := New(5)
+	cl := &http.Client{Transport: in.Transport(nil)}
+	in.Partition(host)
+	_, err := cl.Post(srv.URL, "text/plain", strings.NewReader("x"))
+	if err == nil {
+		t.Fatal("partitioned request succeeded")
+	}
+	var ue *url.Error
+	if !errors.As(err, &ue) || !errors.Is(ue.Err, ErrPartitioned) {
+		t.Fatalf("err = %v, want ErrPartitioned", err)
+	}
+	if served.Load() != 0 {
+		t.Fatal("partitioned request reached the peer")
+	}
+
+	in.Heal(host)
+	if _, err := cl.Get(srv.URL); err != nil {
+		t.Fatalf("healed link: %v", err)
+	}
+	if in.Stats().Blocked != 1 {
+		t.Fatalf("blocked = %d, want 1", in.Stats().Blocked)
+	}
+}
+
+func TestTransportOneWayPartitionDeliversRequest(t *testing.T) {
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+
+	in := New(5)
+	cl := &http.Client{Transport: in.Transport(nil)}
+	in.PartitionOneWay(host)
+	_, err := cl.Get(srv.URL)
+	if err == nil {
+		t.Fatal("one-way partitioned response delivered")
+	}
+	var ue *url.Error
+	if !errors.As(err, &ue) || !errors.Is(ue.Err, ErrReset) {
+		t.Fatalf("err = %v, want ErrReset", err)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("peer served %d requests, want 1 (request side must pass)", served.Load())
+	}
+	if in.Stats().Resets != 1 {
+		t.Fatalf("resets = %d, want 1", in.Stats().Resets)
+	}
+}
+
+func TestTransportLatency(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+
+	in := New(5)
+	in.SlowHost(host, 60*time.Millisecond)
+	cl := &http.Client{Transport: in.Transport(nil)}
+	start := time.Now()
+	if _, err := cl.Get(srv.URL); err != nil {
+		t.Fatalf("slow link: %v", err)
+	}
+	if el := time.Since(start); el < 50*time.Millisecond {
+		t.Fatalf("latency not injected: %v", el)
+	}
+	if in.Stats().Delays != 1 {
+		t.Fatalf("delays = %d, want 1", in.Stats().Delays)
+	}
+	in.SlowHost(host, 0)
+	start = time.Now()
+	if _, err := cl.Get(srv.URL); err != nil {
+		t.Fatalf("restored link: %v", err)
+	}
+	if el := time.Since(start); el > 40*time.Millisecond {
+		t.Fatalf("latency override not cleared: %v", el)
+	}
+}
+
+func TestProxyForwardsAndPartitions(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "pong")
+	}))
+	defer srv.Close()
+	target := strings.TrimPrefix(srv.URL, "http://")
+
+	in := New(11)
+	p, err := NewProxy("127.0.0.1:0", target, in)
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+
+	cl := &http.Client{Timeout: 2 * time.Second, Transport: &http.Transport{DisableKeepAlives: true}}
+	get := func() (string, error) {
+		resp, err := cl.Get(fmt.Sprintf("http://%s/", p.Addr()))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return string(b), err
+	}
+
+	body, err := get()
+	if err != nil || body != "pong" {
+		t.Fatalf("healthy proxy: body=%q err=%v", body, err)
+	}
+
+	in.Partition(target)
+	time.Sleep(50 * time.Millisecond) // let the sever loop cut anything live
+	if _, err := get(); err == nil {
+		t.Fatal("partitioned proxy served a request")
+	}
+
+	in.Heal(target)
+	body, err = get()
+	if err != nil || body != "pong" {
+		t.Fatalf("healed proxy: body=%q err=%v", body, err)
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "pong")
+	}))
+	defer srv.Close()
+	target := strings.TrimPrefix(srv.URL, "http://")
+
+	in := New(12)
+	in.SlowHost(target, 60*time.Millisecond)
+	p, err := NewProxy("127.0.0.1:0", target, in)
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+
+	cl := &http.Client{Timeout: 2 * time.Second, Transport: &http.Transport{DisableKeepAlives: true}}
+	start := time.Now()
+	resp, err := cl.Get(fmt.Sprintf("http://%s/", p.Addr()))
+	if err != nil {
+		t.Fatalf("slow proxy: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if el := time.Since(start); el < 50*time.Millisecond {
+		t.Fatalf("proxy latency not injected: %v", el)
+	}
+}

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+)
+
+// EpochHeader carries the coordinator's fencing epoch on every
+// coordinator→worker call. Workers ratchet a high-water mark and refuse
+// calls from older epochs, so a deposed primary that is merely partitioned
+// (not dead) cannot keep dispatching after the standby took over.
+const EpochHeader = "X-GC-Epoch"
+
+// EpochGuard is a worker's monotonic view of the highest coordinator
+// epoch it has served. The zero value accepts any epoch; it only rejects
+// once a higher epoch has been observed. Safe for concurrent use.
+type EpochGuard struct {
+	hw atomic.Uint64
+}
+
+// Observe ratchets the guard to epoch and reports whether the call is
+// current: false means epoch is strictly below the high-water mark and the
+// caller is a fenced, stale coordinator. Epoch 0 (no header / pre-epoch
+// coordinator) is always accepted and never ratchets.
+func (g *EpochGuard) Observe(epoch uint64) bool {
+	if epoch == 0 {
+		return true
+	}
+	for {
+		cur := g.hw.Load()
+		if epoch < cur {
+			return false
+		}
+		if epoch == cur || g.hw.CompareAndSwap(cur, epoch) {
+			return true
+		}
+	}
+}
+
+// Current returns the high-water epoch.
+func (g *EpochGuard) Current() uint64 { return g.hw.Load() }
+
+// ParseEpoch parses an EpochHeader value. Empty means "no epoch" (0, ok).
+func ParseEpoch(h string) (uint64, error) {
+	if h == "" {
+		return 0, nil
+	}
+	e, err := strconv.ParseUint(h, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s header %q", EpochHeader, h)
+	}
+	return e, nil
+}

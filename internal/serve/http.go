@@ -207,6 +207,13 @@ type HandlerConfig struct {
 	// is refused with 413 and a typed "too_large" error body. 0 means
 	// DefaultMaxBodyBytes; negative disables the cap.
 	MaxBodyBytes int64
+
+	// Epoch, when set, fences coordinator calls: a request whose
+	// X-GC-Epoch header is below the guard's high-water mark is refused
+	// with 409 and kind "stale_epoch" — the sender is a deposed primary
+	// that must stop dispatching. Requests without the header pass (direct
+	// clients are not fenced).
+	Epoch *EpochGuard
 }
 
 // Handler wraps a Server with the gcolord HTTP API under the default
@@ -236,9 +243,17 @@ func HandlerWith(s *Server, hc HandlerConfig) http.Handler {
 		handleColor(s, specs, hc, w, r)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// queue_depth and exec_p50_us ride on the health probe so a
+		// coordinator's heartbeat doubles as the backpressure signal: the
+		// fleet's Retry-After is computed from what the workers report here.
+		var epoch uint64
+		if hc.Epoch != nil {
+			epoch = hc.Epoch.Current()
+		}
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"status":"ok","devices":%d,"uptime_ms":%d}`+"\n",
-			s.pool.Size(), s.Uptime().Milliseconds())
+		fmt.Fprintf(w, `{"status":"ok","devices":%d,"uptime_ms":%d,"queue_depth":%d,"exec_p50_us":%d,"epoch":%d}`+"\n",
+			s.pool.Size(), s.Uptime().Milliseconds(),
+			s.queue.depth(), s.reg.Histogram("exec_us").Quantile(0.50), epoch)
 	})
 	mux.HandleFunc("GET /metricsz", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Stats()
@@ -330,6 +345,21 @@ func boolToInt(b bool) int {
 func handleColor(s *Server, specs *specCache, hc HandlerConfig, w http.ResponseWriter, r *http.Request) {
 	rid := requestID(r)
 	w.Header().Set("X-Request-ID", rid)
+	if hc.Epoch != nil {
+		epoch, err := ParseEpoch(r.Header.Get(EpochHeader))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad_request", err.Error(), rid)
+			return
+		}
+		if !hc.Epoch.Observe(epoch) {
+			// 409, not 5xx: retrying the same call from the same stale
+			// coordinator can never succeed, and the coordinator-side error
+			// judge must treat this as "stop", not "fail over".
+			writeErr(w, http.StatusConflict, "stale_epoch",
+				fmt.Sprintf("epoch %d is stale (worker has seen %d)", epoch, hc.Epoch.Current()), rid)
+			return
+		}
+	}
 	var cr ColorRequest
 	body := r.Body
 	if hc.MaxBodyBytes > 0 {

@@ -57,6 +57,15 @@ func computeRetryAfter(kind string, queueDepth, devices int, execP50us int64, dr
 	return secs
 }
 
+// ComputeRetryAfter is the exported form of computeRetryAfter, for layers
+// that front this package over their own HTTP surface: the cluster
+// coordinator computes a fleet-level Retry-After from the queue depths its
+// workers report on heartbeats, using exactly this policy so clients see
+// one backpressure contract whether they hit a worker or the fleet.
+func ComputeRetryAfter(kind string, queueDepth, devices int, execP50us int64, draining bool) int {
+	return computeRetryAfter(kind, queueDepth, devices, execP50us, draining)
+}
+
 // RetryAfterHint computes the Retry-After seconds a client should wait
 // before retrying a request rejected with the given error kind, from the
 // server's live queue and execution state.
