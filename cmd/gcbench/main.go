@@ -53,9 +53,21 @@ func main() {
 		partBench = flag.Bool("partition", false, "run the partition-tolerance drill (standby failover under network chaos + gray-failure demotion) instead of the paper experiments")
 		partOut   = flag.String("partition-json", "BENCH_PR9.json", "output file for -partition")
 		partW     = flag.Int("partition-workers", 3, "worker daemons for -partition")
+
+		mutateBench = flag.Bool("mutate", false, "run the incremental-coloring benchmark (delta stream vs from-scratch recoloring, verified conflict-free) instead of the paper experiments")
+		mutateOut   = flag.String("mutate-json", "BENCH_PR10.json", "output file for -mutate")
+		mutateSteps = flag.Int("mutate-steps", 40, "mutation steps for -mutate (each <= ~1% of edges)")
+		mutateFloor = flag.Float64("mutate-floor", 3.0, "minimum median delta-vs-full speedup for -mutate")
 	)
 	flag.Parse()
 
+	if *mutateBench {
+		if err := runMutateBench(*mutateOut, *budgetArg, *mutateSteps, *mutateFloor); err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *partBench {
 		if err := runPartitionBench(*partOut, *partW); err != nil {
 			fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)

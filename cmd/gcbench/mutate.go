@@ -1,0 +1,274 @@
+// Mutation benchmark (-mutate): drives a delta stream through the serve
+// layer's incremental coloring engine and measures it against from-scratch
+// recoloring of every successor graph. Each step mutates at most ~1% of
+// the edges, the shape where incremental recoloring should win big; the
+// bench verifies every returned coloring against the true successor graph
+// (zero conflicts is a hard gate), checks the median small-delta latency
+// advantage against a floor, and holds the incremental path to the
+// BENCH_BUDGET.json per-request allocation budget. Results land in
+// BENCH_PR10.json.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"gcolor/internal/color"
+	"gcolor/internal/graph"
+	"gcolor/internal/serve"
+)
+
+const mutateBaseSpec = "rmat:12:16:1"
+
+type mutateReport struct {
+	Bench    string `json:"bench"`
+	BaseSpec string `json:"base_spec"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Steps    int    `json:"steps"`
+
+	MeanDeltaEdges   float64        `json:"mean_delta_edges"`
+	MaxDeltaFraction float64        `json:"max_delta_fraction"`
+	DeltaHits        int64          `json:"delta_hits"`
+	DeltaFallbacks   int64          `json:"delta_fallbacks"`
+	MeanFrontier     float64        `json:"mean_frontier"`
+	Conflicts        int            `json:"conflicts"`
+	MaxColorsRatio   float64        `json:"max_colors_ratio"`
+	DeltaLatency     latencySummary `json:"delta_latency"`
+	FullLatency      latencySummary `json:"full_latency"`
+	MedianSpeedup    float64        `json:"median_speedup"`
+	SpeedupFloor     float64        `json:"speedup_floor"`
+	AllocsPerDelta   int64          `json:"allocs_per_delta"`
+	BudgetAllocs     int64          `json:"budget_allocs,omitempty"`
+	BudgetFile       string         `json:"budget_file,omitempty"`
+	Passed           bool           `json:"passed"`
+	FailReasons      []string       `json:"fail_reasons,omitempty"`
+}
+
+// mutateStep builds one small random delta over the current edge list:
+// a mix of removals of existing edges and additions of fresh ones, capped
+// at maxFrac of the current edge count.
+func mutateStep(rng *rand.Rand, n int, edges [][2]int32, maxFrac float64) *graph.Delta {
+	budget := int(maxFrac * float64(len(edges)))
+	if budget < 1 {
+		budget = 1
+	}
+	count := 1 + rng.Intn(budget)
+	d := &graph.Delta{}
+	for i := 0; i < count; i++ {
+		if rng.Intn(3) == 0 && len(edges) > 0 {
+			d.RemoveEdges = append(d.RemoveEdges, edges[rng.Intn(len(edges))])
+		} else {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			d.AddEdges = append(d.AddEdges, [2]int32{int32(u), int32(v)})
+		}
+	}
+	return d
+}
+
+// edgeList flattens g's upper-triangle adjacency back to an edge list so
+// the next step can pick removal candidates.
+func edgeList(g *graph.Graph, buf [][2]int32) [][2]int32 {
+	buf = buf[:0]
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if u > v {
+				buf = append(buf, [2]int32{v, u})
+			}
+		}
+	}
+	return buf
+}
+
+// runMutateBench executes the mutation benchmark and writes jsonPath.
+// floor is the minimum acceptable median delta-vs-full speedup.
+func runMutateBench(jsonPath, budgetPath string, steps int, floor float64) error {
+	if steps <= 0 {
+		steps = 40
+	}
+	base, err := serve.ParseGraphSpec(mutateBaseSpec)
+	if err != nil {
+		return err
+	}
+
+	// Two independent servers so the from-scratch comparison can never hit
+	// the delta server's forward-updated cache.
+	incr := serve.NewServer(serve.Config{Devices: 2})
+	defer incr.Stop()
+	full := serve.NewServer(serve.Config{Devices: 2})
+	defer full.Stop()
+
+	ctx := context.Background()
+	res, err := incr.Submit(ctx, &serve.Request{Graph: base, Resident: true})
+	if err != nil {
+		return fmt.Errorf("resident upload: %w", err)
+	}
+	fp := res.Fingerprint
+
+	rep := mutateReport{
+		Bench:        "gcolord-mutate",
+		BaseSpec:     mutateBaseSpec,
+		Vertices:     base.NumVertices(),
+		Edges:        base.NumEdges(),
+		Steps:        steps,
+		SpeedupFloor: floor,
+		Passed:       true,
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	g := base
+	edges := edgeList(g, nil)
+	var (
+		deltaUS, fullUS []int64
+		totalDeltaEdges int
+		totalFrontier   int
+	)
+	for step := 0; step < steps; step++ {
+		d := mutateStep(rng, g.NumVertices(), edges, 0.01)
+		ng, wantFp, _, err := graph.ApplyDelta(g, d)
+		if err != nil {
+			return fmt.Errorf("step %d: apply: %w", step, err)
+		}
+		nd := len(d.AddEdges) + len(d.RemoveEdges)
+		totalDeltaEdges += nd
+		if frac := float64(nd) / float64(g.NumEdges()); frac > rep.MaxDeltaFraction {
+			rep.MaxDeltaFraction = frac
+		}
+
+		t0 := time.Now()
+		dres, err := incr.Submit(ctx, &serve.Request{Delta: d, BaseFingerprint: fp})
+		if err != nil {
+			return fmt.Errorf("step %d: delta submit: %w", step, err)
+		}
+		deltaUS = append(deltaUS, time.Since(t0).Microseconds())
+		if dres.Fingerprint != wantFp {
+			return fmt.Errorf("step %d: fingerprint diverged from reference ApplyDelta", step)
+		}
+		totalFrontier += dres.FrontierSize
+		if verr := color.Verify(ng, dres.Colors); verr != nil {
+			rep.Conflicts++
+		}
+
+		// From-scratch recolor of the identical successor on the isolated
+		// server; NoCache so every step really recolors.
+		t1 := time.Now()
+		fres, err := full.Submit(ctx, &serve.Request{Graph: ng, NoCache: true})
+		if err != nil {
+			return fmt.Errorf("step %d: full recolor: %w", step, err)
+		}
+		fullUS = append(fullUS, time.Since(t1).Microseconds())
+		if fres.NumColors > 0 {
+			if r := float64(dres.NumColors) / float64(fres.NumColors); r > rep.MaxColorsRatio {
+				rep.MaxColorsRatio = r
+			}
+		}
+
+		g, fp = ng, dres.Fingerprint
+		edges = edgeList(g, edges)
+	}
+
+	st := incr.Stats()
+	rep.DeltaHits = st.DeltaHits
+	rep.DeltaFallbacks = st.DeltaFallbacks
+	rep.MeanDeltaEdges = float64(totalDeltaEdges) / float64(steps)
+	rep.MeanFrontier = float64(totalFrontier) / float64(steps)
+	rep.DeltaLatency = summarizeLatency(append([]int64(nil), deltaUS...))
+	rep.FullLatency = summarizeLatency(append([]int64(nil), fullUS...))
+	if rep.DeltaLatency.P50us > 0 {
+		rep.MedianSpeedup = float64(rep.FullLatency.P50us) / float64(rep.DeltaLatency.P50us)
+	}
+
+	// Allocation discipline: steady-state incremental deltas measured
+	// serially, against the serving-path budget.
+	rep.AllocsPerDelta, err = measureDeltaAllocs(g, fp, incr)
+	if err != nil {
+		return err
+	}
+	if budgetPath != "" {
+		raw, err := os.ReadFile(budgetPath)
+		if err != nil {
+			return fmt.Errorf("budget: %w", err)
+		}
+		var budget allocBudget
+		if err := json.Unmarshal(raw, &budget); err != nil {
+			return fmt.Errorf("budget %s: %w", budgetPath, err)
+		}
+		rep.BudgetFile = budgetPath
+		rep.BudgetAllocs = budget.MaxAllocsPerRequest
+		if budget.MaxAllocsPerRequest > 0 && rep.AllocsPerDelta > budget.MaxAllocsPerRequest {
+			rep.Passed = false
+			rep.FailReasons = append(rep.FailReasons,
+				fmt.Sprintf("allocs per delta %d exceeds budget %d", rep.AllocsPerDelta, budget.MaxAllocsPerRequest))
+		}
+	}
+
+	if rep.Conflicts > 0 {
+		rep.Passed = false
+		rep.FailReasons = append(rep.FailReasons, fmt.Sprintf("%d conflicting colorings", rep.Conflicts))
+	}
+	if rep.MedianSpeedup < floor {
+		rep.Passed = false
+		rep.FailReasons = append(rep.FailReasons,
+			fmt.Sprintf("median speedup %.2fx below the %.1fx floor", rep.MedianSpeedup, floor))
+	}
+
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"gcbench: mutate %d steps on %s: delta p50 %dus vs full %dus (%.1fx, floor %.1fx), %d hits / %d fallbacks, %d conflicts, %d allocs/delta -> %s\n",
+		steps, mutateBaseSpec, rep.DeltaLatency.P50us, rep.FullLatency.P50us,
+		rep.MedianSpeedup, floor, rep.DeltaHits, rep.DeltaFallbacks, rep.Conflicts, rep.AllocsPerDelta, jsonPath)
+	if !rep.Passed {
+		return fmt.Errorf("mutate bench failed: %v", rep.FailReasons)
+	}
+	return nil
+}
+
+// measureDeltaAllocs runs a short serial stream of single-edge deltas
+// (the steady-state shape) and returns mean heap allocations per request.
+func measureDeltaAllocs(g *graph.Graph, fp uint64, s *serve.Server) (int64, error) {
+	const runs = 16
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	n := g.NumVertices()
+	// Warm once so pools and LRU structures are populated.
+	var before, after runtime.MemStats
+	var mallocs uint64
+	done := 0
+	for done < runs {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		d := &graph.Delta{AddEdges: [][2]int32{{int32(u), int32(v)}}}
+		runtime.ReadMemStats(&before)
+		res, err := s.Submit(ctx, &serve.Request{Delta: d, BaseFingerprint: fp})
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return 0, fmt.Errorf("alloc probe: %w", err)
+		}
+		mallocs += after.Mallocs - before.Mallocs
+		fp = res.Fingerprint
+		done++
+	}
+	return int64(mallocs / runs), nil
+}

@@ -111,6 +111,11 @@ func main() {
 		drillOverheadGate = flag.Float64("drill-overhead-gate", 0.05, "max tolerated journal throughput overhead fraction in the -crash-drill A/B")
 		drillDevices      = flag.Int("drill-devices", 2, "-crash-drill daemon pool size")
 
+		mutateLoad  = flag.Bool("mutate", false, "stream a resident upload plus chained delta requests against -addr and exit")
+		mutateSpec  = flag.String("mutate-spec", "rmat:11:16:1", "base graph spec for -mutate")
+		mutateSteps = flag.Int("mutate-steps", 200, "delta requests for -mutate")
+		mutateEdges = flag.Int("mutate-edges", 32, "max mutated edges per -mutate step")
+
 		chaosSoak     = flag.Bool("chaos-soak", false, "run the self-healing chaos soak against an in-process server (ignores -addr) and exit")
 		soakFaultRate = flag.Float64("soak-fault-rate", 0.02, "per-event fault probability armed on the chaos-soak victim")
 		soakPhase     = flag.Duration("soak-phase", 3*time.Second, "chaos-soak phase length (baseline / fault / recovery windows)")
@@ -131,6 +136,18 @@ func main() {
 			conc:         *conc,
 			overheadGate: *drillOverheadGate,
 			outPath:      out,
+		}))
+	}
+
+	if *mutateLoad {
+		os.Exit(runMutateLoad(newLoadClient(*timeout+5*time.Second, 2), mutateLoadConfig{
+			addr:    *addr,
+			spec:    *mutateSpec,
+			steps:   *mutateSteps,
+			edges:   *mutateEdges,
+			seed:    *seed,
+			timeout: *timeout,
+			jsonOut: *jsonOut,
 		}))
 	}
 

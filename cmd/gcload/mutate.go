@@ -1,0 +1,219 @@
+// Mutation load mode (-mutate): drives a live gcolord (or coordinator)
+// with a resident upload followed by a stream of small JSON delta
+// requests, chaining each successor fingerprint into the next mutation —
+// the serving-side counterpart of gcbench -mutate. An unknown_base reply
+// (server restarted, version evicted) exercises the documented client
+// recovery: re-upload the full graph as resident and resume the stream.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"gcolor/internal/graph"
+	"gcolor/internal/serve"
+)
+
+type mutateLoadConfig struct {
+	addr    string
+	spec    string
+	steps   int
+	edges   int // max mutated edges per step
+	seed    int64
+	timeout time.Duration
+	jsonOut string
+}
+
+type mutateLoadSummary struct {
+	Mode        string           `json:"mode"`
+	Spec        string           `json:"spec"`
+	Steps       int              `json:"steps"`
+	OK          int64            `json:"ok"`
+	DeltaHits   int64            `json:"delta_hits"`
+	Fallbacks   int64            `json:"delta_fallbacks"`
+	Reuploads   int64            `json:"reuploads"`
+	Errors      map[string]int64 `json:"errors,omitempty"`
+	LatencyUS   map[string]int64 `json:"latency_us"`
+	Throughput  float64          `json:"throughput_rps"`
+	DurationSec float64          `json:"duration_sec"`
+}
+
+// runMutateLoad streams cfg.steps deltas and returns the process exit
+// code. Any hard error (non-retryable, non-unknown_base) fails the run.
+func runMutateLoad(client *http.Client, cfg mutateLoadConfig) int {
+	g, err := serve.ParseGraphSpec(cfg.spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gcload: -mutate spec: %v\n", err)
+		return 1
+	}
+	if err := waitHealthy(client, cfg.addr, 10*time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "gcload: %v\n", err)
+		return 1
+	}
+
+	sum := mutateLoadSummary{Mode: "mutate", Spec: cfg.spec, Steps: cfg.steps, Errors: map[string]int64{}}
+	post := func(cr *serve.ColorRequest) (*serve.ColorResponse, string, error) {
+		body, _ := json.Marshal(cr)
+		req, err := http.NewRequest(http.MethodPost, cfg.addr+"/color", bytes.NewReader(body))
+		if err != nil {
+			return nil, "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, "transport", err
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		if resp.StatusCode != http.StatusOK {
+			var er struct {
+				Error string `json:"error"`
+				Kind  string `json:"kind"`
+			}
+			_ = json.Unmarshal(raw, &er)
+			if er.Kind == "" {
+				er.Kind = fmt.Sprintf("http_%d", resp.StatusCode)
+			}
+			return nil, er.Kind, fmt.Errorf("%s", er.Error)
+		}
+		var out serve.ColorResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return nil, "decode", err
+		}
+		return &out, "", nil
+	}
+
+	upload := func() (string, error) {
+		res, kind, err := post(&serve.ColorRequest{Gen: cfg.spec, Resident: true, TimeoutMS: cfg.timeout.Milliseconds()})
+		if err != nil {
+			return "", fmt.Errorf("resident upload (%s): %w", kind, err)
+		}
+		return res.Fingerprint, nil
+	}
+	fp, err := upload()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gcload: %v\n", err)
+		return 1
+	}
+
+	rng := rand.New(rand.NewSource(cfg.seed))
+	cur := g
+	edges := make([][2]int32, 0, cur.NumEdges())
+	for v := int32(0); int(v) < cur.NumVertices(); v++ {
+		for _, u := range cur.Neighbors(v) {
+			if u > v {
+				edges = append(edges, [2]int32{v, u})
+			}
+		}
+	}
+	var lats []time.Duration
+	start := time.Now()
+	for step := 0; step < cfg.steps; step++ {
+		cr := &serve.ColorRequest{BaseFingerprint: fp, TimeoutMS: cfg.timeout.Milliseconds()}
+		for i := 0; i < 1+rng.Intn(cfg.edges); i++ {
+			if rng.Intn(3) == 0 && len(edges) > 0 {
+				cr.RemoveEdges = append(cr.RemoveEdges, edges[rng.Intn(len(edges))])
+			} else {
+				u, v := rng.Intn(cur.NumVertices()), rng.Intn(cur.NumVertices())
+				if u != v {
+					cr.AddEdges = append(cr.AddEdges, [2]int32{int32(u), int32(v)})
+				}
+			}
+		}
+		t0 := time.Now()
+		res, kind, err := post(cr)
+		if err != nil {
+			if kind == "unknown_base" {
+				// The documented recovery: the server lost the chain;
+				// re-upload the current graph state and resume.
+				sum.Reuploads++
+				if fp, err = upload(); err != nil {
+					fmt.Fprintf(os.Stderr, "gcload: step %d: %v\n", step, err)
+					return 1
+				}
+				continue
+			}
+			sum.Errors[kind]++
+			continue
+		}
+		lats = append(lats, time.Since(t0))
+		sum.OK++
+		if res.Delta && !res.DeltaFallback {
+			sum.DeltaHits++
+		}
+		if res.DeltaFallback {
+			sum.Fallbacks++
+		}
+		d := &graph.Delta{AddEdges: cr.AddEdges, RemoveEdges: cr.RemoveEdges}
+		ng, _, _, aerr := graph.ApplyDelta(cur, d)
+		if aerr != nil {
+			fmt.Fprintf(os.Stderr, "gcload: step %d: local apply: %v\n", step, aerr)
+			return 1
+		}
+		cur, fp = ng, res.Fingerprint
+		edges = edges[:0]
+		for v := int32(0); int(v) < cur.NumVertices(); v++ {
+			for _, u := range cur.Neighbors(v) {
+				if u > v {
+					edges = append(edges, [2]int32{v, u})
+				}
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	sum.DurationSec = elapsed.Seconds()
+	if sum.DurationSec > 0 {
+		sum.Throughput = float64(sum.OK) / sum.DurationSec
+	}
+	sum.LatencyUS = latQuantiles(lats)
+
+	fmt.Printf("mutate: %d/%d ok (%d hits, %d fallbacks, %d reuploads), %.1f req/s, p50 %s p99 %s\n",
+		sum.OK, cfg.steps, sum.DeltaHits, sum.Fallbacks, sum.Reuploads, sum.Throughput,
+		us(sum.LatencyUS["p50"]), us(sum.LatencyUS["p99"]))
+	for k, v := range sum.Errors {
+		fmt.Printf("mutate: error %s: %d\n", k, v)
+	}
+	if cfg.jsonOut != "" {
+		b, err := json.MarshalIndent(&sum, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcload: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.jsonOut, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "gcload: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", cfg.jsonOut)
+	}
+	if len(sum.Errors) > 0 || sum.OK == 0 {
+		return 1
+	}
+	return 0
+}
+
+// latQuantiles summarizes a latency series the same way the main summary
+// does, without mutating the caller's slice ordering guarantees.
+func latQuantiles(lats []time.Duration) map[string]int64 {
+	if len(lats) == 0 {
+		return map[string]int64{}
+	}
+	us := make([]int64, len(lats))
+	for i, d := range lats {
+		us[i] = d.Microseconds()
+	}
+	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+	at := func(q float64) int64 { return us[int(q*float64(len(us)-1))] }
+	return map[string]int64{
+		"p50": at(0.50),
+		"p90": at(0.90),
+		"p99": at(0.99),
+		"max": us[len(us)-1],
+	}
+}

@@ -29,6 +29,7 @@ type Coordinator struct {
 	reg      *registry
 	cache    *resultCache
 	idem     *idemCache
+	owners   *ownerTable
 	specs    *specMemo
 	client   *http.Client
 	hbClient *http.Client // control-plane client (header-timeout bounded)
@@ -42,14 +43,17 @@ type Coordinator struct {
 	stopHB chan struct{}
 	hbWG   sync.WaitGroup
 
-	jobs           atomic.Int64 // submitted jobs (post idem/cache)
-	routed         atomic.Int64 // jobs forwarded whole
-	scattered      atomic.Int64 // jobs scatter-gathered
-	failed         atomic.Int64
-	shed           atomic.Int64 // submissions refused by the admission cap
-	redispatches   atomic.Int64 // shard re-dispatches after a worker failure
-	routeFailovers atomic.Int64 // whole-graph failovers after a worker failure
-	joins          atomic.Int64
+	jobs             atomic.Int64 // submitted jobs (post idem/cache)
+	deltaJobs        atomic.Int64 // delta submissions routed to version owners
+	deltaOwnerHits   atomic.Int64 // delta routes that found an owner hint
+	deltaOwnerMisses atomic.Int64 // delta routes that fell back to rendezvous
+	routed           atomic.Int64 // jobs forwarded whole
+	scattered        atomic.Int64 // jobs scatter-gathered
+	failed           atomic.Int64
+	shed             atomic.Int64 // submissions refused by the admission cap
+	redispatches     atomic.Int64 // shard re-dispatches after a worker failure
+	routeFailovers   atomic.Int64 // whole-graph failovers after a worker failure
+	joins            atomic.Int64
 
 	// Epoch fencing evidence: fenced flips when a worker (or a worker's
 	// join/healthz) proves a newer epoch exists — this coordinator is
@@ -80,6 +84,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 		reg:     newRegistry(cfg),
 		cache:   newResultCache(cfg.CacheEntries),
 		idem:    newIdemCache(cfg.IdemEntries),
+		owners:  newOwnerTable(0),
 		specs:   newSpecMemo(64),
 		client:  cfg.Client,
 		jnl:     cfg.Journal,
@@ -314,6 +319,12 @@ func (c *Coordinator) Submit(ctx context.Context, cr *serve.ColorRequest, rid, i
 	c.inflight.Add(1)
 	defer c.inflight.Add(-1)
 
+	// Deltas carry a base fingerprint instead of a graph: they bypass
+	// resolve (nothing to parse) and route to the base version's owner.
+	if cr.BaseFingerprint != "" {
+		return c.submitDelta(ctx, cr, rid, idemKey, wire)
+	}
+
 	g, alg, err := c.resolve(cr)
 	if err != nil {
 		return nil, &BadRequestError{Err: err}
@@ -347,6 +358,11 @@ func (c *Coordinator) Submit(ctx context.Context, cr *serve.ColorRequest, rid, i
 	}
 	res.RequestID = rid
 	res.Fingerprint = graph.FingerprintString(fp)
+	if cr.Resident && res.Worker != "" {
+		// The worker pinned this graph in its version store; remember the
+		// binding so the first delta of the chain routes straight to it.
+		c.owners.put(fp, res.Worker)
+	}
 	if !cr.NoCache {
 		stored := *res
 		c.cache.put(key, &stored)
@@ -381,6 +397,12 @@ func (c *Coordinator) execute(ctx context.Context, g *graph.Graph, cr *serve.Col
 // shouldScatter applies the size thresholds and the explicit Shards pin.
 func (c *Coordinator) shouldScatter(g *graph.Graph, cr *serve.ColorRequest) bool {
 	if c.cfg.NoScatter || cr.Shards == 1 {
+		return false
+	}
+	if cr.Resident {
+		// A resident upload must land whole on one worker — shards spread
+		// across the fleet leave no single version store holding the graph,
+		// so every later delta would 404.
 		return false
 	}
 	if cr.Shards >= 2 {
@@ -711,14 +733,18 @@ type Stats struct {
 	StaleRejects int64  `json:"stale_epoch_rejects"`
 	TakeoverMS   int64  `json:"takeover_ms,omitempty"`
 
-	Jobs           int64 `json:"jobs"`
-	Routed         int64 `json:"routed"`
-	Scattered      int64 `json:"scattered"`
-	Failed         int64 `json:"failed"`
-	Shed           int64 `json:"shed"`
-	RouteFailovers int64 `json:"route_failovers"`
-	Redispatches   int64 `json:"redispatches"`
-	Joins          int64 `json:"joins"`
+	Jobs             int64 `json:"jobs"`
+	DeltaJobs        int64 `json:"delta_jobs"`
+	DeltaOwnerHits   int64 `json:"delta_owner_hits"`
+	DeltaOwnerMisses int64 `json:"delta_owner_misses"`
+	VersionOwners    int   `json:"version_owners"`
+	Routed           int64 `json:"routed"`
+	Scattered        int64 `json:"scattered"`
+	Failed           int64 `json:"failed"`
+	Shed             int64 `json:"shed"`
+	RouteFailovers   int64 `json:"route_failovers"`
+	Redispatches     int64 `json:"redispatches"`
+	Joins            int64 `json:"joins"`
 
 	Quarantines int64 `json:"quarantines"`
 	Readmitted  int64 `json:"readmitted"`
@@ -764,14 +790,18 @@ func (c *Coordinator) Stats() Stats {
 		StaleRejects: c.staleRejects.Load(),
 		TakeoverMS:   c.takeoverMS.Load(),
 
-		Jobs:           c.jobs.Load(),
-		Routed:         c.routed.Load(),
-		Scattered:      c.scattered.Load(),
-		Failed:         c.failed.Load(),
-		Shed:           c.shed.Load(),
-		RouteFailovers: c.routeFailovers.Load(),
-		Redispatches:   c.redispatches.Load(),
-		Joins:          c.joins.Load(),
+		Jobs:             c.jobs.Load(),
+		DeltaJobs:        c.deltaJobs.Load(),
+		DeltaOwnerHits:   c.deltaOwnerHits.Load(),
+		DeltaOwnerMisses: c.deltaOwnerMisses.Load(),
+		VersionOwners:    c.owners.len(),
+		Routed:           c.routed.Load(),
+		Scattered:        c.scattered.Load(),
+		Failed:           c.failed.Load(),
+		Shed:             c.shed.Load(),
+		RouteFailovers:   c.routeFailovers.Load(),
+		Redispatches:     c.redispatches.Load(),
+		Joins:            c.joins.Load(),
 
 		Quarantines: c.reg.quarantines.Load(),
 		Readmitted:  c.reg.readmitted.Load(),

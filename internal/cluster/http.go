@@ -43,6 +43,10 @@ func Handler(c *Coordinator) http.Handler {
 		fmt.Fprintf(&sb, "cluster_workers %d\n", st.Workers)
 		fmt.Fprintf(&sb, "cluster_alive_workers %d\n", st.AliveWorkers)
 		fmt.Fprintf(&sb, "cluster_jobs_total %d\n", st.Jobs)
+		fmt.Fprintf(&sb, "cluster_delta_jobs_total %d\n", st.DeltaJobs)
+		fmt.Fprintf(&sb, "cluster_delta_owner_hits_total %d\n", st.DeltaOwnerHits)
+		fmt.Fprintf(&sb, "cluster_delta_owner_misses_total %d\n", st.DeltaOwnerMisses)
+		fmt.Fprintf(&sb, "cluster_version_owners %d\n", st.VersionOwners)
 		fmt.Fprintf(&sb, "cluster_routed_total %d\n", st.Routed)
 		fmt.Fprintf(&sb, "cluster_scattered_total %d\n", st.Scattered)
 		fmt.Fprintf(&sb, "cluster_failed_total %d\n", st.Failed)

@@ -2,6 +2,56 @@ package color
 
 import "gcolor/internal/graph"
 
+// Scratch holds the reusable buffers of the repair/recolor family. The
+// zero value is ready to use; buffers are allocated on first damage and
+// grow as needed, so a Scratch kept warm across calls makes RepairScratch
+// and RecolorFrontier allocation-free in steady state (the serving hot
+// path's zero-alloc budget). A Scratch is not safe for concurrent use.
+type Scratch struct {
+	// bad marks damaged/frontier vertices by epoch: bad[v] == badEpoch
+	// means marked in the current call, so the array never needs clearing.
+	bad      []int32
+	badEpoch int32
+	// marks is the firstFit color-occupancy array, also epoch-stamped.
+	marks     []int32
+	markEpoch int32
+}
+
+// ensureBad sizes the vertex-mark array and opens a fresh epoch.
+func (s *Scratch) ensureBad(n int) {
+	if len(s.bad) < n {
+		s.bad = make([]int32, n)
+		s.badEpoch = 0
+	}
+	s.badEpoch++
+	if s.badEpoch <= 0 { // wrapped: stale marks could alias, reset
+		for i := range s.bad {
+			s.bad[i] = 0
+		}
+		s.badEpoch = 1
+	}
+}
+
+// ensureMarks sizes the firstFit scratch for a max degree of deg.
+func (s *Scratch) ensureMarks(deg int) {
+	if len(s.marks) < deg+2 {
+		s.marks = make([]int32, deg+2)
+		s.markEpoch = 0
+	}
+}
+
+// nextMarkEpoch opens a fresh firstFit epoch, resetting on wrap.
+func (s *Scratch) nextMarkEpoch() int32 {
+	s.markEpoch++
+	if s.markEpoch <= 0 {
+		for i := range s.marks {
+			s.marks[i] = 0
+		}
+		s.markEpoch = 1
+	}
+	return s.markEpoch
+}
+
 // Repair turns a damaged coloring back into a proper one by recoloring
 // only the offending vertices, in the spirit of the detect-and-recolor
 // repair phases of Rokos et al. and the conflict-resolve loops of
@@ -16,23 +66,33 @@ import "gcolor/internal/graph"
 // proper). The result always verifies; the palette may grow past the
 // input's, but never past MaxDegree+1 for the repaired vertices.
 func Repair(g *graph.Graph, colors []int32, seed uint32) int {
+	var sc Scratch
+	return RepairScratch(g, colors, seed, &sc)
+}
+
+// RepairScratch is Repair with caller-owned scratch buffers. A clean
+// coloring is detected and reported with zero allocations regardless of
+// sc's state; a damaged one allocates only what sc does not already hold,
+// so a warm Scratch makes every call allocation-free.
+func RepairScratch(g *graph.Graph, colors []int32, seed uint32, sc *Scratch) int {
 	n := g.NumVertices()
 	if len(colors) != n {
 		// A length mismatch cannot be repaired in place; the caller holds
 		// the wrong buffer. Treat as programmer error.
 		panic("color: Repair: colors length does not match vertex count")
 	}
-	bad := make([]bool, n)
-	nBad := 0
-	mark := func(v int32) {
-		if !bad[v] {
-			bad[v] = true
-			nBad++
-		}
+	if !hasDamage(g, colors) {
+		return 0
 	}
+	sc.ensureBad(n)
+	epoch := sc.badEpoch
+	nBad := 0
 	for v := int32(0); int(v) < n; v++ {
 		if colors[v] < 0 {
-			mark(v)
+			if sc.bad[v] != epoch {
+				sc.bad[v] = epoch
+				nBad++
+			}
 			continue
 		}
 		for _, u := range g.Neighbors(v) {
@@ -41,32 +101,87 @@ func Repair(g *graph.Graph, colors []int32, seed uint32) int {
 			}
 			// Monochromatic edge: the lower-priority endpoint retries,
 			// exactly as in the GPU conflict-detect kernel.
-			pu, pv := Priority(u, seed), Priority(v, seed)
-			if PriorityGreater(pu, u, pv, v) {
-				mark(v)
-			} else {
-				mark(u)
+			w := v
+			if !PriorityGreater(Priority(u, seed), u, Priority(v, seed), v) {
+				w = u
+			}
+			if sc.bad[w] != epoch {
+				sc.bad[w] = epoch
+				nBad++
 			}
 		}
 	}
-	if nBad == 0 {
+	resetAndRecolor(g, colors, sc, epoch)
+	return nBad
+}
+
+// hasDamage reports whether colors holds any uncolored vertex or
+// monochromatic edge. It allocates nothing and stops at the first
+// violation, so the common verify-clean path costs one bounded scan.
+func hasDamage(g *graph.Graph, colors []int32) bool {
+	n := g.NumVertices()
+	for v := int32(0); int(v) < n; v++ {
+		c := colors[v]
+		if c < 0 {
+			return true
+		}
+		for _, u := range g.Neighbors(v) {
+			if u > v && colors[u] == c {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RecolorFrontier resets exactly the frontier vertices to Uncolored and
+// first-fit recolors them in ascending id order, leaving every other
+// vertex untouched. It is the incremental-delta recolor step: after a
+// graph mutation, any new conflict or uncolored vertex involves a frontier
+// vertex (graph.ApplyDelta's contract), so if colors is proper on the
+// non-frontier part of g, the result is a proper coloring of all of g.
+// Frontier entries out of range are ignored; duplicates collapse. Returns
+// the number of vertices recolored. Allocation-free with a warm Scratch.
+func RecolorFrontier(g *graph.Graph, colors []int32, frontier []int32, sc *Scratch) int {
+	n := g.NumVertices()
+	if len(colors) != n {
+		panic("color: RecolorFrontier: colors length does not match vertex count")
+	}
+	if len(frontier) == 0 {
 		return 0
 	}
+	sc.ensureBad(n)
+	epoch := sc.badEpoch
+	cnt := 0
+	for _, v := range frontier {
+		if v < 0 || int(v) >= n || sc.bad[v] == epoch {
+			continue
+		}
+		sc.bad[v] = epoch
+		cnt++
+	}
+	resetAndRecolor(g, colors, sc, epoch)
+	return cnt
+}
+
+// resetAndRecolor clears every epoch-marked vertex and first-fit recolors
+// the marked set in ascending id order.
+func resetAndRecolor(g *graph.Graph, colors []int32, sc *Scratch, epoch int32) {
+	n := g.NumVertices()
+	maxDeg := 0
 	for v := int32(0); int(v) < n; v++ {
-		if bad[v] {
-			colors[v] = Uncolored
+		if sc.bad[v] != epoch {
+			continue
+		}
+		colors[v] = Uncolored
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
 		}
 	}
-	scratch := make([]int32, g.MaxDegree()+2)
-	for i := range scratch {
-		scratch[i] = -1
-	}
-	epoch := int32(0)
+	sc.ensureMarks(maxDeg)
 	for v := int32(0); int(v) < n; v++ {
-		if bad[v] {
-			colors[v] = firstFit(g, v, colors, scratch, epoch)
-			epoch++
+		if sc.bad[v] == epoch {
+			colors[v] = firstFit(g, v, colors, sc.marks, sc.nextMarkEpoch())
 		}
 	}
-	return nBad
 }

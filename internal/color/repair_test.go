@@ -160,3 +160,137 @@ func TestFirstFitGrowsPastTinyScratch(t *testing.T) {
 		t.Errorf("fallback color = %d, want 5 (one past max neighbour)", c)
 	}
 }
+
+func TestRepairScratchMatchesRepair(t *testing.T) {
+	g := gen.RMAT(9, 8, gen.Graph500, 11)
+	mk := func() []int32 {
+		colors := Greedy(g, Natural, 0)
+		for v := int32(0); int(v) < g.NumVertices(); v += 13 {
+			colors[v] = Uncolored
+		}
+		for v := int32(0); int(v) < g.NumVertices(); v += 29 {
+			if nbr := g.Neighbors(v); len(nbr) > 0 {
+				colors[nbr[0]] = colors[v]
+			}
+		}
+		return colors
+	}
+	a, b := mk(), mk()
+	var sc Scratch
+	na := Repair(g, a, 5)
+	nb := RepairScratch(g, b, 5, &sc)
+	if na != nb || !slices.Equal(a, b) {
+		t.Fatalf("RepairScratch diverges from Repair: %d vs %d recolored", na, nb)
+	}
+	// Reusing the same scratch on a second damaged coloring must still agree.
+	c := mk()
+	if nc := RepairScratch(g, c, 5, &sc); nc != na || !slices.Equal(c, a) {
+		t.Fatalf("warm-scratch RepairScratch diverges: %d vs %d recolored", nc, na)
+	}
+}
+
+func TestRepairScratchCleanZeroAllocs(t *testing.T) {
+	g := gen.GNM(300, 1500, 4)
+	colors := Greedy(g, Natural, 0)
+	var sc Scratch
+	allocs := testing.AllocsPerRun(50, func() {
+		if n := RepairScratch(g, colors, 1, &sc); n != 0 {
+			t.Fatalf("recolored %d vertices of a proper coloring", n)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("clean-path RepairScratch allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestRepairScratchWarmZeroAllocs(t *testing.T) {
+	g := gen.GNM(300, 1500, 4)
+	base := Greedy(g, Natural, 0)
+	colors := make([]int32, len(base))
+	var sc Scratch
+	// Prime the buffers with one damaged repair, then measure steady state.
+	copy(colors, base)
+	colors[7] = Uncolored
+	RepairScratch(g, colors, 1, &sc)
+	allocs := testing.AllocsPerRun(50, func() {
+		copy(colors, base)
+		colors[7] = Uncolored
+		colors[31] = Uncolored
+		if n := RepairScratch(g, colors, 1, &sc); n == 0 {
+			t.Fatal("damage not detected")
+		}
+		if err := Verify(g, colors); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm RepairScratch allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestRecolorFrontierProper(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 5, 8)
+	colors := Greedy(g, Natural, 0)
+	// A frontier with duplicates and out-of-range ids: recolor must ignore
+	// the junk, touch only the frontier, and end proper.
+	frontier := []int32{3, 3, 17, 90, 91, 92, -1, int32(g.NumVertices() + 5)}
+	before := slices.Clone(colors)
+	var sc Scratch
+	n := RecolorFrontier(g, colors, frontier, &sc)
+	if n != 5 {
+		t.Fatalf("recolored %d vertices, want 5 distinct in-range", n)
+	}
+	if err := Verify(g, colors); err != nil {
+		t.Fatalf("improper after frontier recolor: %v", err)
+	}
+	inFrontier := map[int32]bool{3: true, 17: true, 90: true, 91: true, 92: true}
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		if !inFrontier[v] && colors[v] != before[v] {
+			t.Errorf("non-frontier vertex %d recolored %d->%d", v, before[v], colors[v])
+		}
+	}
+}
+
+func TestRecolorFrontierFixesDeltaDamage(t *testing.T) {
+	// Simulate the incremental-delta contract: start from a proper coloring
+	// of a base graph, mutate the graph, and recolor only the frontier that
+	// graph.ApplyDelta reports. The result must verify on the new graph.
+	base := gen.GNM(250, 900, 6)
+	colors := Greedy(base, Natural, 0)
+	d := &graph.Delta{
+		AddVertices: 3,
+		AddEdges:    [][2]int32{{0, 5}, {1, 9}, {250, 0}, {251, 252}, {40, 41}},
+		RemoveEdges: [][2]int32{{2, 3}},
+	}
+	ng, _, frontier, err := graph.ApplyDelta(base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := make([]int32, ng.NumVertices())
+	copy(grown, colors)
+	for i := len(colors); i < len(grown); i++ {
+		grown[i] = Uncolored
+	}
+	var sc Scratch
+	RecolorFrontier(ng, grown, frontier, &sc)
+	if err := Verify(ng, grown); err != nil {
+		t.Fatalf("delta frontier recolor left an improper coloring: %v", err)
+	}
+}
+
+func TestRecolorFrontierWarmZeroAllocs(t *testing.T) {
+	g := gen.GNM(300, 1500, 4)
+	base := Greedy(g, Natural, 0)
+	colors := make([]int32, len(base))
+	frontier := []int32{1, 2, 3, 50, 51}
+	var sc Scratch
+	copy(colors, base)
+	RecolorFrontier(g, colors, frontier, &sc)
+	allocs := testing.AllocsPerRun(50, func() {
+		copy(colors, base)
+		RecolorFrontier(g, colors, frontier, &sc)
+	})
+	if allocs != 0 {
+		t.Errorf("warm RecolorFrontier allocates %.1f per call, want 0", allocs)
+	}
+}

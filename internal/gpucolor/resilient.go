@@ -24,11 +24,16 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"gcolor/internal/color"
 	"gcolor/internal/graph"
 	"gcolor/internal/simt"
 )
+
+// repairScratch pools the rung-2 repair buffers so repeated recoveries on
+// the serving path stay allocation-free once warm.
+var repairScratch = sync.Pool{New: func() any { return new(color.Scratch) }}
 
 // Typed failures, usable with errors.Is / errors.As.
 var (
@@ -294,7 +299,9 @@ func colorResilient(ctx context.Context, dev *simt.Device, g *graph.Graph, opt R
 		// Rung 2: a completed-but-damaged coloring is repaired in place.
 		var ice *InvalidColoringError
 		if errors.As(err, &ice) && ice.Result != nil && len(ice.Result.Colors) == g.NumVertices() {
-			repaired := color.Repair(g, ice.Result.Colors, uint32(o.Seed))
+			sc := repairScratch.Get().(*color.Scratch)
+			repaired := color.RepairScratch(g, ice.Result.Colors, uint32(o.Seed), sc)
+			repairScratch.Put(sc)
 			if verr := color.Verify(g, ice.Result.Colors); verr == nil {
 				ice.Result.NumColors = color.NormalizeColors(ice.Result.Colors)
 				out.Result = ice.Result

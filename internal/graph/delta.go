@@ -1,0 +1,303 @@
+// Graph mutation deltas for the incremental serving path.
+//
+// A Delta is a small edit script against a base graph: vertices appended,
+// undirected edges added, undirected edges removed. ApplyDelta materializes
+// the successor CSR in one merge pass and reports the *frontier* — the
+// vertex set whose neighbourhoods actually changed — which is exactly the
+// set an incremental recolorer must revisit: endpoints of effective edge
+// additions (a new adjacency can conflict), freshly appended vertices
+// (uncolored), and endpoints of effective removals (their palette may
+// shrink, so recoloring them can only improve the coloring). Everything
+// outside the frontier keeps both its adjacency and, downstream, its color.
+//
+// The successor's fingerprint is computed streaming during the same build
+// pass and is bit-identical to Graph.Fingerprint() of the result: a version
+// chain's identity collapses to content identity, so a delta-produced graph
+// and a from-scratch upload of the same graph share cache, coalescing, and
+// routing keys.
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Delta is one edit script against a base graph. Add/remove lists hold
+// undirected edges in either endpoint order; duplicates are tolerated and
+// collapse. Removing an absent edge and adding a present one are no-ops
+// (they do not enter the frontier). An edge present in both lists is
+// treated as remove-then-add: present in the successor, not a change.
+type Delta struct {
+	// AddVertices appends this many isolated vertices (ids n..n+k-1).
+	AddVertices int
+	// AddEdges / RemoveEdges are undirected edge lists. Added edges may
+	// touch the appended vertices; self loops are rejected.
+	AddEdges    [][2]int32
+	RemoveEdges [][2]int32
+}
+
+// Size returns the number of edge operations in the delta.
+func (d *Delta) Size() int { return len(d.AddEdges) + len(d.RemoveEdges) }
+
+// ApplyDelta builds the successor graph of g under d. It returns the new
+// graph, its content fingerprint (bit-identical to ng.Fingerprint(),
+// computed streaming during the build), and the sorted, deduplicated
+// frontier of vertices whose adjacency changed (including every appended
+// vertex). g is not modified; the successor shares no storage with it.
+func ApplyDelta(g *Graph, d *Delta) (*Graph, uint64, []int32, error) {
+	n := g.NumVertices()
+	if d.AddVertices < 0 {
+		return nil, 0, nil, fmt.Errorf("graph: delta: negative AddVertices %d", d.AddVertices)
+	}
+	newN := n + d.AddVertices
+	if newN > MaxVertices {
+		return nil, 0, nil, fmt.Errorf("graph: delta: %d vertices exceeds limit %d", newN, MaxVertices)
+	}
+
+	// Canonicalize the edit lists into directed arc lists (both directions
+	// of every undirected edge), sorted by (src, dst), deduplicated.
+	addArcs, err := deltaArcs(d.AddEdges, newN, "add")
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	remArcs, err := deltaArcs(d.RemoveEdges, newN, "remove")
+	if err != nil {
+		return nil, 0, nil, err
+	}
+
+	// Successor arc count: walk both lists once against the base to count
+	// effective operations, marking the frontier as we go. An add is
+	// effective iff the arc is absent from the base; a remove iff present
+	// in the base and not re-added.
+	inFrontier := make([]bool, newN)
+	effAdd := 0
+	for _, a := range addArcs {
+		if int(a[0]) >= n || !g.HasEdge(a[0], a[1]) {
+			effAdd++
+			inFrontier[a[0]] = true
+		}
+	}
+	effRem := 0
+	for _, r := range remArcs {
+		if int(r[0]) < n && g.HasEdge(r[0], r[1]) && !arcListHas(addArcs, r) {
+			effRem++
+			inFrontier[r[0]] = true
+		}
+	}
+	for v := n; v < newN; v++ {
+		inFrontier[v] = true
+	}
+	newM := g.NumArcs() + effAdd - effRem
+	if int64(newN)+1+int64(newM) > 1<<31-1 {
+		return nil, 0, nil, fmt.Errorf("graph: delta: %d arcs overflows int32", newM)
+	}
+
+	// Merge pass: per vertex, result = (base ∪ adds) \ (removes \ adds),
+	// all three lists sorted. The fingerprint folds exactly the fields
+	// Graph.Fingerprint covers, in the same order: n, offsets, adj.
+	buf := make([]int32, newN+1+newM)
+	offsets := buf[: newN+1 : newN+1]
+	adj := buf[newN+1 : newN+1]
+	ai, ri := 0, 0
+	for v := int32(0); int(v) < newN; v++ {
+		offsets[v] = int32(len(adj))
+		var base []int32
+		if int(v) < n {
+			base = g.Neighbors(v)
+		}
+		bi := 0
+		for bi < len(base) || (ai < len(addArcs) && addArcs[ai][0] == v) {
+			var next int32
+			fromAdd := false
+			if bi < len(base) && (ai >= len(addArcs) || addArcs[ai][0] != v || base[bi] <= addArcs[ai][1]) {
+				next = base[bi]
+				if ai < len(addArcs) && addArcs[ai][0] == v && addArcs[ai][1] == next {
+					ai++ // add of a present edge: one emit
+					fromAdd = true
+				}
+				bi++
+			} else {
+				next = addArcs[ai][1]
+				ai++
+				fromAdd = true
+			}
+			for ri < len(remArcs) && (remArcs[ri][0] < v || (remArcs[ri][0] == v && remArcs[ri][1] < next)) {
+				ri++
+			}
+			if !fromAdd && ri < len(remArcs) && remArcs[ri][0] == v && remArcs[ri][1] == next {
+				continue // removed, not re-added
+			}
+			adj = append(adj, next)
+		}
+	}
+	offsets[newN] = int32(len(adj))
+	if len(adj) != newM {
+		// Counting and merging disagree only on a bug in this file.
+		panic(fmt.Sprintf("graph: delta: merged %d arcs, counted %d", len(adj), newM))
+	}
+
+	fp := uint64(fnvOffset64)
+	fp = fnvInt32(fp, int32(newN))
+	for _, o := range offsets {
+		fp = fnvInt32(fp, o)
+	}
+	for _, a := range adj {
+		fp = fnvInt32(fp, a)
+	}
+
+	frontier := make([]int32, 0, 2*d.Size()+d.AddVertices)
+	for v := int32(0); int(v) < newN; v++ {
+		if inFrontier[v] {
+			frontier = append(frontier, v)
+		}
+	}
+	return &Graph{offsets: offsets, adj: adj}, fp, frontier, nil
+}
+
+// deltaArcs expands undirected edges into sorted, deduplicated directed
+// arcs, validating endpoints against the successor vertex count.
+func deltaArcs(edges [][2]int32, newN int, op string) ([][2]int32, error) {
+	if len(edges) == 0 {
+		return nil, nil
+	}
+	arcs := make([][2]int32, 0, 2*len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || v < 0 || int(u) >= newN || int(v) >= newN {
+			return nil, fmt.Errorf("graph: delta: %s edge {%d,%d} out of range [0,%d)", op, u, v, newN)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: delta: %s edge {%d,%d} is a self loop", op, u, v)
+		}
+		arcs = append(arcs, [2]int32{u, v}, [2]int32{v, u})
+	}
+	sort.Slice(arcs, func(i, k int) bool {
+		if arcs[i][0] != arcs[k][0] {
+			return arcs[i][0] < arcs[k][0]
+		}
+		return arcs[i][1] < arcs[k][1]
+	})
+	out := arcs[:1]
+	for _, a := range arcs[1:] {
+		if a != out[len(out)-1] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// arcListHas reports whether the sorted arc list contains a.
+func arcListHas(arcs [][2]int32, a [2]int32) bool {
+	i := sort.Search(len(arcs), func(i int) bool {
+		if arcs[i][0] != a[0] {
+			return arcs[i][0] > a[0]
+		}
+		return arcs[i][1] >= a[1]
+	})
+	return i < len(arcs) && arcs[i] == a
+}
+
+// Binary delta wire frame, the incremental counterpart of the CSR frame in
+// wire.go. Same transport Content-Type; the magic distinguishes them.
+//
+//	offset  size      field
+//	0       4         magic "GCSD"
+//	4       2         version (currently 1)
+//	6       2         flags (must be zero in version 1)
+//	8       8         base graph content fingerprint (uint64)
+//	16      4         addVertices (uint32)
+//	20      4         nAddEdges (uint32)
+//	24      4         nRemoveEdges (uint32)
+//	28      8*nAdd    add edges, two int32 endpoints each
+//	...     8*nRem    remove edges, two int32 endpoints each
+//
+// All fields little-endian. The frame is self-delimiting; trailing bytes
+// are rejected.
+const (
+	WireDeltaMagic   = "GCSD"
+	WireDeltaVersion = 1
+
+	wireDeltaHeaderLen = 28
+)
+
+// WireDeltaSize returns the encoded frame size for d in bytes.
+func WireDeltaSize(d *Delta) int {
+	return wireDeltaHeaderLen + 8*len(d.AddEdges) + 8*len(d.RemoveEdges)
+}
+
+// EncodeWireDelta returns the binary delta frame for d against the base
+// graph identified by baseFp.
+func EncodeWireDelta(baseFp uint64, d *Delta) []byte {
+	dst := make([]byte, 0, WireDeltaSize(d))
+	dst = append(dst, WireDeltaMagic...)
+	dst = binary.LittleEndian.AppendUint16(dst, WireDeltaVersion)
+	dst = binary.LittleEndian.AppendUint16(dst, 0) // flags
+	dst = binary.LittleEndian.AppendUint64(dst, baseFp)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(d.AddVertices))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(d.AddEdges)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(d.RemoveEdges)))
+	for _, e := range d.AddEdges {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(e[0]))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(e[1]))
+	}
+	for _, e := range d.RemoveEdges {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(e[0]))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(e[1]))
+	}
+	return dst
+}
+
+// IsWireDelta sniffs the delta frame magic.
+func IsWireDelta(data []byte) bool {
+	return len(data) >= 4 && string(data[:4]) == WireDeltaMagic
+}
+
+// DecodeWireDelta parses a binary delta frame. Endpoint range and self-loop
+// validation happen in ApplyDelta (they need the base vertex count); the
+// decoder validates framing, counts, and the vertex cap.
+func DecodeWireDelta(data []byte) (uint64, *Delta, error) {
+	if len(data) < wireDeltaHeaderLen {
+		return 0, nil, fmt.Errorf("gcsd: truncated header: %d bytes, want at least %d", len(data), wireDeltaHeaderLen)
+	}
+	if string(data[:4]) != WireDeltaMagic {
+		return 0, nil, fmt.Errorf("gcsd: bad magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != WireDeltaVersion {
+		return 0, nil, fmt.Errorf("gcsd: unsupported version %d", v)
+	}
+	if fl := binary.LittleEndian.Uint16(data[6:8]); fl != 0 {
+		return 0, nil, fmt.Errorf("gcsd: unsupported flags %#x", fl)
+	}
+	baseFp := binary.LittleEndian.Uint64(data[8:16])
+	addV := int64(binary.LittleEndian.Uint32(data[16:20]))
+	nAdd := int64(binary.LittleEndian.Uint32(data[20:24]))
+	nRem := int64(binary.LittleEndian.Uint32(data[24:28]))
+	if addV > int64(MaxVertices) {
+		return 0, nil, fmt.Errorf("gcsd: addVertices %d exceeds limit %d", addV, MaxVertices)
+	}
+	want := int64(wireDeltaHeaderLen) + 8*nAdd + 8*nRem
+	if int64(len(data)) < want {
+		return 0, nil, fmt.Errorf("gcsd: frame is %d bytes, header declares %d", len(data), want)
+	}
+	if int64(len(data)) > want {
+		return 0, nil, fmt.Errorf("gcsd: %d trailing bytes past declared frame end", int64(len(data))-want)
+	}
+	d := &Delta{AddVertices: int(addV)}
+	body := data[wireDeltaHeaderLen:]
+	readEdges := func(k int64) [][2]int32 {
+		if k == 0 {
+			return nil
+		}
+		out := make([][2]int32, k)
+		for i := range out {
+			out[i][0] = int32(binary.LittleEndian.Uint32(body[8*i:]))
+			out[i][1] = int32(binary.LittleEndian.Uint32(body[8*i+4:]))
+		}
+		body = body[8*k:]
+		return out
+	}
+	d.AddEdges = readEdges(nAdd)
+	d.RemoveEdges = readEdges(nRem)
+	return baseFp, d, nil
+}

@@ -1,0 +1,286 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// rebuildEdges reconstructs the undirected edge set of g as a map keyed by
+// canonical (min,max) pairs — the oracle the delta merge is checked against.
+func rebuildEdges(g *Graph) map[[2]int32]bool {
+	set := map[[2]int32]bool{}
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if u > v {
+				set[[2]int32{v, u}] = true
+			}
+		}
+	}
+	return set
+}
+
+func applyOracle(set map[[2]int32]bool, d *Delta) map[[2]int32]bool {
+	out := map[[2]int32]bool{}
+	for e := range set {
+		out[e] = true
+	}
+	canon := func(e [2]int32) [2]int32 {
+		if e[0] > e[1] {
+			return [2]int32{e[1], e[0]}
+		}
+		return e
+	}
+	for _, e := range d.RemoveEdges {
+		delete(out, canon(e))
+	}
+	for _, e := range d.AddEdges {
+		out[canon(e)] = true
+	}
+	return out
+}
+
+func TestApplyDeltaMatchesRebuild(t *testing.T) {
+	base := FromEdges(8, [][2]int32{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}})
+	d := &Delta{
+		AddVertices: 2,
+		AddEdges:    [][2]int32{{6, 7}, {8, 0}, {8, 9}, {1, 2} /* present: no-op */, {3, 0}},
+		RemoveEdges: [][2]int32{{2, 3}, {4, 5}, {0, 6} /* absent: no-op */},
+	}
+	ng, fp, frontier, err := ApplyDelta(base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := applyOracle(rebuildEdges(base), d)
+	var edges [][2]int32
+	for e := range want {
+		edges = append(edges, e)
+	}
+	ref := FromEdges(10, edges)
+	if ng.NumVertices() != ref.NumVertices() || ng.NumArcs() != ref.NumArcs() {
+		t.Fatalf("successor %d vertices / %d arcs, want %d / %d",
+			ng.NumVertices(), ng.NumArcs(), ref.NumVertices(), ref.NumArcs())
+	}
+	if got := rebuildEdges(ng); len(got) != len(want) {
+		t.Fatalf("successor has %d edges, want %d", len(got), len(want))
+	} else {
+		for e := range want {
+			if !got[e] {
+				t.Fatalf("successor missing edge %v", e)
+			}
+		}
+	}
+	if err := ng.Validate(); err != nil {
+		t.Fatalf("successor CSR invalid: %v", err)
+	}
+	if fp != ng.Fingerprint() {
+		t.Errorf("streaming fp %016x != content fp %016x", fp, ng.Fingerprint())
+	}
+	if fp != ref.Fingerprint() {
+		t.Errorf("delta-produced fp %016x != from-scratch fp %016x (chain identity broken)", fp, ref.Fingerprint())
+	}
+	// Frontier: endpoints of effective ops + the new vertices, nothing else
+	// changed — but at minimum it must cover every changed neighbourhood.
+	wantFrontier := []int32{0, 2, 3, 4, 5, 6, 7, 8, 9}
+	if !slices.Equal(frontier, wantFrontier) {
+		t.Errorf("frontier %v, want %v", frontier, wantFrontier)
+	}
+}
+
+func TestApplyDeltaNoOpsEmptyFrontier(t *testing.T) {
+	base := FromEdges(5, [][2]int32{{0, 1}, {1, 2}})
+	d := &Delta{
+		AddEdges:    [][2]int32{{0, 1}},         // already present
+		RemoveEdges: [][2]int32{{3, 4}, {2, 0}}, // absent
+	}
+	ng, fp, frontier, err := ApplyDelta(base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frontier) != 0 {
+		t.Errorf("no-op delta produced frontier %v", frontier)
+	}
+	if fp != base.Fingerprint() {
+		t.Errorf("no-op delta changed fingerprint")
+	}
+	if ng.NumArcs() != base.NumArcs() {
+		t.Errorf("no-op delta changed arc count")
+	}
+}
+
+func TestApplyDeltaRemoveThenAddKeepsEdge(t *testing.T) {
+	base := FromEdges(3, [][2]int32{{0, 1}})
+	d := &Delta{
+		AddEdges:    [][2]int32{{0, 1}},
+		RemoveEdges: [][2]int32{{1, 0}}, // reversed endpoint order on purpose
+	}
+	ng, _, frontier, err := ApplyDelta(base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ng.HasEdge(0, 1) {
+		t.Fatal("edge in both lists must survive (remove-then-add)")
+	}
+	if len(frontier) != 0 {
+		t.Errorf("remove-then-add of a present edge is a no-op, frontier %v", frontier)
+	}
+}
+
+func TestApplyDeltaErrors(t *testing.T) {
+	base := FromEdges(4, [][2]int32{{0, 1}})
+	cases := []struct {
+		name string
+		d    Delta
+	}{
+		{"negative add vertices", Delta{AddVertices: -1}},
+		{"add out of range", Delta{AddEdges: [][2]int32{{0, 4}}}},
+		{"add negative endpoint", Delta{AddEdges: [][2]int32{{-1, 2}}}},
+		{"add self loop", Delta{AddEdges: [][2]int32{{2, 2}}}},
+		{"remove out of range", Delta{RemoveEdges: [][2]int32{{0, 9}}}},
+		{"remove self loop", Delta{RemoveEdges: [][2]int32{{1, 1}}}},
+	}
+	for _, tc := range cases {
+		if _, _, _, err := ApplyDelta(base, &tc.d); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	// Edges may reference appended vertices.
+	if _, _, _, err := ApplyDelta(base, &Delta{AddVertices: 1, AddEdges: [][2]int32{{0, 4}}}); err != nil {
+		t.Errorf("edge to appended vertex rejected: %v", err)
+	}
+}
+
+func TestApplyDeltaRandomizedAgainstRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 60; iter++ {
+		n := 5 + rng.Intn(40)
+		var edges [][2]int32
+		for u := int32(0); int(u) < n; u++ {
+			for v := u + 1; int(v) < n; v++ {
+				if rng.Intn(4) == 0 {
+					edges = append(edges, [2]int32{u, v})
+				}
+			}
+		}
+		base := FromEdges(n, edges)
+		d := &Delta{AddVertices: rng.Intn(4)}
+		newN := n + d.AddVertices
+		pick := func() [2]int32 {
+			u := rng.Int31n(int32(newN))
+			v := rng.Int31n(int32(newN))
+			for v == u {
+				v = rng.Int31n(int32(newN))
+			}
+			return [2]int32{u, v}
+		}
+		for i := rng.Intn(10); i > 0; i-- {
+			d.AddEdges = append(d.AddEdges, pick())
+		}
+		for i := rng.Intn(10); i > 0; i-- {
+			d.RemoveEdges = append(d.RemoveEdges, pick())
+		}
+		ng, fp, frontier, err := ApplyDelta(base, d)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if err := ng.Validate(); err != nil {
+			t.Fatalf("iter %d: invalid successor: %v", iter, err)
+		}
+		want := applyOracle(rebuildEdges(base), d)
+		got := rebuildEdges(ng)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: %d edges, want %d", iter, len(got), len(want))
+		}
+		for e := range want {
+			if !got[e] {
+				t.Fatalf("iter %d: missing edge %v", iter, e)
+			}
+		}
+		if fp != ng.Fingerprint() {
+			t.Fatalf("iter %d: streaming fp mismatch", iter)
+		}
+		// Frontier must cover every vertex whose neighbourhood changed.
+		changed := map[int32]bool{}
+		for v := int32(0); int(v) < n; v++ {
+			if !slices.Equal(base.Neighbors(v), ng.Neighbors(v)) {
+				changed[v] = true
+			}
+		}
+		for v := n; v < newN; v++ {
+			changed[int32(v)] = true
+		}
+		inF := map[int32]bool{}
+		for _, v := range frontier {
+			inF[v] = true
+		}
+		for v := range changed {
+			if !inF[v] {
+				t.Fatalf("iter %d: changed vertex %d not in frontier %v", iter, v, frontier)
+			}
+		}
+		if !slices.IsSorted(frontier) {
+			t.Fatalf("iter %d: frontier not sorted", iter)
+		}
+	}
+}
+
+func TestWireDeltaRoundTrip(t *testing.T) {
+	d := &Delta{
+		AddVertices: 3,
+		AddEdges:    [][2]int32{{0, 1}, {7, 2}},
+		RemoveEdges: [][2]int32{{5, 6}},
+	}
+	const baseFp uint64 = 0xdeadbeefcafef00d
+	frame := EncodeWireDelta(baseFp, d)
+	if len(frame) != WireDeltaSize(d) {
+		t.Fatalf("frame is %d bytes, WireDeltaSize says %d", len(frame), WireDeltaSize(d))
+	}
+	if !IsWireDelta(frame) {
+		t.Fatal("IsWireDelta rejects its own frame")
+	}
+	if string(frame[:4]) == WireCSRMagic {
+		t.Fatal("delta frame sniffs as CSR")
+	}
+	gotFp, got, err := DecodeWireDelta(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFp != baseFp {
+		t.Errorf("base fp %016x, want %016x", gotFp, baseFp)
+	}
+	if got.AddVertices != d.AddVertices ||
+		!slices.Equal(got.AddEdges, d.AddEdges) ||
+		!slices.Equal(got.RemoveEdges, d.RemoveEdges) {
+		t.Errorf("decoded %+v, want %+v", got, d)
+	}
+}
+
+func TestWireDeltaDecodeErrors(t *testing.T) {
+	good := EncodeWireDelta(1, &Delta{AddEdges: [][2]int32{{0, 1}}})
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated header", good[:10]},
+		{"bad magic", append([]byte("NOPE"), good[4:]...)},
+		{"truncated body", good[:len(good)-3]},
+		{"trailing bytes", append(slices.Clone(good), 0)},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeWireDelta(tc.data); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	// Version and flags bumps.
+	bad := slices.Clone(good)
+	bad[4] = 99
+	if _, _, err := DecodeWireDelta(bad); err == nil {
+		t.Error("future version accepted")
+	}
+	bad = slices.Clone(good)
+	bad[6] = 1
+	if _, _, err := DecodeWireDelta(bad); err == nil {
+		t.Error("unknown flags accepted")
+	}
+}

@@ -394,3 +394,78 @@ func mustMarshal(t *testing.T, rec record) []byte {
 	}
 	return b
 }
+
+// TestSettledVersionPairing: resident accepts pair with their DispOK
+// completions into Recovery.Settled regardless of arrival order (live
+// segments write accept-then-completion; snapshots the reverse), newest
+// pair per fingerprint wins, and non-resident or unfinished jobs never
+// appear there.
+func TestSettledVersionPairing(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	res := func(id string, fp uint64) AcceptRecord {
+		a := acceptRec(id, fp, 10)
+		a.Resident = true
+		return a
+	}
+	// v1: resident, accept then completion (live order).
+	if err := j.AppendAccept(res("v1", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendComplete(completeRec("v1", 100, 10, []int32{0, 1})); err != nil {
+		t.Fatal(err)
+	}
+	// v2: resident, completion journaled before the accept (snapshot order).
+	if err := j.AppendComplete(completeRec("v2", 200, 10, []int32{1, 0})); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendAccept(res("v2", 200)); err != nil {
+		t.Fatal(err)
+	}
+	// v3: resident but never completed — pending, not settled.
+	if err := j.AppendAccept(res("v3", 300)); err != nil {
+		t.Fatal(err)
+	}
+	// n1: completed but not resident — completion only.
+	if err := j.AppendAccept(acceptRec("n1", 400, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendComplete(completeRec("n1", 400, 10, []int32{0})); err != nil {
+		t.Fatal(err)
+	}
+	// v4 re-settles fingerprint 100: the newer pair must win.
+	if err := j.AppendAccept(res("v4", 100)); err != nil {
+		t.Fatal(err)
+	}
+	c4 := completeRec("v4", 100, 10, []int32{1, 2})
+	c4.NumColors = 3
+	if err := j.AppendComplete(c4); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, rec := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	defer j2.Close()
+	if len(rec.Settled) != 2 {
+		t.Fatalf("settled = %+v, want v2 and v4", rec.Settled)
+	}
+	byFp := map[uint64]SettledVersion{}
+	for _, s := range rec.Settled {
+		if s.Accept.ID != s.Complete.ID {
+			t.Fatalf("mispaired: accept %q with completion %q", s.Accept.ID, s.Complete.ID)
+		}
+		byFp[s.Accept.Fingerprint] = s
+	}
+	if s, ok := byFp[200]; !ok || s.Accept.ID != "v2" {
+		t.Errorf("fp 200 settled = %+v, want v2", s)
+	}
+	if s, ok := byFp[100]; !ok || s.Accept.ID != "v4" || s.Complete.NumColors != 3 {
+		t.Errorf("fp 100 settled = %+v, want newest pair v4", s)
+	}
+	if len(rec.Pending) != 1 || rec.Pending[0].ID != "v3" {
+		t.Fatalf("pending = %+v, want [v3]", rec.Pending)
+	}
+	if !rec.Pending[0].Resident {
+		t.Error("pending resident accept lost its Resident flag")
+	}
+}

@@ -62,6 +62,10 @@ type AcceptRecord struct {
 	DeadlineUnixMS int64 `json:"deadline_ms,omitempty"`
 	// AcceptedUnixMS is when the job was admitted.
 	AcceptedUnixMS int64 `json:"accepted_ms"`
+	// Resident marks a job whose result graph must be pinned in the
+	// versioned graph store (a delta base). On replay, its settled
+	// accept+completion pair rebuilds the version instead of re-running.
+	Resident bool `json:"res,omitempty"`
 	// Wire is the request's wire form (serve.ColorRequest JSON), enough
 	// to rebuild and re-execute the job on replay.
 	Wire json.RawMessage `json:"wire,omitempty"`

@@ -46,8 +46,22 @@ type Recovery struct {
 	// newest record winning. Replaying them through an LRU in order
 	// reproduces the pre-crash recency ordering.
 	Completions []CompleteRecord
+	// Settled holds Resident accepts paired with their DispOK completion,
+	// in settlement order: the version chain of the graph store. Pairing
+	// is order-insensitive (snapshots write completions before accepts),
+	// deduplicated by fingerprint with the newest pair winning.
+	Settled []SettledVersion
 	// Stats describes the scan.
 	Stats ReplayStats
+}
+
+// SettledVersion is one resident graph version recovered from the
+// journal: the accept carries the wire form (full graph or delta) and the
+// completion the coloring, together enough to rebuild the version store
+// entry without re-executing anything.
+type SettledVersion struct {
+	Accept   AcceptRecord
+	Complete CompleteRecord
 }
 
 // replayState folds records in order into pending/completed state.
@@ -60,6 +74,14 @@ type replayState struct {
 	pending     []*AcceptRecord
 	compByKey   map[string]int // dedupe key -> index into comps
 	comps       []*CompleteRecord
+	// Version-chain pairing. A resident accept and its DispOK completion
+	// can arrive in either order (snapshots write completions first), so
+	// each side parks until the other shows up: okByID holds unpaired
+	// DispOK completions, resByID unpaired resident accepts.
+	okByID      map[string]*CompleteRecord
+	resByID     map[string]*AcceptRecord
+	settledByFp map[uint64]int // fp -> index into settled; newest wins
+	settled     []*SettledVersion
 	stats       ReplayStats
 }
 
@@ -67,7 +89,20 @@ func newReplayState() *replayState {
 	return &replayState{
 		pendingByID: make(map[string]int),
 		compByKey:   make(map[string]int),
+		okByID:      make(map[string]*CompleteRecord),
+		resByID:     make(map[string]*AcceptRecord),
+		settledByFp: make(map[uint64]int),
 	}
+}
+
+// settle records a matched resident accept + DispOK completion pair,
+// keeping only the newest pair per fingerprint.
+func (st *replayState) settle(a *AcceptRecord, c *CompleteRecord) {
+	if i, ok := st.settledByFp[c.Fingerprint]; ok {
+		st.settled[i] = nil
+	}
+	st.settledByFp[c.Fingerprint] = len(st.settled)
+	st.settled = append(st.settled, &SettledVersion{Accept: *a, Complete: *c})
 }
 
 // compDedupeKey is the newest-wins identity of a DispOK completion.
@@ -87,6 +122,13 @@ func (st *replayState) apply(rec *record) {
 	case rec.Accept != nil:
 		a := rec.Accept
 		st.stats.Accepts++
+		if a.Resident {
+			if c, ok := st.okByID[a.ID]; ok {
+				st.settle(a, c) // completion replayed first (snapshot order)
+			} else {
+				st.resByID[a.ID] = a
+			}
+		}
 		if i, ok := st.pendingByID[a.ID]; ok {
 			if i >= 0 {
 				st.pending[i] = a // duplicate accept (replayed job): newest wins
@@ -104,6 +146,11 @@ func (st *replayState) apply(rec *record) {
 		st.pendingByID[c.ID] = -1
 		if c.Disposition != DispOK {
 			return
+		}
+		st.okByID[c.ID] = c
+		if a, ok := st.resByID[c.ID]; ok {
+			st.settle(a, c)
+			delete(st.resByID, c.ID)
 		}
 		key := compDedupeKey(c)
 		if i, ok := st.compByKey[key]; ok {
@@ -124,6 +171,11 @@ func (st *replayState) recovery() *Recovery {
 	for _, c := range st.comps {
 		if c != nil {
 			rec.Completions = append(rec.Completions, *c)
+		}
+	}
+	for _, s := range st.settled {
+		if s != nil {
+			rec.Settled = append(rec.Settled, *s)
 		}
 	}
 	return rec

@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"gcolor/internal/color"
+	"gcolor/internal/graph"
+)
+
+// This file is the incremental coloring engine: the versioned resident
+// graph store and the delta submission path. A client uploads a graph with
+// Resident set, then streams mutations as delta requests (base fingerprint
+// + edge add/remove + vertex appends). The server applies each delta to the
+// resident base, recolors only the affected frontier with the repair
+// machinery (color.RecolorFrontier), and pins the successor as a new
+// version — work proportional to the mutation, not the graph. When the
+// frontier exceeds the configured budget the delta falls back to a full
+// recolor of the successor through the normal queue/device path, and when
+// the base fingerprint is unknown the request fails with a typed 404 so the
+// client re-uploads the full graph.
+//
+// A delta-produced version's fingerprint is the successor's *content*
+// fingerprint (graph.ApplyDelta computes it streaming), so the version
+// chain's identity collapses to content identity: the successor shares
+// result-cache, coalescing, and cluster-routing keys with a from-scratch
+// upload of the same graph, and the cache gains an entry under the new
+// fingerprint the moment the delta settles — entries update forward instead
+// of being invalidated.
+
+// DeltaConfig tunes the incremental coloring engine. Zero values take the
+// documented defaults.
+type DeltaConfig struct {
+	// Disabled turns the engine off: no versions are pinned and every
+	// delta request fails with UnknownBaseError.
+	Disabled bool
+	// Entries sizes the versioned graph store LRU (default 64; negative
+	// disables pinning, like Disabled).
+	Entries int
+	// FrontierFraction is the recolor budget: a delta whose frontier
+	// exceeds this fraction of the successor's vertex count falls back to
+	// a full recolor (default 0.2). Values >= 1 never fall back on size.
+	FrontierFraction float64
+}
+
+func (c DeltaConfig) withDefaults() DeltaConfig {
+	switch {
+	case c.Entries < 0:
+		c.Entries = 0
+	case c.Entries == 0:
+		c.Entries = 64
+	}
+	if c.Disabled {
+		c.Entries = 0
+	}
+	if c.FrontierFraction <= 0 {
+		c.FrontierFraction = 0.2
+	}
+	return c
+}
+
+// UnknownBaseError is the typed failure of a delta request whose base
+// fingerprint is not resident (never uploaded, evicted, or lost across a
+// restart whose journal no longer held it). The client owns the recovery:
+// re-upload the full graph with Resident set, then resume the stream.
+type UnknownBaseError struct{ Fingerprint uint64 }
+
+func (e *UnknownBaseError) Error() string {
+	return fmt.Sprintf("serve: unknown base version %s: re-upload the full graph as resident and retry the delta",
+		graph.FingerprintString(e.Fingerprint))
+}
+
+// BadDeltaError wraps a malformed delta (endpoints out of range, self
+// loops, vertex-cap overflow) — a client error, not a serving failure.
+type BadDeltaError struct{ Err error }
+
+func (e *BadDeltaError) Error() string { return e.Err.Error() }
+func (e *BadDeltaError) Unwrap() error { return e.Err }
+
+// ParseFingerprint parses the 16-hex-digit form produced by
+// graph.FingerprintString — the wire spelling of base_fingerprint.
+func ParseFingerprint(s string) (uint64, error) {
+	fp, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("serve: bad fingerprint %q", s)
+	}
+	return fp, nil
+}
+
+// versionStore is the fixed-capacity LRU of resident graph versions:
+// fingerprint -> (graph, proper coloring). Entries are immutable once
+// stored (the coloring is copied in, and readers copy out), so lookups can
+// hand back the entry without further locking.
+type versionStore struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *versionEntry
+	byFp  map[uint64]*list.Element
+}
+
+type versionEntry struct {
+	fp     uint64
+	g      *graph.Graph
+	colors []int32
+}
+
+func newVersionStore(capacity int) *versionStore {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &versionStore{cap: capacity, order: list.New(), byFp: make(map[uint64]*list.Element)}
+}
+
+func (c *versionStore) get(fp uint64) (*versionEntry, bool) {
+	if c.cap == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byFp[fp]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*versionEntry), true
+}
+
+// put pins (or refreshes) a version. The coloring is copied; the graph is
+// shared (Graph is immutable). Colorings that do not match the graph are
+// refused — a truncated journal record must not poison the chain.
+func (c *versionStore) put(fp uint64, g *graph.Graph, colors []int32) {
+	if c.cap == 0 || g == nil || len(colors) != g.NumVertices() {
+		return
+	}
+	stored := make([]int32, len(colors))
+	copy(stored, colors)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byFp[fp]; ok {
+		e := el.Value.(*versionEntry)
+		e.g, e.colors = g, stored
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byFp[fp] = c.order.PushFront(&versionEntry{fp: fp, g: g, colors: stored})
+	for c.order.Len() > c.cap {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.byFp, el.Value.(*versionEntry).fp)
+	}
+}
+
+func (c *versionStore) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// export snapshots every version, least recently used first, so replaying
+// the list through put reproduces the recency order. Used by journal
+// snapshot compaction.
+func (c *versionStore) export() []*versionEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*versionEntry, 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		out = append(out, el.Value.(*versionEntry))
+	}
+	return out
+}
+
+// deltaScratch pools the frontier-recolor buffers: a warm steady-state
+// delta stream recolors with zero scratch allocations.
+var deltaScratch = sync.Pool{New: func() any { return new(color.Scratch) }}
+
+// submitDelta serves one delta request: resolve the base version, apply
+// the mutation, and either frontier-recolor on the host (the incremental
+// hit path — no queue, no device) or fall back to a full recolor of the
+// successor through the normal admission path. Either way the successor is
+// pinned as a new resident version and cached under its own fingerprint.
+func (s *Server) submitDelta(ctx context.Context, req *Request) (*Response, error) {
+	if req.Graph != nil {
+		return nil, errors.New("serve: delta request must not also carry a graph")
+	}
+	s.reg.Counter("requests_total").Inc()
+	s.reg.Counter("delta_requests_total").Inc()
+	d := req.Delta
+	if d == nil {
+		d = &graph.Delta{}
+	}
+
+	// Idempotent replay first, exactly as in Submit — and through drain.
+	if res, ok := s.idem.get(req.IdemKey); ok {
+		s.reg.Counter("idem_hits_total").Inc()
+		hit := cloneHit(res)
+		hit.Cached = true
+		hit.IdempotentReplay = true
+		hit.Device = -1
+		hit.Wait, hit.Exec = 0, 0
+		hit.RequestID = req.RequestID
+		return hit, nil
+	}
+
+	base, ok := s.versions.get(req.BaseFingerprint)
+	if !ok {
+		s.reg.Counter("delta_unknown_base_total").Inc()
+		return nil, &UnknownBaseError{Fingerprint: req.BaseFingerprint}
+	}
+	ng, fp, frontier, err := graph.ApplyDelta(base.g, d)
+	if err != nil {
+		return nil, &BadDeltaError{Err: err}
+	}
+
+	// From here on the request is for the successor graph: it shares
+	// cache, coalescing, and shard-policy keys with a full upload of the
+	// same content, and its result is pinned for the next delta.
+	req.Graph = ng
+	req.Fingerprint = fp
+	req.Resident = true
+	shards := s.effectiveShards(req)
+	key := keyOf(req, fp, shards)
+	if !req.NoCache {
+		if res, ok := s.cache.get(key); ok {
+			s.reg.Counter("cache_hits").Inc()
+			s.versions.put(fp, ng, res.Colors) // re-pin: the chain continues
+			hit := cloneHit(res)
+			hit.Cached = true
+			hit.Delta = true
+			hit.FrontierSize = len(frontier)
+			hit.Vertices = ng.NumVertices()
+			hit.Edges = ng.NumEdges()
+			hit.Device = -1
+			hit.Wait, hit.Exec = 0, 0
+			hit.RequestID = req.RequestID
+			return hit, nil
+		}
+	}
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+
+	budget := int(s.cfg.Delta.FrontierFraction * float64(ng.NumVertices()))
+	if len(frontier) > budget {
+		return s.deltaFallback(ctx, req, fp, key, shards, ng, len(frontier))
+	}
+
+	start := time.Now()
+	n := ng.NumVertices()
+	colors := make([]int32, n)
+	copy(colors, base.colors)
+	for i := len(base.colors); i < n; i++ {
+		colors[i] = color.Uncolored
+	}
+	sc := deltaScratch.Get().(*color.Scratch)
+	recolored := color.RecolorFrontier(ng, colors, frontier, sc)
+	deltaScratch.Put(sc)
+	if verr := color.Verify(ng, colors); verr != nil {
+		// Unreachable while the base coloring is proper (the frontier
+		// covers every changed neighbourhood); if a bug ever breaks the
+		// contract, degrade to a full recolor rather than serve a bad
+		// coloring.
+		return s.deltaFallback(ctx, req, fp, key, shards, ng, len(frontier))
+	}
+	s.reg.Counter("delta_hits").Inc()
+	s.reg.Histogram("delta_frontier_size").Add(int64(len(frontier)))
+	res := &Response{
+		Fingerprint:  fp,
+		Colors:       colors,
+		NumColors:    color.NumColors(colors),
+		Delta:        true,
+		FrontierSize: len(frontier),
+		Repaired:     recolored,
+		Shards:       1,
+		Vertices:     n,
+		Edges:        ng.NumEdges(),
+		Device:       -1,
+		Exec:         time.Since(start),
+		RequestID:    req.RequestID,
+	}
+	s.reg.Counter("completed_total").Inc()
+	if s.jrnl != nil && req.RequestID != "" && len(req.Wire) > 0 {
+		// Journal the delta like any replayable request. The accept's
+		// Resident flag and wire form (base fingerprint + edit lists) let
+		// crash replay rebuild this version from its settled pair without
+		// re-running anything.
+		s.journalAccept(ctx, req, key)
+		s.journalDone(req, key, res)
+	}
+	s.versions.put(fp, ng, colors)
+	if !req.NoCache {
+		s.cache.put(key, res)
+	}
+	s.idem.put(req.IdemKey, res, req.NoCache, key.policy)
+	// The stored res is canonical (cache + idem share it); the caller gets
+	// its own Colors copy, like every other path out of Submit.
+	return cloneHit(res), nil
+}
+
+// deltaFallback recolors the successor graph from scratch through the
+// normal admission path (queue, devices, sharding, batching) and pins the
+// result. The caller still gets delta evidence: Delta + DeltaFallback set,
+// FrontierSize reporting why the incremental path was not taken.
+func (s *Server) deltaFallback(ctx context.Context, req *Request, fp uint64, key cacheKey, shards int, ng *graph.Graph, frontier int) (*Response, error) {
+	s.reg.Counter("delta_fallbacks_total").Inc()
+	res, err := s.admit(ctx, req, fp, key, shards)
+	if err != nil {
+		return nil, err
+	}
+	s.versions.put(fp, ng, res.Colors)
+	res.Delta = true
+	res.DeltaFallback = true
+	res.FrontierSize = frontier
+	res.Vertices = ng.NumVertices()
+	res.Edges = ng.NumEdges()
+	return res, nil
+}
+
+// journalDone writes the completion record for a request settled outside
+// the job queue (the incremental delta path) and clears its pendAccepts
+// mirror — the counterpart of journalFinish for jobless completions.
+func (s *Server) journalDone(req *Request, key cacheKey, res *Response) {
+	s.pendMu.Lock()
+	delete(s.pendAccepts, req.RequestID)
+	s.pendMu.Unlock()
+	rec := completionRecord(req.RequestID, req.IdemKey, key, res, nil, req.NoCache)
+	if aerr := s.jrnl.AppendComplete(rec); aerr != nil {
+		s.reg.Counter("journal_append_errors_total").Inc()
+	}
+}

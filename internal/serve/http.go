@@ -52,6 +52,22 @@ type ColorRequest struct {
 
 	TimeoutMS     int64 `json:"timeout_ms,omitempty"`     // per-request deadline
 	IncludeColors bool  `json:"include_colors,omitempty"` // echo the full coloring
+
+	// Resident pins the result (graph + coloring) in the versioned graph
+	// store, making it usable as the base of later delta requests.
+	Resident bool `json:"resident,omitempty"`
+
+	// Delta mode: BaseFingerprint (the fingerprint string a previous
+	// response returned) selects the resident base version; the request
+	// must then carry none of graph/gen/graph_csr_b64 — the mutation lists
+	// below ARE the graph. AddVertices appends that many isolated vertices
+	// (ids n..n+k-1); AddEdges/RemoveEdges are undirected endpoint pairs,
+	// applied removals-first (an edge in both lists survives). The reply is
+	// a coloring of the successor graph under its own fingerprint.
+	BaseFingerprint string     `json:"base_fingerprint,omitempty"`
+	AddVertices     int        `json:"add_vertices,omitempty"`
+	AddEdges        [][2]int32 `json:"add_edges,omitempty"`
+	RemoveEdges     [][2]int32 `json:"remove_edges,omitempty"`
 }
 
 // ColorResponse is the JSON body of a successful POST /color.
@@ -82,6 +98,15 @@ type ColorResponse struct {
 	ShardRepairRounds int `json:"shard_repair_rounds,omitempty"`
 	ShardRecolored    int `json:"shard_recolored,omitempty"`
 
+	// Delta evidence: Delta reports the request was served through the
+	// incremental engine, FrontierSize how many vertices the mutation
+	// touched, DeltaFallback that the successor was recolored from scratch
+	// (frontier over budget), and BaseFingerprint echoes the base version.
+	Delta           bool   `json:"delta,omitempty"`
+	FrontierSize    int    `json:"frontier_size,omitempty"`
+	DeltaFallback   bool   `json:"delta_fallback,omitempty"`
+	BaseFingerprint string `json:"base_fingerprint,omitempty"`
+
 	// RequestID is the per-request correlation ID (inbound X-Request-ID,
 	// or server-generated), also echoed in the X-Request-ID response
 	// header. IdempotentReplay reports that an Idempotency-Key matched a
@@ -102,7 +127,7 @@ type ColorResponse struct {
 // errorResponse is the JSON body of any non-2xx /color reply.
 type errorResponse struct {
 	Error string `json:"error"`
-	Kind  string `json:"kind"` // bad_request | too_large | queue_full | shedding | deadline | draining | closed | failed
+	Kind  string `json:"kind"` // bad_request | bad_delta | unknown_base | too_large | queue_full | shedding | deadline | draining | closed | failed
 	// RequestID correlates the failure with server logs, journal records,
 	// and crash-drill traces.
 	RequestID string `json:"request_id,omitempty"`
@@ -282,12 +307,16 @@ func HandlerWith(s *Server, hc HandlerConfig) http.Handler {
 		fmt.Fprintf(&sb, "cache_entries %d\n", st.CacheEntries)
 		fmt.Fprintf(&sb, "cache_evictions_total %d\n", st.CacheEvictions)
 		fmt.Fprintf(&sb, "idem_entries %d\n", st.IdemEntries)
+		// Incremental engine residency (the delta_* counters and the
+		// delta_frontier_size histogram live in the registry lines above).
+		fmt.Fprintf(&sb, "versions_resident %d\n", st.VersionsResident)
 		// Durability: journal counters plus the startup recovery verdict.
 		ri := s.RecoveryInfo()
 		fmt.Fprintf(&sb, "recovery_enabled %d\n", boolToInt(ri.Enabled))
 		fmt.Fprintf(&sb, "recovery_done %d\n", boolToInt(ri.Done))
 		fmt.Fprintf(&sb, "recovery_warmed_cache %d\n", ri.WarmedCache)
 		fmt.Fprintf(&sb, "recovery_warmed_idem %d\n", ri.WarmedIdem)
+		fmt.Fprintf(&sb, "recovery_warmed_versions %d\n", ri.WarmedVersions)
 		fmt.Fprintf(&sb, "recovery_pending_recovered %d\n", ri.PendingRecovered)
 		fmt.Fprintf(&sb, "recovery_torn_tails %d\n", ri.Replay.TornTails)
 		fmt.Fprintf(&sb, "recovery_corrupt_segments %d\n", ri.Replay.CorruptSegments)
@@ -391,25 +420,53 @@ func handleColor(s *Server, specs *specCache, hc HandlerConfig, w http.ResponseW
 			writeErr(w, http.StatusBadRequest, "bad_request", err.Error(), rid)
 			return
 		}
-		var fp uint64
-		g, fp, err = graph.DecodeWireCSR(raw)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("csr frame: %v", err), rid)
-			return
-		}
-		req, err = requestFromOptions(&cr, g, fp)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad_request", err.Error(), rid)
-			return
-		}
-		if s.jrnl != nil {
-			// Journal replay rebuilds requests from JSON, so a binary
-			// request journals a synthesized envelope with the frame
-			// base64-wrapped. The cost is paid only when journaling is on.
-			env := cr
-			env.GraphCSRB64 = base64.StdEncoding.EncodeToString(raw)
-			if wire, jerr := json.Marshal(&env); jerr == nil {
-				req.Wire = wire
+		if graph.IsWireDelta(raw) {
+			// Binary delta frame (GCSD): same media type, sniffed by magic.
+			// The body carries the base fingerprint and the edit lists; no
+			// graph decodes here at all.
+			baseFp, d, derr := graph.DecodeWireDelta(raw)
+			if derr != nil {
+				writeErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("delta frame: %v", derr), rid)
+				return
+			}
+			req, err = requestFromOptions(&cr, nil, 0)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "bad_request", err.Error(), rid)
+				return
+			}
+			req.BaseFingerprint = baseFp
+			req.Delta = d
+			if s.jrnl != nil {
+				env := cr
+				env.BaseFingerprint = graph.FingerprintString(baseFp)
+				env.AddVertices = d.AddVertices
+				env.AddEdges = d.AddEdges
+				env.RemoveEdges = d.RemoveEdges
+				if wire, jerr := json.Marshal(&env); jerr == nil {
+					req.Wire = wire
+				}
+			}
+		} else {
+			var fp uint64
+			g, fp, err = graph.DecodeWireCSR(raw)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("csr frame: %v", err), rid)
+				return
+			}
+			req, err = requestFromOptions(&cr, g, fp)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "bad_request", err.Error(), rid)
+				return
+			}
+			if s.jrnl != nil {
+				// Journal replay rebuilds requests from JSON, so a binary
+				// request journals a synthesized envelope with the frame
+				// base64-wrapped. The cost is paid only when journaling is on.
+				env := cr
+				env.GraphCSRB64 = base64.StdEncoding.EncodeToString(raw)
+				if wire, jerr := json.Marshal(&env); jerr == nil {
+					req.Wire = wire
+				}
 			}
 		}
 	} else {
@@ -441,11 +498,17 @@ func handleColor(s *Server, specs *specCache, hc HandlerConfig, w http.ResponseW
 		writeErr(w, status, kind, err.Error(), rid)
 		return
 	}
+	// Delta requests have no graph of their own; the successor's size
+	// comes back in the response.
+	vertices, edges := res.Vertices, res.Edges
+	if g != nil {
+		vertices, edges = g.NumVertices(), g.NumEdges()
+	}
 	out := ColorResponse{
 		Fingerprint: graph.FingerprintString(res.Fingerprint),
 		NumColors:   res.NumColors,
-		Vertices:    g.NumVertices(),
-		Edges:       g.NumEdges(),
+		Vertices:    vertices,
+		Edges:       edges,
 		Cycles:      res.Cycles,
 		Iterations:  res.Iterations,
 		Recovery:    res.Recovery.String(),
@@ -468,6 +531,14 @@ func handleColor(s *Server, specs *specCache, hc HandlerConfig, w http.ResponseW
 		out.ShardConflicts = res.ShardConflicts
 		out.ShardRepairRounds = res.ShardRepairRounds
 		out.ShardRecolored = res.ShardRecolored
+	}
+	if res.Delta {
+		out.Delta = true
+		out.FrontierSize = res.FrontierSize
+		out.DeltaFallback = res.DeltaFallback
+	}
+	if req.BaseFingerprint != 0 {
+		out.BaseFingerprint = graph.FingerprintString(req.BaseFingerprint)
 	}
 	if cr.IncludeColors {
 		out.Colors = res.Colors
@@ -514,6 +585,7 @@ func colorRequestFromQuery(cr *ColorRequest, q url.Values) error {
 		{"shards", &cr.Shards},
 		{"timeout_ms", &cr.TimeoutMS},
 		{"include_colors", &cr.IncludeColors},
+		{"resident", &cr.Resident},
 	} {
 		v := q.Get(p.name)
 		if v == "" {
@@ -539,7 +611,9 @@ func colorRequestFromQuery(cr *ColorRequest, q url.Values) error {
 	return nil
 }
 
-// buildRequest converts the wire request to a serve.Request.
+// buildRequest converts the wire request to a serve.Request. Delta
+// requests (base_fingerprint set) return a nil graph: the server resolves
+// the base version and builds the successor itself.
 func buildRequest(cr *ColorRequest, specs *specCache) (*Request, *graph.Graph, error) {
 	var g *graph.Graph
 	var fp uint64
@@ -549,6 +623,26 @@ func buildRequest(cr *ColorRequest, specs *specCache) (*Request, *graph.Graph, e
 		if s != "" {
 			set++
 		}
+	}
+	if cr.BaseFingerprint != "" {
+		if set != 0 {
+			return nil, nil, errors.New("a delta request (base_fingerprint) must not also carry graph, gen, or graph_csr_b64")
+		}
+		baseFp, err := ParseFingerprint(cr.BaseFingerprint)
+		if err != nil {
+			return nil, nil, err
+		}
+		req, err := requestFromOptions(cr, nil, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		req.BaseFingerprint = baseFp
+		req.Delta = &graph.Delta{
+			AddVertices: cr.AddVertices,
+			AddEdges:    cr.AddEdges,
+			RemoveEdges: cr.RemoveEdges,
+		}
+		return req, nil, nil
 	}
 	if set != 1 {
 		return nil, nil, errors.New("set exactly one of graph, gen, and graph_csr_b64")
@@ -599,6 +693,7 @@ func requestFromOptions(cr *ColorRequest, g *graph.Graph, fp uint64) (*Request, 
 	return &Request{
 		Graph:           g,
 		Fingerprint:     fp,
+		Resident:        cr.Resident,
 		Algorithm:       alg,
 		Seed:            cr.Seed,
 		HybridThreshold: cr.Threshold,
@@ -615,7 +710,15 @@ func requestFromOptions(cr *ColorRequest, g *graph.Graph, fp uint64) (*Request, 
 
 // classifyErr maps serve/gpucolor failures to HTTP status + error kind.
 func classifyErr(err error) (int, string) {
+	var ube *UnknownBaseError
+	var bde *BadDeltaError
 	switch {
+	case errors.As(err, &ube):
+		// 404: the base version is not resident here. The client's recovery
+		// is to re-upload the full graph as resident and resume the stream.
+		return http.StatusNotFound, "unknown_base"
+	case errors.As(err, &bde):
+		return http.StatusBadRequest, "bad_delta"
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests, "queue_full"
 	case errors.Is(err, ErrShedding):

@@ -2,13 +2,16 @@ package serve
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"sort"
 	"sync"
 	"time"
 
+	"gcolor/internal/color"
 	"gcolor/internal/gpucolor"
+	"gcolor/internal/graph"
 	"gcolor/internal/journal"
 )
 
@@ -29,6 +32,7 @@ func (s *Server) journalAccept(ctx context.Context, req *Request, key cacheKey) 
 		PolicyKey:      key.policy,
 		Priority:       int(req.Priority),
 		AcceptedUnixMS: time.Now().UnixMilli(),
+		Resident:       req.Resident,
 		Wire:           req.Wire,
 	}
 	if dl, ok := ctx.Deadline(); ok {
@@ -126,6 +130,40 @@ func (s *Server) snapshotSource() ([]journal.AcceptRecord, []journal.CompleteRec
 		rec.CompletedUnixMS = now
 		comps = append(comps, rec)
 	}
+
+	// Resident graph versions ride along as self-contained synthetic
+	// accept+completion pairs: the accept's wire form carries the full
+	// graph (not the delta that produced it), so each version rebuilds on
+	// replay without needing its predecessors. Least recently used first,
+	// so re-pinning them in order reproduces the store's recency.
+	for _, v := range s.versions.export() {
+		env := ColorRequest{
+			GraphCSRB64: base64.StdEncoding.EncodeToString(graph.EncodeWireCSR(v.g)),
+			Resident:    true,
+			NoCache:     true,
+		}
+		wire, err := json.Marshal(&env)
+		if err != nil {
+			continue
+		}
+		id := "ver-" + graph.FingerprintString(v.fp)
+		pending = append(pending, journal.AcceptRecord{
+			ID:             id,
+			Fingerprint:    v.fp,
+			AcceptedUnixMS: now,
+			Resident:       true,
+			Wire:           wire,
+		})
+		comps = append(comps, journal.CompleteRecord{
+			ID:              id,
+			Fingerprint:     v.fp,
+			Disposition:     journal.DispOK,
+			NumColors:       color.NumColors(v.colors),
+			ColorsB64:       journal.EncodeColors(v.colors),
+			NoCache:         true,
+			CompletedUnixMS: now,
+		})
+	}
 	return pending, comps
 }
 
@@ -165,6 +203,17 @@ func (s *Server) applyRecovery(rec *journal.Recovery) {
 			s.warmIdem++
 		}
 	}
+	// Rebuild the versioned graph store from the settled resident pairs, in
+	// journal order: snapshot-exported versions are self-contained (full
+	// graph in the accept's wire form), and a live delta record replays
+	// against the base version the records before it already rebuilt.
+	specs := newSpecCache(8)
+	for i := range rec.Settled {
+		if s.warmVersion(&rec.Settled[i], specs) {
+			s.warmVersions++
+		}
+	}
+
 	s.recPending = int64(len(rec.Pending))
 	pending := rec.Pending
 	go func() {
@@ -181,6 +230,55 @@ func (s *Server) applyRecovery(rec *journal.Recovery) {
 		}
 		wg.Wait()
 	}()
+}
+
+// warmVersion rebuilds one resident graph version from its settled
+// accept+completion pair: the coloring comes from the completion, the
+// graph from the accept's wire form — a full graph spec for snapshot
+// exports and resident uploads, or a delta applied to an already-rebuilt
+// base for live records. Failures (undecodable wire, evicted base, length
+// mismatch) skip the version; a later delta against it will report
+// unknown base and the client re-uploads.
+func (s *Server) warmVersion(sv *journal.SettledVersion, specs *specCache) bool {
+	colors, err := journal.DecodeColors(sv.Complete.ColorsB64)
+	if err != nil || len(colors) == 0 {
+		return false
+	}
+	var cr ColorRequest
+	if len(sv.Accept.Wire) == 0 || json.Unmarshal(sv.Accept.Wire, &cr) != nil {
+		return false
+	}
+	var g *graph.Graph
+	if cr.BaseFingerprint != "" {
+		baseFp, err := ParseFingerprint(cr.BaseFingerprint)
+		if err != nil {
+			return false
+		}
+		base, ok := s.versions.get(baseFp)
+		if !ok {
+			return false
+		}
+		ng, fp, _, err := graph.ApplyDelta(base.g, &graph.Delta{
+			AddVertices: cr.AddVertices,
+			AddEdges:    cr.AddEdges,
+			RemoveEdges: cr.RemoveEdges,
+		})
+		if err != nil || fp != sv.Complete.Fingerprint {
+			return false
+		}
+		g = ng
+	} else {
+		_, rg, err := buildRequest(&cr, specs)
+		if err != nil || rg == nil {
+			return false
+		}
+		g = rg
+	}
+	if g.NumVertices() != len(colors) {
+		return false
+	}
+	s.versions.put(sv.Complete.Fingerprint, g, colors)
+	return true
 }
 
 // replayOne re-executes one crash-interrupted accepted job. Every path
@@ -260,9 +358,11 @@ type RecoveryInfo struct {
 	// segments, record counts).
 	Replay journal.ReplayStats `json:"replay"`
 	// WarmedCache / WarmedIdem count completion records loaded into the
-	// result cache and idempotency map at startup.
-	WarmedCache int64 `json:"warmed_cache"`
-	WarmedIdem  int64 `json:"warmed_idem"`
+	// result cache and idempotency map at startup; WarmedVersions the
+	// resident graph versions rebuilt from settled journal pairs.
+	WarmedCache    int64 `json:"warmed_cache"`
+	WarmedIdem     int64 `json:"warmed_idem"`
+	WarmedVersions int64 `json:"warmed_versions"`
 	// PendingRecovered is the number of accepted-but-unfinished jobs the
 	// journal held; the Replay* counters say how their re-submission went
 	// (completed + expired + failed = settled).
@@ -282,6 +382,7 @@ func (s *Server) RecoveryInfo() RecoveryInfo {
 		Replay:           s.recReplay,
 		WarmedCache:      s.warmCache,
 		WarmedIdem:       s.warmIdem,
+		WarmedVersions:   s.warmVersions,
 		PendingRecovered: s.recPending,
 		ReplayEnqueued:   s.reg.Counter("replay_enqueued_total").Value(),
 		ReplayCompleted:  s.reg.Counter("replay_completed_total").Value(),

@@ -133,6 +133,19 @@ type Request struct {
 	// it streaming while decoding the upload and passes it here so Submit
 	// does not hash the graph a second time; zero means compute.
 	Fingerprint uint64
+
+	// Delta, when set, makes this a delta request: the mutation is applied
+	// to the resident version identified by BaseFingerprint and only the
+	// affected frontier is recolored (falling back to a full recolor of the
+	// successor when the frontier exceeds the budget). Graph must be nil.
+	Delta *graph.Delta
+	// BaseFingerprint identifies the resident base version a Delta applies
+	// to. An unknown base fails with *UnknownBaseError.
+	BaseFingerprint uint64
+	// Resident pins the result (graph + coloring) in the versioned graph
+	// store so later delta requests can use it as a base. Delta requests
+	// are implicitly resident: every successor extends the chain.
+	Resident bool
 	// Wire is the request's own wire form (ColorRequest JSON). A request
 	// carrying it is replayable: the server journals its acceptance and
 	// can rebuild and re-run it after a crash. Requests without Wire are
@@ -206,6 +219,18 @@ type Response struct {
 	// not separable).
 	Batched   bool
 	BatchSize int
+
+	// Delta reports that the request was served through the incremental
+	// engine: FrontierSize is the number of vertices whose neighbourhood
+	// the mutation changed, and DeltaFallback reports that the successor
+	// was recolored from scratch (frontier over budget) rather than
+	// frontier-repaired. Vertices and Edges describe the successor graph —
+	// delta callers have no Graph of their own to measure.
+	Delta         bool
+	FrontierSize  int
+	DeltaFallback bool
+	Vertices      int
+	Edges         int
 
 	// Shards is the number of shards the job ran as (1 for single-device
 	// execution). The remaining Shard* fields are zero unless Shards > 1:

@@ -215,6 +215,9 @@ type Config struct {
 	Shard ShardConfig
 	// Batch tunes block-diagonal kernel batching of small graphs.
 	Batch BatchConfig
+	// Delta tunes the incremental coloring engine (versioned resident
+	// graphs + frontier recolor of mutations).
+	Delta DeltaConfig
 
 	// Journal, when set, makes the server crash-safe: every replayable
 	// request is journaled before enqueue and every finished job journals
@@ -270,6 +273,7 @@ func (c Config) withDefaults() Config {
 	c.SelfHeal = c.SelfHeal.withDefaults()
 	c.Shard = c.Shard.withDefaults(c.Devices)
 	c.Batch = c.Batch.withDefaults()
+	c.Delta = c.Delta.withDefaults()
 	return c
 }
 
@@ -280,13 +284,14 @@ func (c Config) withDefaults() Config {
 // NewServer; it is immediately serving. All methods are safe for
 // concurrent use.
 type Server struct {
-	cfg   Config
-	pool  *DevicePool
-	queue *jobQueue
-	cache *resultCache
-	idem  *idemCache
-	reg   *metrics.Registry
-	hedge *hedgeTracker
+	cfg      Config
+	pool     *DevicePool
+	queue    *jobQueue
+	cache    *resultCache
+	idem     *idemCache
+	versions *versionStore
+	reg      *metrics.Registry
+	hedge    *hedgeTracker
 
 	jrnl *journal.Journal
 
@@ -296,12 +301,13 @@ type Server struct {
 	pendAccepts map[string]journal.AcceptRecord
 
 	// Recovery bookkeeping (see recovery.go).
-	recReplay  journal.ReplayStats
-	recEnabled bool
-	warmCache  int64
-	warmIdem   int64
-	recPending int64
-	recDone    chan struct{}
+	recReplay    journal.ReplayStats
+	recEnabled   bool
+	warmCache    int64
+	warmIdem     int64
+	warmVersions int64
+	recPending   int64
+	recDone      chan struct{}
 
 	mu       sync.Mutex
 	inflight map[cacheKey]*flight
@@ -341,6 +347,7 @@ func NewServer(cfg Config) *Server {
 		queue:       newJobQueue(cfg.QueueCapacity, cfg.ShedFraction),
 		cache:       newResultCache(cfg.CacheEntries),
 		idem:        newIdemCache(cfg.IdemEntries),
+		versions:    newVersionStore(cfg.Delta.Entries),
 		reg:         metrics.NewRegistry(),
 		hedge:       newHedgeTracker(cfg.SelfHeal.HedgeMinSamples, cfg.SelfHeal.HedgeFloor, cfg.SelfHeal.HedgeMultiple),
 		jrnl:        cfg.Journal,
@@ -368,6 +375,8 @@ func NewServer(cfg Config) *Server {
 		"replay_expired_total", "replay_failed_total",
 		"batches_total", "batched_jobs_total", "batch_member_retries_total",
 		"wire_binary_requests_total",
+		"delta_requests_total", "delta_hits", "delta_fallbacks_total",
+		"delta_unknown_base_total",
 	} {
 		s.reg.Counter(name)
 	}
@@ -377,6 +386,7 @@ func NewServer(cfg Config) *Server {
 	s.reg.Histogram("exec_us")
 	s.reg.Histogram("batch_size")
 	s.reg.Histogram("batch_linger_us")
+	s.reg.Histogram("delta_frontier_size")
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -505,16 +515,39 @@ func (s *Server) Drain(timeout time.Duration) (DrainSummary, error) {
 	return s.drainSum, nil
 }
 
-// Submit serves one request: result cache, then coalescing, then the
-// admission queue and a pooled device. It returns a verified coloring or a
-// typed error (ErrQueueFull, ErrShedding, ErrClosed, ErrDraining, a
-// context error, or a gpucolor failure).
+// cloneHit returns a defensive copy of a cached response: Colors is
+// copied, so a caller mutating the slice it was handed cannot corrupt the
+// cached entry (and with it every later hit). The shallow copy alone used
+// to alias the cache's backing array — the classic "poison one hit, serve
+// bad colorings forever" bug.
+func cloneHit(res *Response) *Response {
+	hit := *res
+	if hit.Colors != nil {
+		hit.Colors = append([]int32(nil), hit.Colors...)
+	}
+	return &hit
+}
+
+// Submit serves one request: idempotent replay, then the result cache,
+// then coalescing, then the admission queue and a pooled device. It
+// returns a verified coloring or a typed error (ErrQueueFull, ErrShedding,
+// ErrClosed, ErrDraining, *UnknownBaseError, a context error, or a
+// gpucolor failure).
+//
+// The draining check deliberately sits *after* the idempotency and cache
+// lookups: replays and hits never touch a device, and refusing them during
+// drain turned every rolling restart into a spurious client-visible error
+// for retries the server could have answered from memory. Only work that
+// would need the queue is refused while draining.
 func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
-	if req == nil || req.Graph == nil {
+	if req == nil {
 		return nil, errors.New("serve: request has no graph")
 	}
-	if s.draining.Load() {
-		return nil, ErrDraining
+	if req.Delta != nil || req.BaseFingerprint != 0 {
+		return s.submitDelta(ctx, req)
+	}
+	if req.Graph == nil {
+		return nil, errors.New("serve: request has no graph")
 	}
 	s.reg.Counter("requests_total").Inc()
 	fp := req.Fingerprint
@@ -529,25 +562,45 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	// answer its original request produced, wherever it now lives.
 	if res, ok := s.idem.get(req.IdemKey); ok {
 		s.reg.Counter("idem_hits_total").Inc()
-		hit := *res
+		hit := cloneHit(res)
 		hit.Cached = true
 		hit.IdempotentReplay = true
 		hit.Device = -1
 		hit.Wait, hit.Exec = 0, 0
 		hit.RequestID = req.RequestID
-		return &hit, nil
+		return hit, nil
 	}
 
 	if !req.NoCache {
 		if res, ok := s.cache.get(key); ok {
 			s.reg.Counter("cache_hits").Inc()
-			hit := *res
+			if req.Resident {
+				s.versions.put(fp, req.Graph, res.Colors)
+			}
+			hit := cloneHit(res)
 			hit.Cached = true
 			hit.Device = -1
 			hit.Wait, hit.Exec = 0, 0
 			hit.RequestID = req.RequestID
-			return &hit, nil
+			return hit, nil
 		}
+	}
+
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	res, err := s.admit(ctx, req, fp, key, shards)
+	if err == nil && req.Resident {
+		s.versions.put(fp, req.Graph, res.Colors)
+	}
+	return res, err
+}
+
+// admit runs the miss path: coalesce onto an in-flight execution of the
+// same key, or register a flight and enqueue. Factored out of Submit so
+// the delta fallback can reuse it after its own admission checks.
+func (s *Server) admit(ctx context.Context, req *Request, fp uint64, key cacheKey, shards int) (*Response, error) {
+	if !req.NoCache {
 		s.reg.Counter("cache_misses").Inc()
 
 		s.mu.Lock()
@@ -643,9 +696,11 @@ func (s *Server) wait(ctx context.Context, fl *flight, coalesced bool) (*Respons
 		if fl.err != nil {
 			return nil, fl.err
 		}
-		res := *fl.res
+		// Each waiter gets its own Colors copy: the flight's result is also
+		// the cache entry, and waiters are free to mutate what they receive.
+		res := cloneHit(fl.res)
 		res.Coalesced = coalesced
-		return &res, nil
+		return res, nil
 	case <-ctx.Done():
 		// The execution (if any) continues for other waiters; this caller
 		// alone gives up.
@@ -1125,6 +1180,13 @@ type Stats struct {
 	BatchMemberRetries int64 // batch members re-run solo after a batch failure
 	WireBinaryRequests int64 // POST /color bodies in the binary CSR wire format
 
+	// Incremental (delta) coloring.
+	DeltaRequests    int64 // delta requests received
+	DeltaHits        int64 // deltas served by frontier recolor alone
+	DeltaFallbacks   int64 // deltas recolored from scratch (frontier over budget)
+	DeltaUnknownBase int64 // deltas refused: base version not resident
+	VersionsResident int   // graph versions currently pinned
+
 	// Self-healing.
 	Hedges        int64 // hedged re-dispatches launched
 	HedgeWins     int64 // hedge attempt beat the primary
@@ -1175,6 +1237,11 @@ func (s *Server) Stats() Stats {
 		BatchedJobs:        snap["batched_jobs_total"],
 		BatchMemberRetries: snap["batch_member_retries_total"],
 		WireBinaryRequests: snap["wire_binary_requests_total"],
+		DeltaRequests:      snap["delta_requests_total"],
+		DeltaHits:          snap["delta_hits"],
+		DeltaFallbacks:     snap["delta_fallbacks_total"],
+		DeltaUnknownBase:   snap["delta_unknown_base_total"],
+		VersionsResident:   s.versions.len(),
 		Hedges:          snap["hedges_total"],
 		HedgeWins:       snap["hedge_wins_total"],
 		HedgeLosses:     snap["hedge_losses_total"],
